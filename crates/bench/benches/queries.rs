@@ -1,0 +1,78 @@
+//! End-to-end query benchmarks: one representative query per system class,
+//! at a small scale factor suitable for statistically-stable Criterion runs.
+//! (The `figure5..8` binaries regenerate the full paper tables; these
+//! benches are for regression-tracking the engines themselves.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvr_core::{ColumnEngine, DenormDb, DenormVariant, EngineConfig};
+use cvr_data::gen::SsbConfig;
+use cvr_data::queries::query;
+use cvr_row::designs::{RowDb, RowDesign};
+use cvr_storage::io::IoSession;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_q21_systems(c: &mut Criterion) {
+    let tables = Arc::new(SsbConfig { sf: 0.005, seed: 1 }.generate());
+    let q = query(2, 1);
+    let io = IoSession::unmetered();
+
+    let mut g = c.benchmark_group("q21_by_system");
+    g.sample_size(20);
+
+    let row_t = RowDb::build(tables.clone(), RowDesign::Traditional);
+    g.bench_function("row_traditional", |b| b.iter(|| black_box(row_t.execute(&q, &io))));
+
+    let row_mv = RowDb::build(tables.clone(), RowDesign::MaterializedViews);
+    g.bench_function("row_mv", |b| b.iter(|| black_box(row_mv.execute(&q, &io))));
+
+    let col = ColumnEngine::new(tables.clone());
+    g.bench_function("column_full_tICL", |b| {
+        b.iter(|| black_box(col.execute(&q, EngineConfig::FULL, &io)))
+    });
+    g.bench_function("column_stripped_Ticl", |b| {
+        b.iter(|| black_box(col.execute(&q, EngineConfig::STRIPPED, &io)))
+    });
+
+    let denorm = DenormDb::build(tables.clone(), DenormVariant::MaxCompression);
+    g.bench_function("denorm_max_c", |b| {
+        b.iter(|| black_box(denorm.execute(&q, EngineConfig::FULL, &io)))
+    });
+    g.finish();
+}
+
+fn bench_flight1_compression(c: &mut Criterion) {
+    // Flight 1 is where RLE on the sorted columns shines.
+    let tables = Arc::new(SsbConfig { sf: 0.005, seed: 1 }.generate());
+    let q = query(1, 1);
+    let io = IoSession::unmetered();
+    let col = ColumnEngine::new(tables);
+    let mut g = c.benchmark_group("q11_compression");
+    g.sample_size(20);
+    g.bench_function("compressed_tICL", |b| {
+        b.iter(|| black_box(col.execute(&q, EngineConfig::parse("tICL"), &io)))
+    });
+    g.bench_function("uncompressed_tIcL", |b| {
+        b.iter(|| black_box(col.execute(&q, EngineConfig::parse("tIcL"), &io)))
+    });
+    g.finish();
+}
+
+fn bench_invisible_vs_lm(c: &mut Criterion) {
+    let tables = Arc::new(SsbConfig { sf: 0.005, seed: 1 }.generate());
+    let q = query(3, 1);
+    let io = IoSession::unmetered();
+    let col = ColumnEngine::new(tables);
+    let mut g = c.benchmark_group("q31_join_strategy");
+    g.sample_size(20);
+    g.bench_function("invisible_join", |b| {
+        b.iter(|| black_box(col.execute(&q, EngineConfig::parse("tICL"), &io)))
+    });
+    g.bench_function("late_materialized_join", |b| {
+        b.iter(|| black_box(col.execute(&q, EngineConfig::parse("tiCL"), &io)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_q21_systems, bench_flight1_compression, bench_invisible_vs_lm);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Run every experiment in sequence (the full evaluation section).
+//!
+//! ```text
+//! cargo run --release -p cvr-bench --bin all -- --sf 0.02
+//! ```
+//!
+//! Equivalent to running `selectivity`, `storage_sizes`, `figure5`,
+//! `figure6`, `figure7`, `figure8`, and `partitioning` back to back on one
+//! generated database.
+
+use cvr_bench::{paper, render_figure, Harness, HarnessArgs, Measurement};
+use cvr_core::{ColumnEngine, DenormDb, DenormVariant, EngineConfig, RowMvDb};
+use cvr_data::queries::all_queries;
+use cvr_data::reference::measured_selectivity;
+use cvr_row::designs::{RowDb, RowDesign};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let harness = Harness::new(args.clone());
+
+    // ---- Section 3: selectivities ----
+    println!("\nSection 3: LINEORDER selectivities (sf {})", args.sf);
+    println!("{:<8}{:>14}{:>14}", "query", "paper", "measured");
+    for (q, label) in all_queries().iter().zip(paper::QUERY_LABELS) {
+        let measured = measured_selectivity(&harness.tables, q);
+        println!("Q{label:<7}{:>14.2e}{measured:>14.2e}", q.paper_selectivity);
+    }
+
+    // ---- Figure 5 ----
+    eprintln!("# figure 5 ...");
+    let rs = RowDb::build(harness.tables.clone(), RowDesign::Traditional);
+    let rs_mv = RowDb::build(harness.tables.clone(), RowDesign::MaterializedViews);
+    let cs = ColumnEngine::new(harness.tables.clone());
+    let cs_row_mv = RowMvDb::build(harness.tables.clone());
+    let fig5: Vec<(String, Vec<Measurement>)> = vec![
+        ("RS".into(), harness.measure_series(|q, io| rs.execute(q, io))),
+        ("RS (MV)".into(), harness.measure_series(|q, io| rs_mv.execute(q, io))),
+        ("CS".into(), harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io))),
+        ("CS (Row-MV)".into(), harness.measure_series(|q, io| cs_row_mv.execute(q, io))),
+    ];
+    println!("{}", render_figure("Figure 5: Baseline comparison", &fig5, &paper::figure5(), args.sf));
+
+    // ---- Figure 6 ----
+    eprintln!("# figure 6 ...");
+    let mut fig6: Vec<(String, Vec<Measurement>)> = Vec::new();
+    for design in RowDesign::ALL {
+        eprintln!("#   {}", design.label());
+        let db = RowDb::build(harness.tables.clone(), design);
+        fig6.push((design.label().to_string(), harness.measure_series(|q, io| db.execute(q, io))));
+    }
+    println!("{}", render_figure("Figure 6: Row-store designs", &fig6, &paper::figure6(), args.sf));
+
+    // ---- Figure 7 ----
+    eprintln!("# figure 7 ...");
+    let mut fig7: Vec<(String, Vec<Measurement>)> = Vec::new();
+    for cfg in EngineConfig::figure7() {
+        fig7.push((cfg.code(), harness.measure_series(|q, io| cs.execute(q, cfg, io))));
+    }
+    println!("{}", render_figure("Figure 7: Optimization removal", &fig7, &paper::figure7(), args.sf));
+
+    // ---- Figure 8 ----
+    eprintln!("# figure 8 ...");
+    let mut fig8: Vec<(String, Vec<Measurement>)> = Vec::new();
+    fig8.push(("Base".into(), harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io))));
+    for variant in
+        [DenormVariant::NoCompression, DenormVariant::IntCompression, DenormVariant::MaxCompression]
+    {
+        let db = DenormDb::build(harness.tables.clone(), variant);
+        fig8.push((
+            variant.label().to_string(),
+            harness.measure_series(|q, io| db.execute(q, EngineConfig::FULL, io)),
+        ));
+    }
+    println!("{}", render_figure("Figure 8: Denormalization", &fig8, &paper::figure8(), args.sf));
+}

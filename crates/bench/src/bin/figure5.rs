@@ -1,0 +1,43 @@
+//! Figure 5: baseline comparison — RS, RS (MV), CS, CS (Row-MV).
+//!
+//! ```text
+//! cargo run --release -p cvr-bench --bin figure5 -- --sf 0.05
+//! ```
+
+use cvr_bench::{paper, render_figure, Harness, HarnessArgs, Measurement};
+use cvr_core::{ColumnEngine, EngineConfig, RowMvDb};
+use cvr_row::designs::{RowDb, RowDesign};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let harness = Harness::new(args.clone());
+    eprintln!("# building designs (sf {}) ...", args.sf);
+
+    let rs = RowDb::build(harness.tables.clone(), RowDesign::Traditional);
+    let rs_mv = RowDb::build(harness.tables.clone(), RowDesign::MaterializedViews);
+    let cs = ColumnEngine::new(harness.tables.clone());
+    let cs_row_mv = RowMvDb::build(harness.tables.clone());
+
+    let mut ours: Vec<(String, Vec<Measurement>)> = Vec::new();
+    eprintln!("# RS (traditional row store)");
+    ours.push(("RS".into(), harness.measure_series(|q, io| rs.execute(q, io))));
+    eprintln!("# RS (MV)");
+    ours.push(("RS (MV)".into(), harness.measure_series(|q, io| rs_mv.execute(q, io))));
+    eprintln!("# CS (full C-Store: tICL)");
+    ours.push((
+        "CS".into(),
+        harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io)),
+    ));
+    eprintln!("# CS (Row-MV)");
+    ours.push(("CS (Row-MV)".into(), harness.measure_series(|q, io| cs_row_mv.execute(q, io))));
+
+    println!(
+        "{}",
+        render_figure(
+            "Figure 5: Baseline performance of C-Store and System X",
+            &ours,
+            &paper::figure5(),
+            args.sf,
+        )
+    );
+}

@@ -1,0 +1,33 @@
+//! Figure 6: row-store physical designs — T, T(B), MV, VP, AI.
+//!
+//! ```text
+//! cargo run --release -p cvr-bench --bin figure6 -- --sf 0.02
+//! ```
+
+use cvr_bench::{paper, render_figure, Harness, HarnessArgs, Measurement};
+use cvr_row::designs::{RowDb, RowDesign};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let harness = Harness::new(args.clone());
+
+    let mut ours: Vec<(String, Vec<Measurement>)> = Vec::new();
+    for design in RowDesign::ALL {
+        eprintln!("# building + running {} (sf {})", design.label(), args.sf);
+        let db = RowDb::build(harness.tables.clone(), design);
+        ours.push((
+            design.label().to_string(),
+            harness.measure_series(|q, io| db.execute(q, io)),
+        ));
+    }
+
+    println!(
+        "{}",
+        render_figure(
+            "Figure 6: Row-store physical design variants",
+            &ours,
+            &paper::figure6(),
+            args.sf,
+        )
+    );
+}

@@ -1,0 +1,32 @@
+//! Figure 7: C-Store with optimizations successively removed
+//! (tICL, TICL, tiCL, TiCL, ticL, TicL, Ticl).
+//!
+//! ```text
+//! cargo run --release -p cvr-bench --bin figure7 -- --sf 0.05
+//! ```
+
+use cvr_bench::{paper, render_figure, Harness, HarnessArgs, Measurement};
+use cvr_core::{ColumnEngine, EngineConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let harness = Harness::new(args.clone());
+    eprintln!("# building column store (sf {}) ...", args.sf);
+    let engine = ColumnEngine::new(harness.tables.clone());
+
+    let mut ours: Vec<(String, Vec<Measurement>)> = Vec::new();
+    for cfg in EngineConfig::figure7() {
+        eprintln!("# running {}", cfg.code());
+        ours.push((cfg.code(), harness.measure_series(|q, io| engine.execute(q, cfg, io))));
+    }
+
+    println!(
+        "{}",
+        render_figure(
+            "Figure 7: C-Store optimization removal study",
+            &ours,
+            &paper::figure7(),
+            args.sf,
+        )
+    );
+}

@@ -1,0 +1,42 @@
+//! Figure 8: invisible-join baseline vs denormalized (pre-joined) tables.
+//!
+//! ```text
+//! cargo run --release -p cvr-bench --bin figure8 -- --sf 0.05
+//! ```
+
+use cvr_bench::{paper, render_figure, Harness, HarnessArgs, Measurement};
+use cvr_core::{ColumnEngine, DenormDb, DenormVariant, EngineConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let harness = Harness::new(args.clone());
+    eprintln!("# building baseline + 3 denormalized variants (sf {}) ...", args.sf);
+    let engine = ColumnEngine::new(harness.tables.clone());
+
+    let mut ours: Vec<(String, Vec<Measurement>)> = Vec::new();
+    eprintln!("# Base (invisible join)");
+    ours.push((
+        "Base".into(),
+        harness.measure_series(|q, io| engine.execute(q, EngineConfig::FULL, io)),
+    ));
+    for variant in
+        [DenormVariant::NoCompression, DenormVariant::IntCompression, DenormVariant::MaxCompression]
+    {
+        eprintln!("# {}", variant.label());
+        let db = DenormDb::build(harness.tables.clone(), variant);
+        ours.push((
+            variant.label().to_string(),
+            harness.measure_series(|q, io| db.execute(q, EngineConfig::FULL, io)),
+        ));
+    }
+
+    println!(
+        "{}",
+        render_figure(
+            "Figure 8: Denormalization study (pre-joined fact table)",
+            &ours,
+            &paper::figure8(),
+            args.sf,
+        )
+    );
+}

@@ -1,0 +1,45 @@
+//! Section 6.1's partitioning ablation: "partitioning gives System X a
+//! factor of two advantage (though this varied by query)".
+//!
+//! ```text
+//! cargo run --release -p cvr-bench --bin partitioning -- --sf 0.02
+//! ```
+
+use cvr_bench::{Harness, HarnessArgs, Measurement};
+use cvr_row::designs::{TraditionalDb, TraditionalOptions};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let harness = Harness::new(args.clone());
+    eprintln!("# building partitioned + unpartitioned traditional designs ...");
+    let part = TraditionalDb::build(
+        harness.tables.clone(),
+        TraditionalOptions { partitioned: true, bitmap_indexes: false, use_bloom: true },
+    );
+    let whole = TraditionalDb::build(
+        harness.tables.clone(),
+        TraditionalOptions { partitioned: false, bitmap_indexes: false, use_bloom: true },
+    );
+
+    let with: Vec<Measurement> = harness.measure_series(|q, io| part.execute(q, io));
+    let without: Vec<Measurement> = harness.measure_series(|q, io| whole.execute(q, io));
+
+    println!("\nSection 6.1: orderdate-year partitioning ablation (sf {})", args.sf);
+    println!("==========================================================\n");
+    println!("{:<8}{:>14}{:>16}{:>10}", "query", "partitioned", "unpartitioned", "speedup");
+    let labels = cvr_bench::paper::QUERY_LABELS;
+    let mut sums = (0.0, 0.0);
+    for i in 0..13 {
+        let (a, b) = (with[i].seconds(), without[i].seconds());
+        sums.0 += a;
+        sums.1 += b;
+        println!("Q{:<7}{a:>14.3}{b:>16.3}{:>9.2}x", labels[i], b / a);
+    }
+    println!(
+        "{:<8}{:>14.3}{:>16.3}{:>9.2}x   (paper: ~2x on average)",
+        "AVG",
+        sums.0 / 13.0,
+        sums.1 / 13.0,
+        sums.1 / sums.0
+    );
+}

@@ -1,0 +1,76 @@
+//! Section 6.2's storage-size arithmetic: per-column and whole-table bytes
+//! under each physical layout, scaled up to the paper's SF 10 for
+//! comparison against its quoted numbers (0.7-1.1 GB per VP column table,
+//! 240 MB per C-Store int column, ~6 GB / ~4 GB traditional, 2.3 GB
+//! compressed C-Store).
+//!
+//! ```text
+//! cargo run --release -p cvr-bench --bin storage_sizes -- --sf 0.02
+//! ```
+
+use cvr_bench::HarnessArgs;
+use cvr_core::CStoreDb;
+use cvr_row::designs::{TraditionalDb, TraditionalOptions, VpDb};
+use std::sync::Arc;
+
+fn gb(bytes: u64, scale: f64) -> f64 {
+    bytes as f64 * scale / (1024.0 * 1024.0 * 1024.0)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let tables = args.tables();
+    let scale_to_sf10 = 10.0 / args.sf;
+
+    println!("\nSection 6.2: storage sizes (built at sf {}, scaled to SF 10)", args.sf);
+    println!("=============================================================\n");
+
+    let trad = TraditionalDb::build(
+        tables.clone(),
+        TraditionalOptions { partitioned: false, bitmap_indexes: false, use_bloom: false },
+    );
+    println!(
+        "traditional lineorder heap: {:>7.2} GB   (paper: ~6 GB uncompressed)",
+        gb(trad.fact_bytes(), scale_to_sf10)
+    );
+
+    let vp = VpDb::build(tables.clone());
+    println!(
+        "VP all 17 column tables:    {:>7.2} GB   (paper: 17 x 0.7-1.1 GB)",
+        gb(vp.fact_bytes(), scale_to_sf10)
+    );
+    for col in ["lo_orderkey", "lo_quantity", "lo_revenue", "lo_orderdate"] {
+        println!(
+            "  VP column table {col:<16}: {:>6.2} GB   (paper: 0.7-1.1 GB each)",
+            gb(vp.fact_column_bytes(col), scale_to_sf10)
+        );
+    }
+
+    let cs_plain = CStoreDb::build(tables.clone(), false);
+    let cs_comp = CStoreDb::build(Arc::clone(&tables), true);
+    println!(
+        "C-Store fact uncompressed:  {:>7.2} GB",
+        gb(cs_plain.fact_bytes(), scale_to_sf10)
+    );
+    println!(
+        "C-Store fact compressed:    {:>7.2} GB   (paper: 2.3 GB whole table)",
+        gb(cs_comp.fact_bytes(), scale_to_sf10)
+    );
+    let int_col = cs_plain.fact.column("lo_revenue");
+    println!(
+        "C-Store single int column:  {:>7.3} GB   (paper: 240 MB = 0.234 GB)",
+        gb(int_col.bytes(), scale_to_sf10)
+    );
+    let od = cs_comp.fact.column("lo_orderdate");
+    println!(
+        "C-Store RLE orderdate col:  {:>9.5} GB (paper: < 64 KB at SF 10)",
+        gb(od.bytes(), scale_to_sf10)
+    );
+    println!(
+        "\nper-row footprints: traditional {:.1} B/row, VP {:.1} B/row-per-column,\n\
+         C-Store int column {:.1} B/value (paper: ~93 B, ~16 B, 4 B)",
+        trad.fact_bytes() as f64 / tables.lineorder.num_rows() as f64,
+        vp.fact_column_bytes("lo_revenue") as f64 / tables.lineorder.num_rows() as f64,
+        int_col.bytes() as f64 / tables.lineorder.num_rows() as f64,
+    );
+}

@@ -1,0 +1,309 @@
+//! # cvr-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation section.
+//! Each binary builds the physical designs it needs over a generated SSBM
+//! database, runs the thirteen queries (one warm-up, `runs` measured
+//! executions), and prints the paper's published numbers alongside the
+//! measured ones.
+//!
+//! ## Cost model
+//!
+//! Each measured execution reports:
+//! * **cpu** — wall-clock of the query execution (all in-memory compute);
+//! * **io** — bytes/pages/seeks charged by the storage layer to the query's
+//!   [`IoSession`];
+//! * **model** — `cpu × cpu_scale + DiskModel::io_time(io)`: the simulated
+//!   elapsed time on the paper's testbed. The disk side models the 200 MB/s
+//!   4 ms-seek array; `cpu_scale` (default 5) re-balances modern per-byte
+//!   CPU speed against the paper's 2.8 GHz 2006-era Pentium so the
+//!   CPU-vs-I/O cost structure matches the paper's — without it, CPU-side
+//!   optimizations (block iteration, between-predicate rewriting) would be
+//!   invisible behind modeled I/O (DESIGN.md §4).
+//!
+//! Absolute seconds are not comparable to the paper (different scale
+//! factor, different decade of hardware); the *ratios between systems* are
+//! the reproduction target.
+//!
+//! ## Binaries
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `figure5` | Fig. 5 — RS / RS (MV) / CS / CS (Row-MV) |
+//! | `figure6` | Fig. 6 — T / T(B) / MV / VP / AI |
+//! | `figure7` | Fig. 7 — tICL … Ticl optimization removal |
+//! | `figure8` | Fig. 8 — Base vs denormalized (No C / Int C / Max C) |
+//! | `selectivity` | §3's per-query LINEORDER selectivities |
+//! | `storage_sizes` | §6.2's storage-size arithmetic |
+//! | `partitioning` | §6.1's partitioning factor-of-two claim |
+//! | `ablation` | §6.3.2's between-predicate-rewriting attribution, isolated |
+//! | `super_tuples` | §7's row-store prescription (Halverson et al.), implemented |
+//! | `all` | the full evaluation in one run |
+
+#![warn(missing_docs)]
+
+pub mod paper;
+
+use cvr_data::gen::{SsbConfig, SsbTables};
+use cvr_data::queries::{all_queries, SsbQuery};
+use cvr_data::result::QueryOutput;
+use cvr_storage::io::{BufferPool, DiskModel, IoSession, IoStats};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Command-line options shared by the harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// SSBM scale factor (default 0.02 ⇒ 120 k fact rows).
+    pub sf: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Measured runs per query (after one warm-up). The minimum is kept.
+    pub runs: usize,
+    /// Buffer-pool size as a fraction of the raw fact-table bytes
+    /// (default 0.08, mirroring the paper's 500 MB pool vs ~6 GB table).
+    pub pool_fraction: f64,
+    /// Multiplier applied to measured CPU time in the modeled total
+    /// (default 5.0: modern cores process these workloads roughly 5x
+    /// faster per byte than the paper's 2.8 GHz Pentium D).
+    pub cpu_scale: f64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            sf: 0.02,
+            seed: 0x55B0_2008,
+            runs: 3,
+            pool_fraction: 0.08,
+            cpu_scale: 5.0,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parse `--sf`, `--seed`, `--runs`, `--pool-fraction` from the process
+    /// arguments (tiny hand-rolled parser; unknown flags abort with usage).
+    pub fn parse() -> HarnessArgs {
+        let mut args = HarnessArgs::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let take = |i: &mut usize| -> String {
+                *i += 1;
+                argv.get(*i).unwrap_or_else(|| panic!("missing value for {}", argv[*i - 1])).clone()
+            };
+            match argv[i].as_str() {
+                "--sf" => args.sf = take(&mut i).parse().expect("--sf takes a float"),
+                "--seed" => args.seed = take(&mut i).parse().expect("--seed takes an int"),
+                "--runs" => args.runs = take(&mut i).parse().expect("--runs takes an int"),
+                "--pool-fraction" => {
+                    args.pool_fraction = take(&mut i).parse().expect("--pool-fraction float")
+                }
+                "--cpu-scale" => {
+                    args.cpu_scale = take(&mut i).parse().expect("--cpu-scale takes a float")
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--sf F] [--seed N] [--runs N] [--pool-fraction F] [--cpu-scale F]\n\
+                         defaults: --sf 0.02 --runs 3 --pool-fraction 0.08 --cpu-scale 5.0"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+            i += 1;
+        }
+        args
+    }
+
+    /// Generate the SSBM database for these options.
+    pub fn tables(&self) -> Arc<SsbTables> {
+        Arc::new(SsbConfig { sf: self.sf, seed: self.seed }.generate())
+    }
+}
+
+/// One measured query execution.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Wall-clock CPU time of the fastest measured run.
+    pub cpu: Duration,
+    /// I/O charged during that run.
+    pub io: IoStats,
+    /// `cpu x cpu_scale + modeled I/O time`.
+    pub modeled: Duration,
+}
+
+impl Measurement {
+    /// Modeled seconds (the number printed in the figures).
+    pub fn seconds(&self) -> f64 {
+        self.modeled.as_secs_f64()
+    }
+}
+
+/// A harness over one generated database: shared buffer pool + disk model.
+pub struct Harness {
+    /// The generated tables.
+    pub tables: Arc<SsbTables>,
+    /// Harness options.
+    pub args: HarnessArgs,
+    pool: Arc<BufferPool>,
+    disk: DiskModel,
+}
+
+impl Harness {
+    /// Build a harness; the buffer pool is sized from the raw fact bytes.
+    pub fn new(args: HarnessArgs) -> Harness {
+        let tables = args.tables();
+        // Raw (uncompressed row) fact bytes ≈ rows × ~90 B.
+        let raw_bytes = tables.lineorder.num_rows() as u64 * 90;
+        let pool_bytes = ((raw_bytes as f64 * args.pool_fraction) as u64).max(1 << 20);
+        Harness { tables, args, pool: BufferPool::new(pool_bytes), disk: DiskModel::default() }
+    }
+
+    /// The disk model used for `modeled` times.
+    pub fn disk(&self) -> DiskModel {
+        self.disk
+    }
+
+    /// Run `exec` for one query: one warm-up + `runs` measured executions;
+    /// returns the best measurement and the query output (verified identical
+    /// across runs).
+    pub fn measure(
+        &self,
+        exec: impl Fn(&IoSession) -> QueryOutput,
+    ) -> (Measurement, QueryOutput) {
+        // Warm-up (also populates the buffer pool the way the paper's warm
+        // runs do).
+        let warm_io = IoSession::new(self.pool.clone());
+        let reference = exec(&warm_io);
+
+        let mut best: Option<Measurement> = None;
+        for _ in 0..self.args.runs.max(1) {
+            let io = IoSession::new(self.pool.clone());
+            let start = Instant::now();
+            let out = exec(&io);
+            let cpu = start.elapsed();
+            assert_eq!(out, reference, "non-deterministic query result");
+            let stats = io.stats();
+            let scaled_cpu = cpu.mul_f64(self.args.cpu_scale);
+            let m =
+                Measurement { cpu, io: stats, modeled: scaled_cpu + self.disk.io_time(&stats) };
+            best = Some(match best {
+                None => m,
+                Some(b) if m.modeled < b.modeled => m,
+                Some(b) => b,
+            });
+        }
+        (best.unwrap(), reference)
+    }
+
+    /// Measure a full 13-query series; returns per-query measurements.
+    pub fn measure_series(
+        &self,
+        exec: impl Fn(&SsbQuery, &IoSession) -> QueryOutput,
+    ) -> Vec<Measurement> {
+        all_queries().iter().map(|q| self.measure(|io| exec(q, io)).0).collect()
+    }
+}
+
+/// Render a figure-style table: one row per system, one column per query
+/// plus AVG; paper numbers interleaved for comparison.
+pub fn render_figure(
+    title: &str,
+    ours: &[(String, Vec<Measurement>)],
+    paper_series: &[paper::PaperSeries],
+    sf: f64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n{title}");
+    let _ = writeln!(out, "{}", "=".repeat(title.len()));
+    let _ = writeln!(
+        out,
+        "modeled seconds at SF {sf} (scaled cpu + simulated 200 MB/s disk); paper ran SF 10\n"
+    );
+    let _ = write!(out, "{:<22}", "system");
+    for q in paper::QUERY_LABELS {
+        let _ = write!(out, "{q:>9}");
+    }
+    let _ = writeln!(out, "{:>9}", "AVG");
+    for (label, series) in ours {
+        let _ = write!(out, "{:<22}", format!("{label} (ours)"));
+        let mut sum = 0.0;
+        for m in series {
+            let s = m.seconds();
+            sum += s;
+            let _ = write!(out, "{s:>9.3}");
+        }
+        let _ = writeln!(out, "{:>9.3}", sum / series.len() as f64);
+        if let Some(p) = paper_series.iter().find(|p| p.label == label.as_str()) {
+            let _ = write!(out, "{:<22}", format!("{label} (paper)"));
+            for t in p.times {
+                let _ = write!(out, "{t:>9.1}");
+            }
+            let _ = writeln!(out, "{:>9.1}", p.avg());
+        }
+    }
+    // Normalized comparison: each system relative to the first row.
+    if ours.len() > 1 && !ours[0].1.is_empty() {
+        let _ = writeln!(out, "\naverage relative to {} (ours vs paper):", ours[0].0);
+        let base_ours: f64 =
+            ours[0].1.iter().map(Measurement::seconds).sum::<f64>() / ours[0].1.len() as f64;
+        let base_paper =
+            paper_series.iter().find(|p| p.label == ours[0].0).map(paper::PaperSeries::avg);
+        for (label, series) in ours {
+            let avg = series.iter().map(Measurement::seconds).sum::<f64>() / series.len() as f64;
+            let ours_rel = avg / base_ours;
+            let paper_rel =
+                match (paper_series.iter().find(|p| p.label == label.as_str()), base_paper) {
+                    (Some(p), Some(b)) => format!("{:.2}x", p.avg() / b),
+                    _ => "-".to_string(),
+                };
+            let _ = writeln!(out, "  {label:<18} ours {ours_rel:>7.2}x   paper {paper_rel}");
+        }
+    }
+    out
+}
+
+/// Format an [`IoStats`] snippet for verbose output.
+pub fn fmt_io(io: &IoStats) -> String {
+    format!(
+        "{:.1} MB / {} pages / {} seeks",
+        io.bytes_read as f64 / (1024.0 * 1024.0),
+        io.pages_read,
+        io.seeks
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvr_data::queries::query;
+    use cvr_row::designs::{RowDb, RowDesign};
+
+    #[test]
+    fn harness_measures_deterministically() {
+        let args = HarnessArgs { sf: 0.001, runs: 2, ..HarnessArgs::default() };
+        let h = Harness::new(args);
+        let db = RowDb::build(h.tables.clone(), RowDesign::Traditional);
+        let q = query(1, 1);
+        let (m, out) = h.measure(|io| db.execute(&q, io));
+        assert!(m.modeled >= m.cpu);
+        assert_eq!(out.rows.len(), 1);
+    }
+
+    #[test]
+    fn render_contains_all_queries() {
+        let args = HarnessArgs { sf: 0.001, runs: 1, ..HarnessArgs::default() };
+        let h = Harness::new(args);
+        let db = RowDb::build(h.tables.clone(), RowDesign::MaterializedViews);
+        let series = h.measure_series(|q, io| db.execute(q, io));
+        let s =
+            render_figure("Test", &[("MV".to_string(), series)], &paper::figure6(), 0.001);
+        for q in paper::QUERY_LABELS {
+            assert!(s.contains(q));
+        }
+        assert!(s.contains("MV (ours)"));
+        assert!(s.contains("MV (paper)"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Grouped aggregation shared by every column-engine plan shape.
+
+use cvr_data::queries::SsbQuery;
+use cvr_data::result::QueryOutput;
+use cvr_data::value::Value;
+use std::collections::HashMap;
+
+/// Accumulates `group key → sum` pairs.
+#[derive(Debug, Default)]
+pub struct Grouper {
+    map: HashMap<Vec<Value>, i64>,
+}
+
+impl Grouper {
+    /// Empty grouper.
+    pub fn new() -> Grouper {
+        Grouper { map: HashMap::new() }
+    }
+
+    /// Add `term` to the group `key`.
+    #[inline]
+    pub fn add(&mut self, key: Vec<Value>, term: i64) {
+        *self.map.entry(key).or_insert(0) += term;
+    }
+
+    /// Number of groups so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no groups were added.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Finish into a normalized [`QueryOutput`] under `q`'s semantics
+    /// (scalar queries over zero rows canonicalize to 0).
+    pub fn finish(self, q: &SsbQuery) -> QueryOutput {
+        if self.map.is_empty() && q.group_by.is_empty() {
+            return QueryOutput::scalar(0);
+        }
+        QueryOutput::new(self.map.into_iter().collect())
+    }
+}
+
+/// Aggregate column-major inputs: `group_cols` are aligned value arrays (one
+/// per group-by column), `terms` the per-row aggregate terms.
+pub fn aggregate_columns(
+    q: &SsbQuery,
+    group_cols: &[Vec<Value>],
+    terms: &[i64],
+) -> QueryOutput {
+    let mut g = Grouper::new();
+    for (i, &term) in terms.iter().enumerate() {
+        let key: Vec<Value> = group_cols.iter().map(|c| c[i].clone()).collect();
+        g.add(key, term);
+    }
+    g.finish(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvr_data::queries::query;
+
+    #[test]
+    fn grouper_sums() {
+        let mut g = Grouper::new();
+        g.add(vec![Value::str("a")], 1);
+        g.add(vec![Value::str("a")], 2);
+        g.add(vec![Value::str("b")], 5);
+        assert_eq!(g.len(), 2);
+        let out = g.finish(&query(2, 1));
+        assert_eq!(out.rows, vec![(vec![Value::str("a")], 3), (vec![Value::str("b")], 5)]);
+    }
+
+    #[test]
+    fn scalar_zero_for_empty() {
+        let out = Grouper::new().finish(&query(1, 1));
+        assert_eq!(out, QueryOutput::scalar(0));
+    }
+
+    #[test]
+    fn grouped_empty_stays_empty() {
+        let out = Grouper::new().finish(&query(2, 1));
+        assert!(out.rows.is_empty());
+    }
+
+    #[test]
+    fn aggregate_columns_aligns() {
+        let groups = vec![
+            vec![Value::Int(1), Value::Int(1), Value::Int(2)],
+            vec![Value::str("x"), Value::str("y"), Value::str("x")],
+        ];
+        let terms = vec![10, 20, 30];
+        let out = aggregate_columns(&query(2, 1), &groups, &terms);
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!(out.checksum(), 60);
+    }
+}

@@ -1,0 +1,166 @@
+//! Engine configuration: the four optimization knobs of Figure 7.
+//!
+//! The paper's four-letter codes name each configuration:
+//! `T` = tuple-at-a-time processing / `t` = block processing;
+//! `I` = invisible join enabled / `i` = disabled (fall back to the classic
+//! late-materialized join);
+//! `C` = compression enabled / `c` = disabled (all-plain storage);
+//! `L` = late materialization enabled / `l` = disabled (tuples constructed
+//! at the bottom of the plan, row-style execution above).
+//!
+//! `tICL` is full C-Store; `Ticl` is "a row-store that happens to read
+//! columns off disk".
+
+use std::fmt;
+
+/// One engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EngineConfig {
+    /// `t` when true (block processing), `T` when false (tuple-at-a-time).
+    pub block_iteration: bool,
+    /// `I` when true, `i` when false.
+    pub invisible_join: bool,
+    /// `C` when true, `c` when false.
+    pub compression: bool,
+    /// `L` when true, `l` when false.
+    pub late_materialization: bool,
+}
+
+impl EngineConfig {
+    /// Full C-Store: `tICL`.
+    pub const FULL: EngineConfig = EngineConfig {
+        block_iteration: true,
+        invisible_join: true,
+        compression: true,
+        late_materialization: true,
+    };
+
+    /// Everything removed: `Ticl` — the "column-store acting like a
+    /// row-store".
+    pub const STRIPPED: EngineConfig = EngineConfig {
+        block_iteration: false,
+        invisible_join: false,
+        compression: false,
+        late_materialization: false,
+    };
+
+    /// The seven configurations of Figure 7, in the paper's order:
+    /// tICL, TICL, tiCL, TiCL, ticL, TicL, Ticl.
+    pub fn figure7() -> [EngineConfig; 7] {
+        [
+            EngineConfig::parse("tICL"),
+            EngineConfig::parse("TICL"),
+            EngineConfig::parse("tiCL"),
+            EngineConfig::parse("TiCL"),
+            EngineConfig::parse("ticL"),
+            EngineConfig::parse("TicL"),
+            EngineConfig::parse("Ticl"),
+        ]
+    }
+
+    /// All sixteen combinations (for exhaustive correctness testing).
+    pub fn all() -> Vec<EngineConfig> {
+        let mut out = Vec::with_capacity(16);
+        for b in [true, false] {
+            for i in [true, false] {
+                for c in [true, false] {
+                    for l in [true, false] {
+                        out.push(EngineConfig {
+                            block_iteration: b,
+                            invisible_join: i,
+                            compression: c,
+                            late_materialization: l,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse a four-letter code such as `"tICL"`.
+    pub fn parse(code: &str) -> EngineConfig {
+        let bytes = code.as_bytes();
+        assert_eq!(bytes.len(), 4, "config code must be 4 letters, got {code:?}");
+        let letter = |i: usize, on: u8, off: u8| match bytes[i] {
+            b if b == on => true,
+            b if b == off => false,
+            b => panic!("bad config letter {:?} at {i} in {code:?}", b as char),
+        };
+        EngineConfig {
+            block_iteration: letter(0, b't', b'T'),
+            invisible_join: letter(1, b'I', b'i'),
+            compression: letter(2, b'C', b'c'),
+            late_materialization: letter(3, b'L', b'l'),
+        }
+    }
+
+    /// The four-letter code for this configuration.
+    pub fn code(&self) -> String {
+        let mut s = String::with_capacity(4);
+        s.push(if self.block_iteration { 't' } else { 'T' });
+        s.push(if self.invisible_join { 'I' } else { 'i' });
+        s.push(if self.compression { 'C' } else { 'c' });
+        s.push(if self.late_materialization { 'L' } else { 'l' });
+        s
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::FULL
+    }
+}
+
+impl fmt::Display for EngineConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.code())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for code in ["tICL", "TICL", "tiCL", "TiCL", "ticL", "TicL", "Ticl", "TIcl"] {
+            assert_eq!(EngineConfig::parse(code).code(), code);
+        }
+    }
+
+    #[test]
+    fn figure7_order() {
+        let codes: Vec<String> =
+            EngineConfig::figure7().iter().map(EngineConfig::code).collect();
+        assert_eq!(codes, ["tICL", "TICL", "tiCL", "TiCL", "ticL", "TicL", "Ticl"]);
+    }
+
+    #[test]
+    fn full_and_stripped() {
+        assert_eq!(EngineConfig::FULL.code(), "tICL");
+        assert_eq!(EngineConfig::STRIPPED.code(), "Ticl");
+        assert_eq!(EngineConfig::default(), EngineConfig::FULL);
+    }
+
+    #[test]
+    fn all_sixteen_unique() {
+        let all = EngineConfig::all();
+        assert_eq!(all.len(), 16);
+        let codes: std::collections::HashSet<String> =
+            all.iter().map(EngineConfig::code).collect();
+        assert_eq!(codes.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad config letter")]
+    fn parse_rejects_bad_letters() {
+        EngineConfig::parse("xICL");
+    }
+
+    #[test]
+    #[should_panic(expected = "4 letters")]
+    fn parse_rejects_bad_length() {
+        EngineConfig::parse("tIC");
+    }
+}

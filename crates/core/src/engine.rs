@@ -1,0 +1,89 @@
+//! The column engine facade: one entry point over every plan shape.
+
+use crate::config::EngineConfig;
+use crate::projection::CStoreDb;
+use crate::{em, invisible, lmjoin};
+use cvr_data::gen::SsbTables;
+use cvr_data::queries::SsbQuery;
+use cvr_data::result::QueryOutput;
+use cvr_storage::io::IoSession;
+use std::sync::Arc;
+
+/// A built column engine holding both compression variants of the storage,
+/// dispatching each query to the plan shape its [`EngineConfig`] selects:
+///
+/// * `L` + `I` → the [`invisible`] join;
+/// * `L` + `i` → the classic [`lmjoin`] (late-materialized hash join);
+/// * `l` → [`em`] (tuples constructed at the scan, row-style execution).
+pub struct ColumnEngine {
+    compressed: CStoreDb,
+    plain: CStoreDb,
+}
+
+impl ColumnEngine {
+    /// Build both storage variants over `tables`.
+    pub fn new(tables: Arc<SsbTables>) -> ColumnEngine {
+        ColumnEngine {
+            compressed: CStoreDb::build(tables.clone(), true),
+            plain: CStoreDb::build(tables, false),
+        }
+    }
+
+    /// The storage serving `config`.
+    pub fn db(&self, config: EngineConfig) -> &CStoreDb {
+        if config.compression {
+            &self.compressed
+        } else {
+            &self.plain
+        }
+    }
+
+    /// Execute `q` under `config`.
+    pub fn execute(&self, q: &SsbQuery, config: EngineConfig, io: &IoSession) -> QueryOutput {
+        let db = self.db(config);
+        if !config.late_materialization {
+            em::execute(db, q, config, io)
+        } else if config.invisible_join {
+            invisible::execute(db, q, config, io)
+        } else {
+            lmjoin::execute(db, q, config, io)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvr_data::gen::SsbConfig;
+    use cvr_data::queries::all_queries;
+    use cvr_data::reference;
+
+    #[test]
+    fn all_sixteen_configs_match_reference() {
+        let tables = Arc::new(SsbConfig { sf: 0.0015, seed: 53 }.generate());
+        let engine = ColumnEngine::new(tables.clone());
+        let io = IoSession::unmetered();
+        for q in all_queries() {
+            let expected = reference::evaluate(&tables, &q);
+            for cfg in EngineConfig::all() {
+                assert_eq!(
+                    engine.execute(&q, cfg, &io),
+                    expected,
+                    "config {} disagrees on {}",
+                    cfg.code(),
+                    q.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_storage_is_smaller() {
+        let tables = Arc::new(SsbConfig { sf: 0.002, seed: 59 }.generate());
+        let engine = ColumnEngine::new(tables);
+        assert!(
+            engine.db(EngineConfig::FULL).fact_bytes()
+                < engine.db(EngineConfig::parse("tIcL")).fact_bytes()
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Positional value extraction — the materialization half of late
+//! materialization.
+//!
+//! Once predicates have produced a position list, the surviving plan needs
+//! actual values: measure columns at fact positions (ascending — cheap,
+//! page-local) and dimension attributes at foreign-key-derived positions
+//! (arbitrary order — the "out-of-order extraction" cost the invisible join
+//! is designed to minimize, Section 5.4).
+
+use crate::poslist::PosList;
+use cvr_data::value::Value;
+use cvr_storage::column::StoredColumn;
+use cvr_storage::encode::{Column, IntColumn, StrColumn};
+use cvr_storage::io::IoSession;
+
+/// Gather integer values at the (ascending) positions of `pos`.
+///
+/// RLE columns are walked run-by-run with a cursor (positions are ascending,
+/// so this is O(positions + runs) without decompressing).
+pub fn gather_ints(col: &StoredColumn, pos: &PosList, io: &IoSession) -> Vec<i64> {
+    col.charge_gather(pos.iter(), io);
+    let int = col.column.as_int();
+    let mut out = Vec::with_capacity(pos.count() as usize);
+    match int {
+        IntColumn::Plain { values, .. } => {
+            for p in pos.iter() {
+                out.push(values[p as usize]);
+            }
+        }
+        IntColumn::Rle { runs, .. } => {
+            let mut run = 0usize;
+            for p in pos.iter() {
+                while runs[run].start + runs[run].len <= p {
+                    run += 1;
+                }
+                out.push(runs[run].value);
+            }
+        }
+    }
+    out
+}
+
+/// Gather string values (as [`Value`]s) at ascending positions.
+pub fn gather_strs(col: &StoredColumn, pos: &PosList, io: &IoSession) -> Vec<Value> {
+    col.charge_gather(pos.iter(), io);
+    match col.column.as_str() {
+        StrColumn::Plain { values, .. } => {
+            pos.iter().map(|p| Value::Str(values[p as usize].clone())).collect()
+        }
+        StrColumn::Dict { dict, codes, .. } => {
+            pos.iter().map(|p| Value::Str(dict[codes[p as usize] as usize].clone())).collect()
+        }
+    }
+}
+
+/// Gather any column at ascending positions as [`Value`]s.
+pub fn gather_values(col: &StoredColumn, pos: &PosList, io: &IoSession) -> Vec<Value> {
+    match &col.column {
+        Column::Int(_) => gather_ints(col, pos, io).into_iter().map(Value::Int).collect(),
+        Column::Str(_) => gather_strs(col, pos, io),
+    }
+}
+
+/// Extract values at *arbitrary-order* positions (dimension lookups keyed by
+/// fact order). Charges a positional gather in the given order — page
+/// re-touches resolve through the buffer pool, but the access pattern is
+/// honest.
+pub fn extract_at(col: &StoredColumn, positions: &[u32], io: &IoSession) -> Vec<Value> {
+    col.charge_gather(positions.iter().copied(), io);
+    let mut out = Vec::with_capacity(positions.len());
+    match &col.column {
+        Column::Int(int) => match int {
+            IntColumn::Plain { values, .. } => {
+                for &p in positions {
+                    out.push(Value::Int(values[p as usize]));
+                }
+            }
+            IntColumn::Rle { .. } => {
+                for &p in positions {
+                    out.push(Value::Int(int.value_at(p)));
+                }
+            }
+        },
+        Column::Str(s) => match s {
+            StrColumn::Plain { values, .. } => {
+                for &p in positions {
+                    out.push(Value::Str(values[p as usize].clone()));
+                }
+            }
+            StrColumn::Dict { dict, codes, .. } => {
+                for &p in positions {
+                    out.push(Value::Str(dict[codes[p as usize] as usize].clone()));
+                }
+            }
+        },
+    }
+    out
+}
+
+/// Decode an entire column to owned [`Value`]s (early materialization /
+/// tuple construction). Charges a full scan.
+pub fn decode_all(col: &StoredColumn, io: &IoSession) -> Vec<Value> {
+    col.charge_scan(io);
+    match &col.column {
+        Column::Int(int) => int.decode().into_iter().map(Value::Int).collect(),
+        Column::Str(s) => s.decode().into_iter().map(Value::Str).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvr_storage::encode::{IntColumn, StrColumn};
+
+    fn rle_col() -> StoredColumn {
+        let mut values = Vec::new();
+        for v in 0..20i64 {
+            values.extend(std::iter::repeat_n(v * 10, 7));
+        }
+        StoredColumn::new("c", Column::Int(IntColumn::rle(&values)))
+    }
+
+    #[test]
+    fn gather_ints_plain_and_rle_agree() {
+        let mut values = Vec::new();
+        for v in 0..20i64 {
+            values.extend(std::iter::repeat_n(v * 10, 7));
+        }
+        let plain = StoredColumn::new("c", Column::Int(IntColumn::plain(values)));
+        let rle = rle_col();
+        let pos = PosList::Explicit { positions: vec![0, 6, 7, 69, 139], universe: 140 };
+        let io = IoSession::unmetered();
+        assert_eq!(gather_ints(&plain, &pos, &io), gather_ints(&rle, &pos, &io));
+        assert_eq!(gather_ints(&rle, &pos, &io), vec![0, 0, 10, 90, 190]);
+    }
+
+    #[test]
+    fn gather_over_range() {
+        let col = rle_col();
+        let io = IoSession::unmetered();
+        let pos = PosList::Range { start: 5, end: 9, universe: 140 };
+        assert_eq!(gather_ints(&col, &pos, &io), vec![0, 0, 10, 10]);
+    }
+
+    #[test]
+    fn gather_strs_dict_and_plain_agree() {
+        let values: Vec<String> = (0..100).map(|i| format!("v{}", i % 9)).collect();
+        let plain = StoredColumn::new("c", Column::Str(StrColumn::plain(values.clone())));
+        let dict = StoredColumn::new("c", Column::Str(StrColumn::dict(&values)));
+        let pos = PosList::Explicit { positions: vec![0, 8, 9, 99], universe: 100 };
+        let io = IoSession::unmetered();
+        assert_eq!(gather_strs(&plain, &pos, &io), gather_strs(&dict, &pos, &io));
+    }
+
+    #[test]
+    fn extract_at_arbitrary_order() {
+        let col = rle_col();
+        let io = IoSession::unmetered();
+        let got = extract_at(&col, &[139, 0, 70], &io);
+        assert_eq!(got, vec![Value::Int(190), Value::Int(0), Value::Int(100)]);
+    }
+
+    #[test]
+    fn decode_all_round_trips() {
+        let col = rle_col();
+        let io = IoSession::unmetered();
+        let vals = decode_all(&col, &io);
+        assert_eq!(vals.len(), 140);
+        assert_eq!(vals[0], Value::Int(0));
+        assert_eq!(vals[139], Value::Int(190));
+        assert_eq!(io.stats().bytes_read, col.bytes());
+    }
+}

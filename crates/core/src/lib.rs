@@ -1,0 +1,58 @@
+//! # cvr-core — a C-Store-style column engine and the invisible join
+//!
+//! The paper's primary contribution, reproduced as a library:
+//!
+//! * [`projection`] — sorted projections with dictionary key reassignment
+//!   (dense dimension keys; `yyyymmdd` DATE keys kept non-dense on purpose);
+//! * [`scan`] / [`extract`] — predicate application and positional
+//!   extraction over compressed columns, each with `as_array` (block) and
+//!   `get_next` (tuple-at-a-time) interfaces;
+//! * [`poslist`] — range / bitmap / explicit position lists with
+//!   representation-preserving intersection;
+//! * [`invisible`] — the **invisible join** with runtime between-predicate
+//!   rewriting (Section 5.4);
+//! * [`lmjoin`] — the classic late-materialized join it is compared against;
+//! * [`em`] — early materialization (row-style execution over constructed
+//!   tuples);
+//! * [`row_mv`] — rows stored in a single string column ("CS (Row-MV)",
+//!   Figure 5);
+//! * [`denorm`] — pre-joined fact tables at three compression levels
+//!   (Figure 8);
+//! * [`config`] / [`engine`] — the four Figure 7 knobs (`tICL` … `Ticl`) and
+//!   the dispatching facade.
+//!
+//! ```
+//! use cvr_core::{ColumnEngine, EngineConfig};
+//! use cvr_data::{gen::SsbConfig, queries};
+//! use cvr_storage::io::IoSession;
+//! use std::sync::Arc;
+//!
+//! let tables = Arc::new(SsbConfig::with_scale(0.0005).generate());
+//! let engine = ColumnEngine::new(tables);
+//! let io = IoSession::unmetered();
+//! let full = engine.execute(&queries::query(3, 1), EngineConfig::FULL, &io);
+//! let stripped = engine.execute(&queries::query(3, 1), EngineConfig::STRIPPED, &io);
+//! assert_eq!(full, stripped); // same answer, very different cost
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod agg;
+pub mod config;
+pub mod denorm;
+pub mod em;
+pub mod engine;
+pub mod extract;
+pub mod invisible;
+pub mod lmjoin;
+pub mod poslist;
+pub mod projection;
+pub mod row_mv;
+pub mod scan;
+
+pub use config::EngineConfig;
+pub use denorm::{DenormDb, DenormVariant};
+pub use engine::ColumnEngine;
+pub use poslist::PosList;
+pub use projection::CStoreDb;
+pub use row_mv::RowMvDb;

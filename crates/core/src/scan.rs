@@ -1,0 +1,342 @@
+//! Predicate application over encoded columns → position lists.
+//!
+//! This is where three of the paper's four optimizations physically live:
+//!
+//! * **Block iteration vs tuple iteration** (Section 5.3): every scan has
+//!   two code paths — `as_array` (tight loops over native slices) and
+//!   `get_next` (one virtual call per value through a boxed iterator). The
+//!   paper notes it "only noticed a significant difference in the
+//!   performance of selection operations" when switching interfaces, which
+//!   is why the dual path lives here, in selection.
+//! * **Direct operation on compressed data** (Section 5.1): RLE columns
+//!   evaluate each predicate once per *run* and emit position ranges;
+//!   dictionary columns translate a string predicate into a code predicate
+//!   evaluated once against the (tiny) sorted dictionary, then scan codes
+//!   as integers.
+//! * **Position-list representations** (Section 5.2): results accumulate
+//!   into ranges, explicit arrays, or bitmaps depending on selectivity and
+//!   run structure.
+
+use crate::poslist::{PosList, EXPLICIT_LIMIT_DIVISOR};
+use cvr_data::queries::Pred;
+use cvr_index::bitmap::RidBitmap;
+use cvr_storage::column::StoredColumn;
+use cvr_storage::encode::{Column, IntColumn, StrColumn};
+use cvr_storage::io::IoSession;
+
+/// Accumulates ascending positions, upgrading from an explicit list to a
+/// bitmap when the result grows dense.
+pub struct PosAccumulator {
+    universe: u32,
+    limit: usize,
+    explicit: Vec<u32>,
+    bitmap: Option<RidBitmap>,
+    /// All pushes so far form one contiguous run starting at `run_start`.
+    contiguous: bool,
+    next_expected: Option<u32>,
+    run_start: u32,
+}
+
+impl PosAccumulator {
+    /// Accumulator over a column of `universe` positions.
+    pub fn new(universe: u32) -> PosAccumulator {
+        PosAccumulator {
+            universe,
+            limit: (universe / EXPLICIT_LIMIT_DIVISOR).max(64) as usize,
+            explicit: Vec::new(),
+            bitmap: None,
+            contiguous: true,
+            next_expected: None,
+            run_start: 0,
+        }
+    }
+
+    /// Append one position (must be ascending).
+    #[inline]
+    pub fn push(&mut self, pos: u32) {
+        match self.next_expected {
+            None => self.run_start = pos,
+            Some(e) if e != pos => self.contiguous = false,
+            _ => {}
+        }
+        self.next_expected = Some(pos + 1);
+        if let Some(bm) = &mut self.bitmap {
+            bm.set(pos);
+            return;
+        }
+        self.explicit.push(pos);
+        if self.explicit.len() > self.limit {
+            let mut bm = RidBitmap::new(self.universe);
+            for &p in &self.explicit {
+                bm.set(p);
+            }
+            self.explicit.clear();
+            self.bitmap = Some(bm);
+        }
+    }
+
+    /// Append the contiguous positions `[start, end)`.
+    pub fn push_range(&mut self, start: u32, end: u32) {
+        for p in start..end {
+            self.push(p);
+        }
+    }
+
+    /// Finish into the cheapest faithful representation.
+    pub fn finish(self) -> PosList {
+        if self.contiguous {
+            if let Some(e) = self.next_expected {
+                return PosList::Range { start: self.run_start, end: e, universe: self.universe };
+            }
+            return PosList::empty(self.universe);
+        }
+        match self.bitmap {
+            Some(bm) => PosList::Bitmap(bm),
+            None => PosList::Explicit { positions: self.explicit, universe: self.universe },
+        }
+    }
+}
+
+/// Scan `col` for positions where `test(value)` holds — integer columns.
+///
+/// `block` selects the `as_array` (true) or `get_next` (false) interface.
+/// RLE columns operate run-at-a-time regardless (that *is* direct operation
+/// on compressed data; there is no per-value interface to strip without
+/// decompressing, which is what the `c` configurations do by storing plain).
+pub fn scan_int_where(
+    col: &StoredColumn,
+    test: impl Fn(i64) -> bool,
+    block: bool,
+    io: &IoSession,
+) -> PosList {
+    col.charge_scan(io);
+    let int = col.column.as_int();
+    let mut acc = PosAccumulator::new(int.len() as u32);
+    match int {
+        IntColumn::Rle { runs, .. } => {
+            for r in runs {
+                if test(r.value) {
+                    acc.push_range(r.start, r.start + r.len);
+                }
+            }
+        }
+        IntColumn::Plain { values, .. } => {
+            if block {
+                for (i, &v) in values.iter().enumerate() {
+                    if test(v) {
+                        acc.push(i as u32);
+                    }
+                }
+            } else {
+                // Tuple-at-a-time: one opaque virtual call per value
+                // (black_box prevents devirtualization, so the call cost is
+                // real, like C-Store's getNext interface).
+                let mut src: Box<dyn Iterator<Item = i64>> =
+                    Box::new(values.iter().copied());
+                let mut i = 0u32;
+                while let Some(v) = std::hint::black_box(&mut src).next() {
+                    if test(v) {
+                        acc.push(i);
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    acc.finish()
+}
+
+/// Scan a string column under `pred`.
+///
+/// Dictionary columns evaluate `pred` once per distinct value, then scan the
+/// integer codes; plain string columns evaluate `pred` per value — the cost
+/// difference Figure 8 exposes ("a predicate on the integer foreign key can
+/// be performed faster than a predicate on a string attribute").
+pub fn scan_str_pred(col: &StoredColumn, pred: &Pred, block: bool, io: &IoSession) -> PosList {
+    col.charge_scan(io);
+    let s = col.column.as_str();
+    let mut acc = PosAccumulator::new(s.len() as u32);
+    match s {
+        StrColumn::Dict { dict, codes, .. } => {
+            // Translate to code space (sorted dict ⇒ order-preserving).
+            let matches: Vec<bool> = dict.iter().map(|d| pred.matches_str(d)).collect();
+            // Contiguous code ranges are the common case for hierarchy
+            // predicates; a boolean table covers the rest at the same cost.
+            if block {
+                for (i, &c) in codes.iter().enumerate() {
+                    if matches[c as usize] {
+                        acc.push(i as u32);
+                    }
+                }
+            } else {
+                let mut src: Box<dyn Iterator<Item = u32>> = Box::new(codes.iter().copied());
+                let mut i = 0u32;
+                while let Some(c) = std::hint::black_box(&mut src).next() {
+                    if matches[c as usize] {
+                        acc.push(i);
+                    }
+                    i += 1;
+                }
+            }
+        }
+        StrColumn::Plain { values, .. } => {
+            if block {
+                for (i, v) in values.iter().enumerate() {
+                    if pred.matches_str(v) {
+                        acc.push(i as u32);
+                    }
+                }
+            } else {
+                let mut src: Box<dyn Iterator<Item = &Box<str>>> = Box::new(values.iter());
+                let mut i = 0u32;
+                while let Some(v) = std::hint::black_box(&mut src).next() {
+                    if pred.matches_str(v) {
+                        acc.push(i);
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    acc.finish()
+}
+
+/// Scan any column under a logical [`Pred`].
+pub fn scan_pred(col: &StoredColumn, pred: &Pred, block: bool, io: &IoSession) -> PosList {
+    match &col.column {
+        Column::Int(_) => scan_int_where(col, |v| pred.matches_int(v), block, io),
+        Column::Str(_) => scan_str_pred(col, pred, block, io),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvr_data::value::Value;
+    use cvr_storage::encode::{IntColumn, StrColumn};
+
+    fn int_col(values: Vec<i64>, compress: bool) -> StoredColumn {
+        let c = if compress { IntColumn::auto(values) } else { IntColumn::plain(values) };
+        StoredColumn::new("c", Column::Int(c))
+    }
+
+    fn str_col(values: Vec<String>, compress: bool) -> StoredColumn {
+        let c = if compress { StrColumn::dict(&values) } else { StrColumn::plain(values) };
+        StoredColumn::new("c", Column::Str(c))
+    }
+
+    fn reference(values: &[i64], test: impl Fn(i64) -> bool) -> Vec<u32> {
+        values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| test(v).then_some(i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn plain_scan_block_and_tuple_agree() {
+        let values: Vec<i64> = (0..10_000).map(|i| (i * 37) % 100).collect();
+        let expected = reference(&values, |v| (10..=20).contains(&v));
+        let col = int_col(values, false);
+        let io = IoSession::unmetered();
+        let a = scan_int_where(&col, |v| (10..=20).contains(&v), true, &io);
+        let b = scan_int_where(&col, |v| (10..=20).contains(&v), false, &io);
+        assert_eq!(a.to_vec(), expected);
+        assert_eq!(b.to_vec(), expected);
+    }
+
+    #[test]
+    fn rle_scan_emits_ranges() {
+        // Sorted column: one matching stretch.
+        let mut values = Vec::new();
+        for v in 0..100i64 {
+            values.extend(std::iter::repeat_n(v, 50));
+        }
+        let col = int_col(values.clone(), true);
+        assert!(col.column.as_int().is_rle());
+        let io = IoSession::unmetered();
+        let pl = scan_int_where(&col, |v| (10..=19).contains(&v), true, &io);
+        assert!(matches!(pl, PosList::Range { .. }), "sorted match must be a range");
+        assert_eq!(pl.to_vec(), reference(&values, |v| (10..=19).contains(&v)));
+    }
+
+    #[test]
+    fn rle_scan_matches_plain_scan() {
+        let mut values = Vec::new();
+        for v in 0..50i64 {
+            values.extend(std::iter::repeat_n(v % 7, 13));
+        }
+        let io = IoSession::unmetered();
+        let rle = int_col(values.clone(), true);
+        let plain = int_col(values.clone(), false);
+        let a = scan_int_where(&rle, |v| v == 3, true, &io);
+        let b = scan_int_where(&plain, |v| v == 3, true, &io);
+        assert_eq!(a.to_vec(), b.to_vec());
+    }
+
+    #[test]
+    fn dict_scan_matches_plain_scan() {
+        let values: Vec<String> = (0..5000).map(|i| format!("R{}", i % 7)).collect();
+        let pred = Pred::InSet(vec![Value::str("R2"), Value::str("R5")]);
+        let io = IoSession::unmetered();
+        let d = str_col(values.clone(), true);
+        let p = str_col(values.clone(), false);
+        for block in [true, false] {
+            let a = scan_str_pred(&d, &pred, block, &io);
+            let b = scan_str_pred(&p, &pred, block, &io);
+            assert_eq!(a.to_vec(), b.to_vec());
+            let expected =
+                (0..5000).filter(|i| matches!(i % 7, 2 | 5)).count() as u32;
+            assert_eq!(a.count(), expected);
+        }
+    }
+
+    #[test]
+    fn dense_result_becomes_bitmap() {
+        let values: Vec<i64> = (0..10_000).map(|i| i % 2).collect();
+        let col = int_col(values, false);
+        let io = IoSession::unmetered();
+        let pl = scan_int_where(&col, |v| v == 0, true, &io);
+        assert!(matches!(pl, PosList::Bitmap(_)));
+        assert_eq!(pl.count(), 5_000);
+    }
+
+    #[test]
+    fn sparse_result_stays_explicit() {
+        let values: Vec<i64> = (0..10_000).collect();
+        let col = int_col(values, false);
+        let io = IoSession::unmetered();
+        let pl = scan_int_where(&col, |v| v % 1000 == 17, true, &io);
+        assert!(matches!(pl, PosList::Explicit { .. }));
+        assert_eq!(pl.count(), 10);
+    }
+
+    #[test]
+    fn full_match_is_range() {
+        let col = int_col((0..100).collect(), false);
+        let io = IoSession::unmetered();
+        let pl = scan_int_where(&col, |_| true, true, &io);
+        assert!(matches!(pl, PosList::Range { start: 0, end: 100, .. }));
+    }
+
+    #[test]
+    fn scan_charges_column_io() {
+        let col = int_col((0..200_000).collect(), false);
+        let io = IoSession::unmetered();
+        scan_int_where(&col, |_| false, true, &io);
+        assert_eq!(io.stats().bytes_read, col.bytes());
+    }
+
+    #[test]
+    fn accumulator_contiguity() {
+        let mut acc = PosAccumulator::new(100);
+        acc.push_range(5, 10);
+        assert!(matches!(acc.finish(), PosList::Range { start: 5, end: 10, .. }));
+        let mut acc = PosAccumulator::new(100);
+        acc.push(5);
+        acc.push(7);
+        assert!(matches!(acc.finish(), PosList::Explicit { .. }));
+        let acc = PosAccumulator::new(100);
+        assert!(acc.finish().is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! A tiny proleptic-Gregorian calendar, enough to build the SSBM DATE table.
+//!
+//! The DATE dimension spans 1992-01-01 .. 1998-12-31 (the paper quotes
+//! `365 × 7` rows; the real calendar has 2557 days because 1992 and 1996 are
+//! leap years — the one-row-in-a-thousand difference is irrelevant to every
+//! experiment). Date keys use the SSB `yyyymmdd` integer format, which is
+//! *not* a dense `1..n` sequence — a property the paper leans on when
+//! describing why the invisible join's third phase must fall back to a real
+//! join for the DATE table.
+
+/// First year covered by the DATE dimension.
+pub const FIRST_YEAR: i64 = 1992;
+/// Last year covered by the DATE dimension.
+pub const LAST_YEAR: i64 = 1998;
+
+/// Day-level calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CalDate {
+    /// Four-digit year.
+    pub year: i64,
+    /// Month, 1..=12.
+    pub month: i64,
+    /// Day of month, 1..=31.
+    pub day: i64,
+}
+
+/// True when `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Number of days in `month` of `year`.
+pub fn days_in_month(year: i64, month: i64) -> i64 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// Number of days in `year`.
+pub fn days_in_year(year: i64) -> i64 {
+    if is_leap_year(year) {
+        366
+    } else {
+        365
+    }
+}
+
+impl CalDate {
+    /// SSB-style integer date key, `yyyymmdd`.
+    pub fn datekey(self) -> i64 {
+        self.year * 10_000 + self.month * 100 + self.day
+    }
+
+    /// One-based ordinal of this date within its year.
+    pub fn day_of_year(self) -> i64 {
+        (1..self.month).map(|m| days_in_month(self.year, m)).sum::<i64>() + self.day
+    }
+
+    /// Days since 1992-01-01 (the epoch of the DATE dimension), zero-based.
+    pub fn days_since_epoch(self) -> i64 {
+        (FIRST_YEAR..self.year).map(days_in_year).sum::<i64>() + self.day_of_year() - 1
+    }
+
+    /// Day of week, 1 = Monday .. 7 = Sunday (1992-01-01 was a Wednesday).
+    pub fn day_of_week(self) -> i64 {
+        // 1992-01-01 => Wednesday => 3.
+        (self.days_since_epoch() + 2) % 7 + 1
+    }
+
+    /// ISO-ish week number within the year, 1..=53 (simple `day_of_year / 7`
+    /// bucketing, which is what SSB's `dbgen` does).
+    pub fn week_of_year(self) -> i64 {
+        (self.day_of_year() - 1) / 7 + 1
+    }
+
+    /// Advance by `n` days, clamped to the end of the DATE dimension range.
+    pub fn plus_days_clamped(self, n: i64) -> CalDate {
+        let mut d = self;
+        let mut left = n;
+        while left > 0 {
+            let dim = days_in_month(d.year, d.month);
+            if d.day + left <= dim {
+                d.day += left;
+                return d;
+            }
+            left -= dim - d.day + 1;
+            d.day = 1;
+            d.month += 1;
+            if d.month > 12 {
+                d.month = 1;
+                d.year += 1;
+                if d.year > LAST_YEAR {
+                    return CalDate { year: LAST_YEAR, month: 12, day: 31 };
+                }
+            }
+        }
+        d
+    }
+}
+
+/// Every date from 1992-01-01 through 1998-12-31, in order.
+pub fn all_dates() -> Vec<CalDate> {
+    let mut out = Vec::with_capacity(2557);
+    for year in FIRST_YEAR..=LAST_YEAR {
+        for month in 1..=12 {
+            for day in 1..=days_in_month(year, month) {
+                out.push(CalDate { year, month, day });
+            }
+        }
+    }
+    out
+}
+
+/// English month name for `month` (1..=12), as used by SSB's `yearmonth`
+/// column ("Dec1997").
+pub fn month_name(month: i64) -> &'static str {
+    const NAMES: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
+    NAMES[(month - 1) as usize]
+}
+
+/// Full day-of-week name for [`CalDate::day_of_week`] output (1..=7).
+pub fn weekday_name(dow: i64) -> &'static str {
+    const NAMES: [&str; 7] =
+        ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"];
+    NAMES[(dow - 1) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leap_years_in_range() {
+        assert!(is_leap_year(1992));
+        assert!(is_leap_year(1996));
+        assert!(!is_leap_year(1993));
+        assert!(!is_leap_year(1900));
+        assert!(is_leap_year(2000));
+    }
+
+    #[test]
+    fn calendar_has_2557_days() {
+        let dates = all_dates();
+        assert_eq!(dates.len(), 2557); // 7*365 + 2 leap days
+        assert_eq!(dates[0], CalDate { year: 1992, month: 1, day: 1 });
+        assert_eq!(*dates.last().unwrap(), CalDate { year: 1998, month: 12, day: 31 });
+    }
+
+    #[test]
+    fn datekeys_strictly_increasing() {
+        let dates = all_dates();
+        for w in dates.windows(2) {
+            assert!(w[0].datekey() < w[1].datekey());
+        }
+    }
+
+    #[test]
+    fn day_of_week_anchors() {
+        // 1992-01-01 was a Wednesday; 1998-12-31 was a Thursday.
+        assert_eq!(CalDate { year: 1992, month: 1, day: 1 }.day_of_week(), 3);
+        assert_eq!(CalDate { year: 1998, month: 12, day: 31 }.day_of_week(), 4);
+    }
+
+    #[test]
+    fn day_of_year_boundaries() {
+        assert_eq!(CalDate { year: 1993, month: 1, day: 1 }.day_of_year(), 1);
+        assert_eq!(CalDate { year: 1993, month: 12, day: 31 }.day_of_year(), 365);
+        assert_eq!(CalDate { year: 1992, month: 12, day: 31 }.day_of_year(), 366);
+    }
+
+    #[test]
+    fn plus_days_clamps_at_range_end() {
+        let d = CalDate { year: 1998, month: 12, day: 20 };
+        assert_eq!(d.plus_days_clamped(5), CalDate { year: 1998, month: 12, day: 25 });
+        assert_eq!(d.plus_days_clamped(50), CalDate { year: 1998, month: 12, day: 31 });
+    }
+
+    #[test]
+    fn plus_days_crosses_month_and_year() {
+        let d = CalDate { year: 1992, month: 12, day: 30 };
+        assert_eq!(d.plus_days_clamped(3), CalDate { year: 1993, month: 1, day: 2 });
+        let feb = CalDate { year: 1992, month: 2, day: 28 };
+        assert_eq!(feb.plus_days_clamped(2), CalDate { year: 1992, month: 3, day: 1 });
+    }
+
+    #[test]
+    fn week_of_year_ranges() {
+        assert_eq!(CalDate { year: 1994, month: 1, day: 1 }.week_of_year(), 1);
+        assert_eq!(CalDate { year: 1994, month: 1, day: 7 }.week_of_year(), 1);
+        assert_eq!(CalDate { year: 1994, month: 1, day: 8 }.week_of_year(), 2);
+        assert!(CalDate { year: 1994, month: 12, day: 31 }.week_of_year() <= 53);
+    }
+}

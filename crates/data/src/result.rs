@@ -1,0 +1,105 @@
+//! Canonical query results shared by every engine.
+//!
+//! All thirteen SSBM queries return grouped integer sums. Normalizing the
+//! result shape here lets the integration tests assert *exact* equality of
+//! outputs across the row engine's five physical designs and the column
+//! engine's sixteen configurations — the study's correctness backbone.
+
+use crate::value::Value;
+
+/// One result row: group-by key values (empty for scalar aggregates) and the
+/// aggregated sum.
+pub type ResultRow = (Vec<Value>, i64);
+
+/// A normalized query result: rows sorted by group key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutput {
+    /// Sorted result rows.
+    pub rows: Vec<ResultRow>,
+}
+
+impl QueryOutput {
+    /// Normalize (sort by group key) and wrap.
+    pub fn new(mut rows: Vec<ResultRow>) -> QueryOutput {
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        QueryOutput { rows }
+    }
+
+    /// A scalar result (no group-by).
+    pub fn scalar(sum: i64) -> QueryOutput {
+        QueryOutput { rows: vec![(Vec::new(), sum)] }
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total of the aggregate column, useful as a checksum in benches.
+    pub fn checksum(&self) -> i64 {
+        self.rows.iter().map(|(_, v)| v).sum()
+    }
+
+    /// Render as an ASCII table (examples / debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (key, sum) in &self.rows {
+            for k in key {
+                out.push_str(&k.render());
+                out.push('\t');
+            }
+            out.push_str(&sum.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_rows() {
+        let out = QueryOutput::new(vec![
+            (vec![Value::Int(2)], 20),
+            (vec![Value::Int(1)], 10),
+        ]);
+        assert_eq!(out.rows[0].1, 10);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.checksum(), 30);
+    }
+
+    #[test]
+    fn scalar_result() {
+        let out = QueryOutput::scalar(42);
+        assert_eq!(out.len(), 1);
+        assert!(out.rows[0].0.is_empty());
+        assert_eq!(out.checksum(), 42);
+    }
+
+    #[test]
+    fn equality_after_normalization() {
+        let a = QueryOutput::new(vec![
+            (vec![Value::str("x")], 1),
+            (vec![Value::str("y")], 2),
+        ]);
+        let b = QueryOutput::new(vec![
+            (vec![Value::str("y")], 2),
+            (vec![Value::str("x")], 1),
+        ]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_contains_values() {
+        let out = QueryOutput::new(vec![(vec![Value::str("ASIA"), Value::Int(1997)], 5)]);
+        let s = out.render();
+        assert!(s.contains("ASIA") && s.contains("1997") && s.contains('5'));
+    }
+}

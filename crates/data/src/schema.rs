@@ -1,0 +1,275 @@
+//! The SSBM star schema (Figure 1 of the paper).
+//!
+//! A single fact table, `LINEORDER` (17 columns), references four dimension
+//! tables: `CUSTOMER`, `SUPPLIER`, `PART`, and `DATE`. Dimension hierarchies
+//! (region → nation → city; mfgr → category → brand1; year → yearmonth →
+//! date) are what make the paper's *between-predicate rewriting* widely
+//! applicable — see `cvr-core`.
+
+use crate::value::DataType;
+
+/// Definition of one column in a logical table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Lower-case column name, e.g. `"lo_orderdate"`.
+    pub name: &'static str,
+    /// Logical type.
+    pub dtype: DataType,
+}
+
+/// A logical table: name plus ordered column definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name, e.g. `"lineorder"`.
+    pub name: &'static str,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Index of `name` within this schema, panicking on unknown columns —
+    /// queries in this workspace are static, so an unknown column is a bug.
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("table {} has no column {name}", self.name))
+    }
+
+    /// Like [`TableSchema::col`] but returning `None` on unknown columns.
+    pub fn try_col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// The four dimension tables of the star schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// CUSTOMER, 30 000 × SF rows.
+    Customer,
+    /// SUPPLIER, 2 000 × SF rows.
+    Supplier,
+    /// PART, 200 000 × (1 + ⌊log2 SF⌋) rows.
+    Part,
+    /// DATE, one row per calendar day 1992–1998.
+    Date,
+}
+
+impl Dim {
+    /// All dimensions, in the fixed order used throughout the workspace.
+    pub const ALL: [Dim; 4] = [Dim::Customer, Dim::Supplier, Dim::Part, Dim::Date];
+
+    /// The LINEORDER foreign-key column referencing this dimension.
+    pub fn fact_fk_column(self) -> &'static str {
+        match self {
+            Dim::Customer => "lo_custkey",
+            Dim::Supplier => "lo_suppkey",
+            Dim::Part => "lo_partkey",
+            Dim::Date => "lo_orderdate",
+        }
+    }
+
+    /// The dimension's primary-key column.
+    pub fn key_column(self) -> &'static str {
+        match self {
+            Dim::Customer => "c_custkey",
+            Dim::Supplier => "s_suppkey",
+            Dim::Part => "p_partkey",
+            Dim::Date => "d_datekey",
+        }
+    }
+
+    /// Table name.
+    pub fn table_name(self) -> &'static str {
+        match self {
+            Dim::Customer => "customer",
+            Dim::Supplier => "supplier",
+            Dim::Part => "part",
+            Dim::Date => "date",
+        }
+    }
+
+    /// Whether the dimension's key column is a dense `1..=n` sequence.
+    ///
+    /// CUSTOMER/SUPPLIER/PART keys are dense, so the invisible join's third
+    /// phase can treat a foreign key as a direct array position. DATE keys
+    /// are `yyyymmdd` values — *not* dense — so the paper (Section 5.4.1)
+    /// performs a real join for DATE.
+    pub fn dense_keys(self) -> bool {
+        !matches!(self, Dim::Date)
+    }
+}
+
+/// The full SSBM star schema.
+#[derive(Debug, Clone)]
+pub struct StarSchema {
+    /// LINEORDER fact table schema (17 columns).
+    pub lineorder: TableSchema,
+    /// CUSTOMER dimension schema.
+    pub customer: TableSchema,
+    /// SUPPLIER dimension schema.
+    pub supplier: TableSchema,
+    /// PART dimension schema.
+    pub part: TableSchema,
+    /// DATE dimension schema.
+    pub date: TableSchema,
+}
+
+impl StarSchema {
+    /// Schema of dimension `d`.
+    pub fn dim(&self, d: Dim) -> &TableSchema {
+        match d {
+            Dim::Customer => &self.customer,
+            Dim::Supplier => &self.supplier,
+            Dim::Part => &self.part,
+            Dim::Date => &self.date,
+        }
+    }
+}
+
+fn int(name: &'static str) -> ColumnDef {
+    ColumnDef { name, dtype: DataType::Int }
+}
+
+fn str_(name: &'static str) -> ColumnDef {
+    ColumnDef { name, dtype: DataType::Str }
+}
+
+/// Build the SSBM star schema exactly as drawn in Figure 1 of the paper.
+pub fn star_schema() -> StarSchema {
+    let lineorder = TableSchema {
+        name: "lineorder",
+        columns: vec![
+            int("lo_orderkey"),
+            int("lo_linenumber"),
+            int("lo_custkey"),
+            int("lo_partkey"),
+            int("lo_suppkey"),
+            int("lo_orderdate"),
+            str_("lo_ordpriority"),
+            int("lo_shippriority"),
+            int("lo_quantity"),
+            int("lo_extendedprice"),
+            int("lo_ordtotalprice"),
+            int("lo_discount"),
+            int("lo_revenue"),
+            int("lo_supplycost"),
+            int("lo_tax"),
+            int("lo_commitdate"),
+            str_("lo_shipmode"),
+        ],
+    };
+    let customer = TableSchema {
+        name: "customer",
+        columns: vec![
+            int("c_custkey"),
+            str_("c_name"),
+            str_("c_address"),
+            str_("c_city"),
+            str_("c_nation"),
+            str_("c_region"),
+            str_("c_phone"),
+            str_("c_mktsegment"),
+        ],
+    };
+    let supplier = TableSchema {
+        name: "supplier",
+        columns: vec![
+            int("s_suppkey"),
+            str_("s_name"),
+            str_("s_address"),
+            str_("s_city"),
+            str_("s_nation"),
+            str_("s_region"),
+            str_("s_phone"),
+        ],
+    };
+    let part = TableSchema {
+        name: "part",
+        columns: vec![
+            int("p_partkey"),
+            str_("p_name"),
+            str_("p_mfgr"),
+            str_("p_category"),
+            str_("p_brand1"),
+            str_("p_color"),
+            str_("p_type"),
+            int("p_size"),
+            str_("p_container"),
+        ],
+    };
+    let date = TableSchema {
+        name: "date",
+        columns: vec![
+            int("d_datekey"),
+            str_("d_date"),
+            str_("d_dayofweek"),
+            str_("d_month"),
+            int("d_year"),
+            int("d_yearmonthnum"),
+            str_("d_yearmonth"),
+            int("d_daynuminweek"),
+            int("d_daynuminmonth"),
+            int("d_daynuminyear"),
+            int("d_monthnuminyear"),
+            int("d_weeknuminyear"),
+            str_("d_sellingseason"),
+            int("d_lastdayinweekfl"),
+            int("d_lastdayinmonthfl"),
+            int("d_holidayfl"),
+            int("d_weekdayfl"),
+        ],
+    };
+    StarSchema { lineorder, customer, supplier, part, date }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineorder_has_17_columns() {
+        assert_eq!(star_schema().lineorder.arity(), 17);
+    }
+
+    #[test]
+    fn date_has_17_columns() {
+        // "9 additional attributes" beyond the 8 drawn in Figure 1.
+        assert_eq!(star_schema().date.arity(), 17);
+    }
+
+    #[test]
+    fn col_lookup() {
+        let s = star_schema();
+        assert_eq!(s.lineorder.col("lo_orderkey"), 0);
+        assert_eq!(s.lineorder.col("lo_shipmode"), 16);
+        assert_eq!(s.customer.col("c_region"), 5);
+        assert!(s.part.try_col("nonexistent").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn col_lookup_panics_on_unknown() {
+        star_schema().supplier.col("s_nope");
+    }
+
+    #[test]
+    fn dim_metadata() {
+        assert_eq!(Dim::Customer.fact_fk_column(), "lo_custkey");
+        assert_eq!(Dim::Date.key_column(), "d_datekey");
+        assert!(Dim::Part.dense_keys());
+        assert!(!Dim::Date.dense_keys());
+        let s = star_schema();
+        for d in Dim::ALL {
+            // Every dimension key column exists in its schema.
+            s.dim(d).col(d.key_column());
+            // Every FK column exists in the fact schema.
+            s.lineorder.col(d.fact_fk_column());
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! In-memory logical tables produced by the generator.
+//!
+//! [`TableData`] is the *logical* interchange format: column-major vectors of
+//! native values. It is not an execution format — the row engine serializes
+//! it into slotted heap pages and the column engine into compressed column
+//! segments. Keeping the interchange format column-major makes both
+//! conversions cheap and keeps the generator simple.
+
+use crate::schema::TableSchema;
+use crate::value::{DataType, Row, Value};
+
+/// Column-major data for one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnData {
+    /// Integer column.
+    Int(Vec<i64>),
+    /// String column.
+    Str(Vec<String>),
+}
+
+impl ColumnData {
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical type.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Value at `row` as a [`Value`] (slow path; for tests and stitching).
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            ColumnData::Int(v) => Value::Int(v[row]),
+            ColumnData::Str(v) => Value::str(v[row].as_str()),
+        }
+    }
+
+    /// Integer slice, panicking for string columns.
+    pub fn ints(&self) -> &[i64] {
+        match self {
+            ColumnData::Int(v) => v,
+            ColumnData::Str(_) => panic!("expected int column"),
+        }
+    }
+
+    /// String slice, panicking for int columns.
+    pub fn strs(&self) -> &[String] {
+        match self {
+            ColumnData::Str(v) => v,
+            ColumnData::Int(_) => panic!("expected string column"),
+        }
+    }
+
+    /// Gather the values at `positions` into a new column.
+    pub fn gather(&self, positions: &[u32]) -> ColumnData {
+        match self {
+            ColumnData::Int(v) => {
+                ColumnData::Int(positions.iter().map(|&p| v[p as usize]).collect())
+            }
+            ColumnData::Str(v) => {
+                ColumnData::Str(positions.iter().map(|&p| v[p as usize].clone()).collect())
+            }
+        }
+    }
+}
+
+/// A complete logical table: schema plus column-major data.
+#[derive(Debug, Clone)]
+pub struct TableData {
+    /// The table's schema.
+    pub schema: TableSchema,
+    /// One [`ColumnData`] per schema column, all the same length.
+    pub columns: Vec<ColumnData>,
+}
+
+impl TableData {
+    /// Create a table, validating column count and lengths.
+    pub fn new(schema: TableSchema, columns: Vec<ColumnData>) -> Self {
+        assert_eq!(schema.arity(), columns.len(), "column count mismatch for {}", schema.name);
+        if let Some(first) = columns.first() {
+            for (i, c) in columns.iter().enumerate() {
+                assert_eq!(
+                    c.len(),
+                    first.len(),
+                    "column {} of {} has inconsistent length",
+                    schema.columns[i].name,
+                    schema.name
+                );
+                assert_eq!(
+                    c.dtype(),
+                    schema.columns[i].dtype,
+                    "column {} of {} has wrong type",
+                    schema.columns[i].name,
+                    schema.name
+                );
+            }
+        }
+        TableData { schema, columns }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, ColumnData::len)
+    }
+
+    /// Column data by name.
+    pub fn column(&self, name: &str) -> &ColumnData {
+        &self.columns[self.schema.col(name)]
+    }
+
+    /// Materialize row `i` (slow path).
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c.value(i)).collect()
+    }
+
+    /// Value at (`row`, column `name`).
+    pub fn value(&self, row: usize, name: &str) -> Value {
+        self.column(name).value(row)
+    }
+
+    /// Reorder all columns by `perm`, where `perm[new_pos] = old_pos`.
+    ///
+    /// Used by `cvr-core` to build sorted projections; returns the permuted
+    /// table, leaving `self` untouched.
+    pub fn permuted(&self, perm: &[u32]) -> TableData {
+        assert_eq!(perm.len(), self.num_rows());
+        TableData {
+            schema: self.schema.clone(),
+            columns: self.columns.iter().map(|c| c.gather(perm)).collect(),
+        }
+    }
+
+    /// Keep only the named columns, in the given order (a logical projection).
+    pub fn project(&self, names: &[&str]) -> TableData {
+        let schema = TableSchema {
+            name: self.schema.name,
+            columns: names
+                .iter()
+                .map(|n| self.schema.columns[self.schema.col(n)].clone())
+                .collect(),
+        };
+        let columns = names.iter().map(|n| self.column(n).clone()).collect();
+        TableData { schema, columns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn tiny() -> TableData {
+        let schema = TableSchema {
+            name: "t",
+            columns: vec![
+                ColumnDef { name: "a", dtype: DataType::Int },
+                ColumnDef { name: "b", dtype: DataType::Str },
+            ],
+        };
+        TableData::new(
+            schema,
+            vec![
+                ColumnData::Int(vec![10, 20, 30]),
+                ColumnData::Str(vec!["x".into(), "y".into(), "z".into()]),
+            ],
+        )
+    }
+
+    #[test]
+    fn basic_access() {
+        let t = tiny();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.value(1, "a"), Value::Int(20));
+        assert_eq!(t.value(2, "b"), Value::str("z"));
+        assert_eq!(t.row(0), vec![Value::Int(10), Value::str("x")]);
+    }
+
+    #[test]
+    fn gather_and_permute() {
+        let t = tiny();
+        let g = t.column("a").gather(&[2, 0]);
+        assert_eq!(g, ColumnData::Int(vec![30, 10]));
+        let p = t.permuted(&[2, 1, 0]);
+        assert_eq!(p.value(0, "b"), Value::str("z"));
+        assert_eq!(p.value(2, "a"), Value::Int(10));
+        // Original untouched.
+        assert_eq!(t.value(0, "a"), Value::Int(10));
+    }
+
+    #[test]
+    fn project_reorders_and_subsets() {
+        let t = tiny();
+        let p = t.project(&["b"]);
+        assert_eq!(p.schema.arity(), 1);
+        assert_eq!(p.value(0, "b"), Value::str("x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent length")]
+    fn new_validates_lengths() {
+        let schema = TableSchema {
+            name: "t",
+            columns: vec![
+                ColumnDef { name: "a", dtype: DataType::Int },
+                ColumnDef { name: "b", dtype: DataType::Int },
+            ],
+        };
+        TableData::new(
+            schema,
+            vec![ColumnData::Int(vec![1]), ColumnData::Int(vec![1, 2])],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong type")]
+    fn new_validates_types() {
+        let schema = TableSchema {
+            name: "t",
+            columns: vec![ColumnDef { name: "a", dtype: DataType::Int }],
+        };
+        TableData::new(schema, vec![ColumnData::Str(vec!["x".into()])]);
+    }
+}

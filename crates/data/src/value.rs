@@ -1,0 +1,160 @@
+//! Logical value and type model shared by both engines.
+//!
+//! The SSBM needs only two logical types: 64-bit integers (keys, dates encoded
+//! as `yyyymmdd`, quantities, prices in cents) and strings (names, regions,
+//! categories, ...). Keeping the type lattice this small keeps the operators
+//! in both engines monomorphic on their hot paths, which matters for the
+//! block-iteration experiments: the column engine works on `&[i64]` /
+//! `&[u32]` slices and only touches [`Value`] at plan boundaries.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// Logical data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer. Also used for date keys (`yyyymmdd`).
+    Int,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "int"),
+            DataType::Str => write!(f, "str"),
+        }
+    }
+}
+
+/// A single logical value.
+///
+/// `Value` is deliberately the *slow path* representation: engines use it for
+/// predicates carried in query descriptors, group keys at plan tops, and test
+/// assertions. Inner loops operate on decoded native arrays instead.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// String value.
+    Str(Box<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<Box<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// The data type of this value.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int,
+            Value::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Integer payload, panicking when the value is a string.
+    ///
+    /// Engines call this only after schema validation, so a panic here is a
+    /// planner bug, not a data error.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            Value::Str(s) => panic!("expected int value, found string {s:?}"),
+        }
+    }
+
+    /// String payload, panicking when the value is an integer.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Value::Str(s) => s,
+            Value::Int(i) => panic!("expected string value, found int {i}"),
+        }
+    }
+
+    /// Render the value without allocating for strings.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Str(s) => Cow::Borrowed(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.into())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v.into())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A materialized row: one value per projected column.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), 7);
+        assert_eq!(Value::str("ASIA").as_str(), "ASIA");
+        assert_eq!(Value::Int(7).dtype(), DataType::Int);
+        assert_eq!(Value::str("x").dtype(), DataType::Str);
+    }
+
+    #[test]
+    fn value_ordering_within_type() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::str("ASIA") < Value::str("EUROPE"));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("a"), Value::str("a"));
+        assert_eq!(Value::from(String::from("b")), Value::str("b"));
+    }
+
+    #[test]
+    fn display_and_render() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("x").to_string(), "x");
+        assert_eq!(Value::Int(42).render(), "42");
+        assert_eq!(Value::str("y").render(), "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected int")]
+    fn as_int_panics_on_str() {
+        Value::str("nope").as_int();
+    }
+
+    #[test]
+    #[should_panic(expected = "expected string")]
+    fn as_str_panics_on_int() {
+        Value::Int(1).as_str();
+    }
+}

@@ -1,0 +1,266 @@
+//! Record-id bitmaps and per-value bitmap indexes.
+//!
+//! Used in two places in the study:
+//!
+//! * the row engine's **"traditional (bitmap)"** configuration (Figure 6,
+//!   `T(B)`), where plans are biased toward bitmap-index access paths, and
+//!   per-predicate rid bitmaps are merged with bitwise AND;
+//! * position-list representations in the column engine (Section 5.2
+//!   describes "a bit string where a 1 in the ith bit indicates that the ith
+//!   value passed the predicate"); `cvr-core` reuses [`RidBitmap`] for that.
+
+use cvr_storage::io::{pages_for, FileId, IoSession, PageId, PAGE_SIZE};
+
+/// A fixed-universe bitset over record ids `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RidBitmap {
+    words: Vec<u64>,
+    len: u32,
+}
+
+impl RidBitmap {
+    /// Empty bitmap over a universe of `len` rids.
+    pub fn new(len: u32) -> RidBitmap {
+        RidBitmap { words: vec![0; (len as usize).div_ceil(64)], len }
+    }
+
+    /// Bitmap with every rid set.
+    pub fn full(len: u32) -> RidBitmap {
+        let mut b = RidBitmap::new(len);
+        for (i, w) in b.words.iter_mut().enumerate() {
+            let base = (i * 64) as u32;
+            let bits = (len.saturating_sub(base)).min(64);
+            *w = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        }
+        b
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// True when the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set `rid`.
+    #[inline]
+    pub fn set(&mut self, rid: u32) {
+        debug_assert!(rid < self.len);
+        self.words[(rid / 64) as usize] |= 1u64 << (rid % 64);
+    }
+
+    /// Test `rid`.
+    #[inline]
+    pub fn get(&self, rid: u32) -> bool {
+        self.words[(rid / 64) as usize] & (1u64 << (rid % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// In-place intersection (`self &= other`).
+    pub fn and_with(&mut self, other: &RidBitmap) {
+        assert_eq!(self.len, other.len, "bitmap universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union (`self |= other`).
+    pub fn or_with(&mut self, other: &RidBitmap) {
+        assert_eq!(self.len, other.len, "bitmap universe mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterate set rids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let base = (i * 64) as u32;
+            BitIter { word: w, base }
+        })
+    }
+
+    /// Collect set rids into a vector.
+    pub fn to_vec(&self) -> Vec<u32> {
+        let mut v = Vec::with_capacity(self.count() as usize);
+        v.extend(self.iter());
+        v
+    }
+
+    /// Build from sorted-or-not rid list.
+    pub fn from_rids(len: u32, rids: impl IntoIterator<Item = u32>) -> RidBitmap {
+        let mut b = RidBitmap::new(len);
+        for r in rids {
+            b.set(r);
+        }
+        b
+    }
+
+    /// Bytes of the raw bitmap (uncompressed).
+    pub fn bytes(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+}
+
+struct BitIter {
+    word: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros();
+        self.word &= self.word - 1;
+        Some(self.base + tz)
+    }
+}
+
+/// A bitmap index: one rid bitmap per distinct value of an integer column
+/// (string columns are indexed through their dictionary codes).
+#[derive(Debug)]
+pub struct BitmapIndex {
+    /// Sorted distinct values.
+    values: Vec<i64>,
+    /// `bitmaps[i]` holds the rids where the column equals `values[i]`.
+    bitmaps: Vec<RidBitmap>,
+    file: FileId,
+    rows: u32,
+}
+
+impl BitmapIndex {
+    /// Build over an integer column.
+    pub fn build(column: &[i64]) -> BitmapIndex {
+        let mut values: Vec<i64> = column.to_vec();
+        values.sort_unstable();
+        values.dedup();
+        let rows = column.len() as u32;
+        let mut bitmaps: Vec<RidBitmap> = values.iter().map(|_| RidBitmap::new(rows)).collect();
+        for (rid, v) in column.iter().enumerate() {
+            let idx = values.binary_search(v).unwrap();
+            bitmaps[idx].set(rid as u32);
+        }
+        BitmapIndex { values, bitmaps, file: FileId::fresh(), rows }
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total on-disk bytes of all bitmaps.
+    pub fn bytes(&self) -> u64 {
+        self.bitmaps.iter().map(RidBitmap::bytes).sum()
+    }
+
+    /// Rids matching `pred` over the indexed values, OR-ing the per-value
+    /// bitmaps that satisfy it. Charges the pages of each bitmap read.
+    pub fn select(&self, pred: impl Fn(i64) -> bool, io: &IoSession) -> RidBitmap {
+        let mut out = RidBitmap::new(self.rows);
+        let mut page_cursor = 0u32;
+        for (i, v) in self.values.iter().enumerate() {
+            let bm_pages = pages_for(self.bitmaps[i].bytes());
+            if pred(*v) {
+                for p in 0..bm_pages {
+                    io.read_page(
+                        PageId { file: self.file, page: page_cursor + p },
+                        PAGE_SIZE.min(self.bitmaps[i].bytes()),
+                    );
+                }
+                out.or_with(&self.bitmaps[i]);
+            }
+            page_cursor += bm_pages;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = RidBitmap::new(200);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(199);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(199));
+        assert!(!b.get(1) && !b.get(100));
+        assert_eq!(b.count(), 4);
+        assert_eq!(b.to_vec(), vec![0, 63, 64, 199]);
+    }
+
+    #[test]
+    fn and_or_semantics() {
+        let a = RidBitmap::from_rids(100, [1u32, 2, 3, 50]);
+        let b = RidBitmap::from_rids(100, [2u32, 3, 4, 99]);
+        let mut and = a.clone();
+        and.and_with(&b);
+        assert_eq!(and.to_vec(), vec![2, 3]);
+        let mut or = a.clone();
+        or.or_with(&b);
+        assert_eq!(or.to_vec(), vec![1, 2, 3, 4, 50, 99]);
+    }
+
+    #[test]
+    fn full_bitmap() {
+        let b = RidBitmap::full(130);
+        assert_eq!(b.count(), 130);
+        assert!(b.get(129));
+        let empty = RidBitmap::full(0);
+        assert_eq!(empty.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn mismatched_universes_panic() {
+        let mut a = RidBitmap::new(10);
+        a.and_with(&RidBitmap::new(20));
+    }
+
+    #[test]
+    fn bitmap_index_select() {
+        // Column with values 0..4 cycling over 1000 rows.
+        let col: Vec<i64> = (0..1000).map(|i| i % 5).collect();
+        let idx = BitmapIndex::build(&col);
+        assert_eq!(idx.cardinality(), 5);
+        let io = IoSession::unmetered();
+        let sel = idx.select(|v| v == 2 || v == 4, &io);
+        assert_eq!(sel.count(), 400);
+        for rid in sel.iter() {
+            assert!(col[rid as usize] == 2 || col[rid as usize] == 4);
+        }
+        // Reading 2 of 5 bitmaps charges fewer bytes than all 5.
+        assert!(io.stats().pages_read >= 2);
+    }
+
+    #[test]
+    fn bitmap_index_empty_selection() {
+        let col: Vec<i64> = (0..100).collect();
+        let idx = BitmapIndex::build(&col);
+        let io = IoSession::unmetered();
+        assert_eq!(idx.select(|_| false, &io).count(), 0);
+        assert_eq!(io.stats().pages_read, 0);
+    }
+
+    #[test]
+    fn bitmap_bytes_scale_with_cardinality() {
+        let low: Vec<i64> = (0..10_000).map(|i| i % 2).collect();
+        let high: Vec<i64> = (0..10_000).map(|i| i % 100).collect();
+        assert!(BitmapIndex::build(&high).bytes() > BitmapIndex::build(&low).bytes());
+    }
+}

@@ -1,0 +1,112 @@
+//! Bloom filter for star-join pre-filtering.
+//!
+//! Section 6.2 notes that System X "implements a star join and the optimizer
+//! will use bloom filters when it expects this will improve query
+//! performance". The row engine's hash join takes an optional bloom filter
+//! built from the build side; probes that miss the filter skip the hash
+//! table entirely.
+
+/// A classic k-hash Bloom filter over `i64` keys.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    mask: u64,
+    k: u32,
+}
+
+impl BloomFilter {
+    /// Filter sized for `expected` keys at roughly `fpp` false-positive rate
+    /// (`fpp` clamped to `[1e-6, 0.5]`).
+    pub fn new(expected: usize, fpp: f64) -> BloomFilter {
+        let fpp = fpp.clamp(1e-6, 0.5);
+        let n = expected.max(1) as f64;
+        let ln2 = std::f64::consts::LN_2;
+        let m_bits = (-(n * fpp.ln()) / (ln2 * ln2)).ceil().max(64.0);
+        // Round up to a power of two so we can mask instead of mod.
+        let m = (m_bits as u64).next_power_of_two();
+        let k = (((m as f64 / n) * ln2).round() as u32).clamp(1, 8);
+        BloomFilter { bits: vec![0; (m / 64) as usize], mask: m - 1, k }
+    }
+
+    /// Number of hash functions.
+    pub fn hashes(&self) -> u32 {
+        self.k
+    }
+
+    /// Size of the bit array in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bits.len() as u64 * 8
+    }
+
+    #[inline]
+    fn probe_positions(&self, key: i64) -> impl Iterator<Item = u64> + '_ {
+        // Kirsch–Mitzenmacher double hashing from one 128-bit mix.
+        let h = splitmix(key as u64);
+        let h1 = h;
+        let h2 = (h >> 32) | 1; // odd, so strides cover the table
+        (0..self.k as u64).map(move |i| (h1.wrapping_add(i.wrapping_mul(h2))) & self.mask)
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: i64) {
+        let positions: Vec<u64> = self.probe_positions(key).collect();
+        for p in positions {
+            self.bits[(p / 64) as usize] |= 1u64 << (p % 64);
+        }
+    }
+
+    /// True when `key` *may* be present; false means definitely absent.
+    #[inline]
+    pub fn may_contain(&self, key: i64) -> bool {
+        self.probe_positions(key).all(|p| self.bits[(p / 64) as usize] & (1u64 << (p % 64)) != 0)
+    }
+}
+
+#[inline]
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(10_000, 0.01);
+        for k in 0..10_000i64 {
+            f.insert(k * 7);
+        }
+        for k in 0..10_000i64 {
+            assert!(f.may_contain(k * 7));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_reasonable() {
+        let mut f = BloomFilter::new(10_000, 0.01);
+        for k in 0..10_000i64 {
+            f.insert(k);
+        }
+        let fp = (10_000..110_000i64).filter(|&k| f.may_contain(k)).count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.05, "false positive rate too high: {rate}");
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything_mostly() {
+        let f = BloomFilter::new(100, 0.01);
+        assert!(!(0..1000i64).any(|k| f.may_contain(k)));
+    }
+
+    #[test]
+    fn sizes_scale_with_expectation() {
+        let small = BloomFilter::new(100, 0.01);
+        let large = BloomFilter::new(1_000_000, 0.01);
+        assert!(large.bytes() > small.bytes());
+        assert!(small.hashes() >= 1 && small.hashes() <= 8);
+    }
+}

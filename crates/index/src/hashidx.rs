@@ -1,0 +1,316 @@
+//! Open-addressing integer hash set/map tuned for join key probing.
+//!
+//! The invisible join's second phase probes a hash table with *every*
+//! foreign-key value of the fact table (Section 5.4.1) — tens of millions of
+//! probes — and the row engine's hash joins do the same. `std::collections`
+//! uses SipHash, whose per-probe cost would dominate and distort the CPU
+//! measurements, so we use a local multiply-shift hash with linear probing
+//! (the `rustc-hash` approach, implemented here to stay within the allowed
+//! dependency set).
+
+const EMPTY: i64 = i64::MIN;
+
+#[inline]
+fn hash(key: i64, mask: usize) -> usize {
+    // Fibonacci hashing: multiply by 2^64/φ and take the high bits.
+    let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 32) as usize & mask
+}
+
+/// A set of `i64` keys (keys must not equal `i64::MIN`).
+#[derive(Debug, Clone)]
+pub struct IntHashSet {
+    slots: Vec<i64>,
+    mask: usize,
+    len: usize,
+}
+
+impl IntHashSet {
+    /// Set sized for `capacity` keys at ≤ 50% load.
+    pub fn with_capacity(capacity: usize) -> IntHashSet {
+        let slots = (capacity.max(4) * 2).next_power_of_two();
+        IntHashSet { slots: vec![EMPTY; slots], mask: slots - 1, len: 0 }
+    }
+
+    /// Build from an iterator.
+    pub fn from_keys(keys: impl IntoIterator<Item = i64>) -> IntHashSet {
+        let keys: Vec<i64> = keys.into_iter().collect();
+        let mut s = IntHashSet::with_capacity(keys.len());
+        for k in keys {
+            s.insert(k);
+        }
+        s
+    }
+
+    /// Insert `key`; returns true when newly added.
+    pub fn insert(&mut self, key: i64) -> bool {
+        assert!(key != EMPTY, "i64::MIN is reserved");
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mut i = hash(key, self.mask);
+        loop {
+            let slot = self.slots[i];
+            if slot == EMPTY {
+                self.slots[i] = key;
+                self.len += 1;
+                return true;
+            }
+            if slot == key {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Membership probe — the invisible-join hot path.
+    #[inline]
+    pub fn contains(&self, key: i64) -> bool {
+        let mut i = hash(key, self.mask);
+        loop {
+            let slot = self.slots[i];
+            if slot == key {
+                return true;
+            }
+            if slot == EMPTY {
+                return false;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.slots.len() as u64 * 8
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY; new_len]);
+        self.mask = self.slots.len() - 1;
+        self.len = 0;
+        for k in old {
+            if k != EMPTY {
+                self.insert(k);
+            }
+        }
+    }
+}
+
+/// A map from `i64` keys to `u32` payloads (e.g. dimension key → row
+/// position). Keys must not equal `i64::MIN`; duplicate inserts keep the
+/// first payload.
+#[derive(Debug, Clone)]
+pub struct IntHashMap {
+    keys: Vec<i64>,
+    vals: Vec<u32>,
+    mask: usize,
+    len: usize,
+}
+
+impl IntHashMap {
+    /// Map sized for `capacity` keys at ≤ 50% load.
+    pub fn with_capacity(capacity: usize) -> IntHashMap {
+        let slots = (capacity.max(4) * 2).next_power_of_two();
+        IntHashMap { keys: vec![EMPTY; slots], vals: vec![0; slots], mask: slots - 1, len: 0 }
+    }
+
+    /// Build from `(key, value)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (i64, u32)>) -> IntHashMap {
+        let pairs: Vec<(i64, u32)> = pairs.into_iter().collect();
+        let mut m = IntHashMap::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            m.insert(k, v);
+        }
+        m
+    }
+
+    /// Insert; keeps the existing payload when `key` is present.
+    pub fn insert(&mut self, key: i64, val: u32) {
+        assert!(key != EMPTY, "i64::MIN is reserved");
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mut i = hash(key, self.mask);
+        loop {
+            let slot = self.keys[i];
+            if slot == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            if slot == key {
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Insert or overwrite the payload for `key`.
+    pub fn upsert(&mut self, key: i64, val: u32) {
+        assert!(key != EMPTY, "i64::MIN is reserved");
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mut i = hash(key, self.mask);
+        loop {
+            let slot = self.keys[i];
+            if slot == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            if slot == key {
+                self.vals[i] = val;
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Lookup — hot path.
+    #[inline]
+    pub fn get(&self, key: i64) -> Option<u32> {
+        let mut i = hash(key, self.mask);
+        loop {
+            let slot = self.keys[i];
+            if slot == key {
+                return Some(self.vals[i]);
+            }
+            if slot == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.keys.len() as u64 * 12
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_len]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0; new_len]);
+        self.mask = self.keys.len() - 1;
+        self.len = 0;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k != EMPTY {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn set_insert_contains() {
+        let mut s = IntHashSet::with_capacity(4);
+        assert!(s.insert(10));
+        assert!(!s.insert(10));
+        assert!(s.insert(-5));
+        assert!(s.contains(10) && s.contains(-5));
+        assert!(!s.contains(11));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn set_grows_correctly() {
+        let mut s = IntHashSet::with_capacity(2);
+        for k in 0..10_000i64 {
+            s.insert(k * 3 - 5_000);
+        }
+        assert_eq!(s.len(), 10_000);
+        for k in 0..10_000i64 {
+            assert!(s.contains(k * 3 - 5_000));
+            assert!(!s.contains(k * 3 - 5_000 + 1));
+        }
+    }
+
+    #[test]
+    fn set_matches_std_on_random_input() {
+        let mut rng_state = 12345u64;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng_state >> 16) as i64 % 1000
+        };
+        let mut ours = IntHashSet::with_capacity(8);
+        let mut std = HashSet::new();
+        for _ in 0..5_000 {
+            let k = next();
+            assert_eq!(ours.insert(k), std.insert(k));
+        }
+        for k in -1100..1100 {
+            assert_eq!(ours.contains(k), std.contains(&k));
+        }
+    }
+
+    #[test]
+    fn map_insert_get() {
+        let m = IntHashMap::from_pairs([(19970101, 7u32), (19970102, 8)]);
+        assert_eq!(m.get(19970101), Some(7));
+        assert_eq!(m.get(19970102), Some(8));
+        assert_eq!(m.get(19970103), None);
+    }
+
+    #[test]
+    fn map_keeps_first_payload() {
+        let mut m = IntHashMap::with_capacity(4);
+        m.insert(1, 100);
+        m.insert(1, 200);
+        assert_eq!(m.get(1), Some(100));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn map_matches_std_on_random_input() {
+        let mut rng_state = 99u64;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng_state >> 16) as i64 % 5000
+        };
+        let mut ours = IntHashMap::with_capacity(8);
+        let mut std: HashMap<i64, u32> = HashMap::new();
+        for i in 0..20_000u32 {
+            let k = next();
+            ours.insert(k, i);
+            std.entry(k).or_insert(i);
+        }
+        for k in -100..5100 {
+            assert_eq!(ours.get(k), std.get(&k).copied(), "key {k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn min_key_rejected() {
+        IntHashSet::with_capacity(4).insert(i64::MIN);
+    }
+}

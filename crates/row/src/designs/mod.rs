@@ -1,0 +1,113 @@
+//! The five row-store physical designs of Section 4 / Figure 6.
+//!
+//! | Code  | Design                     | Type            |
+//! |-------|----------------------------|-----------------|
+//! | T     | traditional                | [`TraditionalDb`] (`execute`) |
+//! | T(B)  | traditional, bitmap-biased | [`TraditionalDb`] (`execute_bitmap`) |
+//! | MV    | materialized views         | [`MvDb`] |
+//! | VP    | vertical partitioning      | [`VpDb`] |
+//! | AI    | index-only ("all indexes") | [`AiDb`] |
+//!
+//! [`RowDesign`] + [`RowDb`] give the benchmark harness a uniform way to
+//! build and run any of them.
+
+pub mod ai;
+pub mod common;
+pub mod mv;
+pub mod traditional;
+pub mod vp;
+pub mod vp_super;
+
+pub use ai::{AiColumns, AiDb};
+pub use mv::MvDb;
+pub use traditional::{TraditionalDb, TraditionalOptions};
+pub use vp::VpDb;
+pub use vp_super::SuperVpDb;
+
+use cvr_data::gen::SsbTables;
+use cvr_data::queries::SsbQuery;
+use cvr_data::result::QueryOutput;
+use cvr_storage::io::IoSession;
+use std::sync::Arc;
+
+/// The five design codes used in Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowDesign {
+    /// `T` — traditional row tables, orderdate-partitioned.
+    Traditional,
+    /// `T(B)` — traditional with plans biased to bitmap access paths.
+    TraditionalBitmap,
+    /// `MV` — per-flight materialized views.
+    MaterializedViews,
+    /// `VP` — full vertical partitioning.
+    VerticalPartitioning,
+    /// `AI` — index-only plans.
+    IndexOnly,
+}
+
+impl RowDesign {
+    /// All designs, in Figure 6 column order.
+    pub const ALL: [RowDesign; 5] = [
+        RowDesign::Traditional,
+        RowDesign::TraditionalBitmap,
+        RowDesign::MaterializedViews,
+        RowDesign::VerticalPartitioning,
+        RowDesign::IndexOnly,
+    ];
+
+    /// The label used in Figure 6.
+    pub fn label(self) -> &'static str {
+        match self {
+            RowDesign::Traditional => "T",
+            RowDesign::TraditionalBitmap => "T(B)",
+            RowDesign::MaterializedViews => "MV",
+            RowDesign::VerticalPartitioning => "VP",
+            RowDesign::IndexOnly => "AI",
+        }
+    }
+}
+
+/// A built design, ready to execute queries.
+pub enum RowDb {
+    /// Traditional (serves both `T` and, when built with bitmap indexes,
+    /// `T(B)`).
+    Traditional(TraditionalDb),
+    /// Bitmap-biased traditional.
+    TraditionalBitmap(TraditionalDb),
+    /// Materialized views.
+    Mv(MvDb),
+    /// Vertical partitioning.
+    Vp(VpDb),
+    /// Index-only.
+    Ai(AiDb),
+}
+
+impl RowDb {
+    /// Build `design` over `tables`.
+    pub fn build(tables: Arc<SsbTables>, design: RowDesign) -> RowDb {
+        match design {
+            RowDesign::Traditional => RowDb::Traditional(TraditionalDb::build(
+                tables,
+                TraditionalOptions { partitioned: true, bitmap_indexes: false, use_bloom: true },
+            )),
+            RowDesign::TraditionalBitmap => RowDb::TraditionalBitmap(TraditionalDb::build(
+                tables,
+                TraditionalOptions { partitioned: true, bitmap_indexes: true, use_bloom: true },
+            )),
+            RowDesign::MaterializedViews => RowDb::Mv(MvDb::build(tables)),
+            RowDesign::VerticalPartitioning => RowDb::Vp(VpDb::build(tables)),
+            RowDesign::IndexOnly => RowDb::Ai(AiDb::build(tables, AiColumns::QueryNeeded)),
+        }
+    }
+
+    /// Execute one benchmark query.
+    pub fn execute(&self, q: &SsbQuery, io: &IoSession) -> QueryOutput {
+        match self {
+            RowDb::Traditional(db) => db.execute(q, io),
+            RowDb::TraditionalBitmap(db) => db.execute_bitmap(q, io),
+            RowDb::Mv(db) => db.execute(q, io),
+            RowDb::Vp(db) => db.execute(q, io),
+            RowDb::Ai(db) => db.execute(q, io),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Runtime tuples and operator schemas for the Volcano engine.
+//!
+//! A [`Tuple`] is a heap-allocated vector of [`Value`]s — one allocation per
+//! row, passed operator-to-operator through virtual `next()` calls. That is
+//! deliberate: the paper's Section 5.3 attributes much of the row-store's CPU
+//! cost to exactly this tuple-at-a-time interface, and this engine exists to
+//! exhibit row-store behaviour, not to beat it.
+
+use cvr_data::value::Value;
+
+/// A materialized row flowing between operators.
+pub type Tuple = Vec<Value>;
+
+/// Names of the columns an operator produces, in output order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpSchema {
+    cols: Vec<String>,
+}
+
+impl OpSchema {
+    /// Schema from column names.
+    pub fn new<S: Into<String>>(cols: impl IntoIterator<Item = S>) -> OpSchema {
+        OpSchema { cols: cols.into_iter().map(Into::into).collect() }
+    }
+
+    /// Index of `name`, panicking when absent (plan-construction bug).
+    pub fn idx(&self, name: &str) -> usize {
+        self.cols
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("operator schema {:?} has no column {name}", self.cols))
+    }
+
+    /// Index of `name`, or `None`.
+    pub fn try_idx(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|c| c == name)
+    }
+
+    /// Column names.
+    pub fn cols(&self) -> &[String] {
+        &self.cols
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// New schema = `self` ++ `other` (hash-join output shape).
+    pub fn concat(&self, other: &OpSchema) -> OpSchema {
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        OpSchema { cols }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_lookup() {
+        let s = OpSchema::new(["a", "b", "c"]);
+        assert_eq!(s.idx("b"), 1);
+        assert_eq!(s.try_idx("z"), None);
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn idx_panics_on_missing() {
+        OpSchema::new(["a"]).idx("b");
+    }
+
+    #[test]
+    fn concat_schemas() {
+        let s = OpSchema::new(["a"]).concat(&OpSchema::new(["b", "c"]));
+        assert_eq!(s.cols(), &["a".to_string(), "b".into(), "c".into()]);
+    }
+}

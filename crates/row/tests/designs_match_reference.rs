@@ -1,0 +1,80 @@
+//! Every row-store physical design must produce identical results to the
+//! brute-force reference evaluator, for all thirteen SSBM queries.
+
+use cvr_data::gen::SsbConfig;
+use cvr_data::queries::all_queries;
+use cvr_data::reference;
+use cvr_row::designs::{RowDb, RowDesign};
+use cvr_storage::io::{BufferPool, IoSession, PAGE_SIZE};
+use std::sync::Arc;
+
+fn check_design(design: RowDesign) {
+    let tables = Arc::new(SsbConfig { sf: 0.002, seed: 31 }.generate());
+    let db = RowDb::build(tables.clone(), design);
+    let io = IoSession::unmetered();
+    for q in all_queries() {
+        let expected = reference::evaluate(&tables, &q);
+        let got = db.execute(&q, &io);
+        assert_eq!(got, expected, "{} disagrees on {}", design.label(), q.id);
+    }
+}
+
+#[test]
+fn traditional_matches_reference() {
+    check_design(RowDesign::Traditional);
+}
+
+#[test]
+fn traditional_bitmap_matches_reference() {
+    check_design(RowDesign::TraditionalBitmap);
+}
+
+#[test]
+fn materialized_views_match_reference() {
+    check_design(RowDesign::MaterializedViews);
+}
+
+#[test]
+fn vertical_partitioning_matches_reference() {
+    check_design(RowDesign::VerticalPartitioning);
+}
+
+#[test]
+fn index_only_matches_reference() {
+    check_design(RowDesign::IndexOnly);
+}
+
+#[test]
+fn results_stable_under_small_buffer_pool() {
+    // A bounded pool changes I/O accounting, never results.
+    let tables = Arc::new(SsbConfig { sf: 0.001, seed: 5 }.generate());
+    let db = RowDb::build(tables.clone(), RowDesign::Traditional);
+    let small = IoSession::new(BufferPool::new(4 * PAGE_SIZE));
+    let big = IoSession::unmetered();
+    for q in all_queries() {
+        assert_eq!(db.execute(&q, &small), db.execute(&q, &big), "{}", q.id);
+    }
+    assert!(small.stats().pages_read >= big.stats().pages_read);
+}
+
+#[test]
+fn io_ordering_mv_below_traditional() {
+    // The MV design's whole advantage is bytes: it must read less than the
+    // traditional design for every query.
+    let tables = Arc::new(SsbConfig { sf: 0.002, seed: 31 }.generate());
+    let t = RowDb::build(tables.clone(), RowDesign::Traditional);
+    let mv = RowDb::build(tables.clone(), RowDesign::MaterializedViews);
+    for q in all_queries() {
+        let io_t = IoSession::new(BufferPool::new(8 * PAGE_SIZE));
+        t.execute(&q, &io_t);
+        let io_mv = IoSession::new(BufferPool::new(8 * PAGE_SIZE));
+        mv.execute(&q, &io_mv);
+        assert!(
+            io_mv.stats().bytes_read <= io_t.stats().bytes_read,
+            "{}: MV read {} vs T {}",
+            q.id,
+            io_mv.stats().bytes_read,
+            io_t.stats().bytes_read
+        );
+    }
+}

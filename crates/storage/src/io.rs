@@ -1,0 +1,380 @@
+//! Metered, simulated disk I/O.
+//!
+//! The paper's experiments ran on a 4-disk array with 160–200 MB/s aggregate
+//! sequential bandwidth, and most of its row-store results are I/O-bound.
+//! Real disks are not available (or controllable) in this environment, so we
+//! substitute a *metered page store*: tables are serialized into 32 KB pages
+//! held in memory, every page that crosses the buffer pool is counted in
+//! [`IoStats`], and a [`DiskModel`] converts the counts into modeled I/O
+//! time. Queries then report `measured CPU time + modeled I/O time`, which
+//! preserves the paper's I/O-vs-CPU cost structure (see DESIGN.md §4).
+//!
+//! Sequential vs random access matters to several experiments (index plans
+//! pay seeks; heap scans do not), so [`IoSession`] detects non-consecutive
+//! page misses per file and counts them as seeks.
+
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Size of one disk page: 32 KB, the System X configuration in Section 6.2.
+pub const PAGE_SIZE: u64 = 32 * 1024;
+
+/// Number of pages needed to hold `bytes`.
+pub fn pages_for(bytes: u64) -> u32 {
+    bytes.div_ceil(PAGE_SIZE).max(1) as u32
+}
+
+/// Identifier of a stored file (heap file, column segment, index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+impl FileId {
+    /// Allocate a fresh file id (process-wide unique).
+    pub fn fresh() -> FileId {
+        FileId(NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Identifier of one page within a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PageId {
+    /// Owning file.
+    pub file: FileId,
+    /// Zero-based page number.
+    pub page: u32,
+}
+
+/// The disk performance model used to convert [`IoStats`] into time.
+#[derive(Debug, Clone, Copy)]
+pub struct DiskModel {
+    /// Sequential bandwidth, bytes per second. Default 200 MB/s — the upper
+    /// end of the paper's "160 - 200 MB/sec in aggregate for striped files".
+    pub seq_bandwidth: f64,
+    /// Latency charged per seek (non-sequential page miss). Default 4 ms.
+    pub seek_latency: Duration,
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        DiskModel { seq_bandwidth: 200.0 * 1024.0 * 1024.0, seek_latency: Duration::from_millis(4) }
+    }
+}
+
+impl DiskModel {
+    /// Modeled time to perform the accesses recorded in `stats`.
+    pub fn io_time(&self, stats: &IoStats) -> Duration {
+        let transfer = Duration::from_secs_f64(stats.bytes_read as f64 / self.seq_bandwidth);
+        transfer + self.seek_latency * stats.seeks as u32
+    }
+}
+
+/// Counters of simulated disk traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Pages fetched from "disk" (buffer-pool misses).
+    pub pages_read: u64,
+    /// Bytes fetched from "disk".
+    pub bytes_read: u64,
+    /// Non-sequential page fetches.
+    pub seeks: u64,
+    /// Buffer-pool hits (not charged).
+    pub pool_hits: u64,
+}
+
+impl IoStats {
+    /// Accumulate another stats block into this one.
+    pub fn add(&mut self, other: &IoStats) {
+        self.pages_read += other.pages_read;
+        self.bytes_read += other.bytes_read;
+        self.seeks += other.seeks;
+        self.pool_hits += other.pool_hits;
+    }
+}
+
+/// A fixed-capacity buffer pool with CLOCK eviction.
+///
+/// The pool only tracks *which* pages are resident (the bytes themselves stay
+/// in the owning table object); its job is deciding whether an access is a
+/// hit (free) or a miss (charged to the session's [`IoStats`]). A capacity of
+/// `u64::MAX` (see [`BufferPool::unbounded`]) makes every re-access free,
+/// modeling a fully warm cache.
+#[derive(Debug)]
+pub struct BufferPool {
+    inner: Mutex<PoolInner>,
+    capacity_pages: usize,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    /// page -> slot index in `frames`.
+    map: HashMap<PageId, usize>,
+    /// Resident pages with their reference bit.
+    frames: Vec<(PageId, bool)>,
+    /// CLOCK hand.
+    hand: usize,
+}
+
+impl BufferPool {
+    /// Pool holding at most `capacity_bytes` of pages.
+    pub fn new(capacity_bytes: u64) -> Arc<BufferPool> {
+        let capacity_pages = (capacity_bytes / PAGE_SIZE).max(1) as usize;
+        Arc::new(BufferPool {
+            inner: Mutex::new(PoolInner {
+                map: HashMap::with_capacity(capacity_pages.min(1 << 20)),
+                frames: Vec::new(),
+                hand: 0,
+            }),
+            capacity_pages,
+        })
+    }
+
+    /// Pool that never evicts — models data fully resident in memory.
+    pub fn unbounded() -> Arc<BufferPool> {
+        Arc::new(BufferPool {
+            inner: Mutex::new(PoolInner { map: HashMap::new(), frames: Vec::new(), hand: 0 }),
+            capacity_pages: usize::MAX,
+        })
+    }
+
+    /// Record an access to `page`; returns `true` on a pool hit.
+    pub fn access(&self, page: PageId) -> bool {
+        let mut inner = self.inner.lock();
+        if let Some(&slot) = inner.map.get(&page) {
+            inner.frames[slot].1 = true;
+            return true;
+        }
+        // Miss: admit, evicting via CLOCK when full.
+        if inner.frames.len() < self.capacity_pages {
+            inner.frames.push((page, true));
+            let slot = inner.frames.len() - 1;
+            inner.map.insert(page, slot);
+        } else {
+            loop {
+                let hand = inner.hand;
+                let (victim, referenced) = inner.frames[hand];
+                if referenced {
+                    inner.frames[hand].1 = false;
+                    inner.hand = (hand + 1) % self.capacity_pages.max(1);
+                } else {
+                    inner.map.remove(&victim);
+                    inner.frames[hand] = (page, true);
+                    inner.map.insert(page, hand);
+                    inner.hand = (hand + 1) % self.capacity_pages.max(1);
+                    break;
+                }
+            }
+        }
+        false
+    }
+
+    /// Drop every resident page (a "cold cache" reset between experiments).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.frames.clear();
+        inner.hand = 0;
+    }
+
+    /// Number of currently resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+}
+
+/// Per-query I/O accounting handle.
+///
+/// Cheap to create; not `Sync` (one per executing query). All storage and
+/// index access paths take `&IoSession` and charge their page touches here.
+pub struct IoSession {
+    pool: Arc<BufferPool>,
+    stats: Cell<IoStats>,
+    /// Last page fetched per file, for sequentiality detection.
+    last_fetch: Cell<Option<PageId>>,
+}
+
+impl IoSession {
+    /// New session over `pool`.
+    pub fn new(pool: Arc<BufferPool>) -> IoSession {
+        IoSession { pool, stats: Cell::new(IoStats::default()), last_fetch: Cell::new(None) }
+    }
+
+    /// Convenience: session over a fresh unbounded pool (tests).
+    pub fn unmetered() -> IoSession {
+        IoSession::new(BufferPool::unbounded())
+    }
+
+    /// Touch `page` whose on-disk size is `bytes` (≤ [`PAGE_SIZE`]; the last
+    /// page of a file may be short).
+    pub fn read_page(&self, page: PageId, bytes: u64) {
+        let mut stats = self.stats.get();
+        if self.pool.access(page) {
+            stats.pool_hits += 1;
+        } else {
+            stats.pages_read += 1;
+            stats.bytes_read += bytes;
+            let sequential = matches!(
+                self.last_fetch.get(),
+                Some(prev) if prev.file == page.file && page.page == prev.page.wrapping_add(1)
+            );
+            if !sequential {
+                stats.seeks += 1;
+            }
+            self.last_fetch.set(Some(page));
+        }
+        self.stats.set(stats);
+    }
+
+    /// Sequentially touch pages `[0, n)` of `file`, `total_bytes` long.
+    pub fn read_file_sequential(&self, file: FileId, total_bytes: u64) {
+        let n = pages_for(total_bytes);
+        let mut remaining = total_bytes;
+        for p in 0..n {
+            let bytes = remaining.min(PAGE_SIZE);
+            self.read_page(PageId { file, page: p }, bytes);
+            remaining -= bytes;
+        }
+    }
+
+    /// Stats accumulated so far.
+    pub fn stats(&self) -> IoStats {
+        self.stats.get()
+    }
+
+    /// Reset and return the accumulated stats.
+    pub fn take_stats(&self) -> IoStats {
+        let s = self.stats.get();
+        self.stats.set(IoStats::default());
+        self.last_fetch.set(None);
+        s
+    }
+
+    /// The underlying pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(file: u64, page: u32) -> PageId {
+        PageId { file: FileId(file), page }
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(PAGE_SIZE), 1);
+        assert_eq!(pages_for(PAGE_SIZE + 1), 2);
+        assert_eq!(pages_for(0), 1); // every object occupies at least a page
+    }
+
+    #[test]
+    fn session_charges_misses_only() {
+        let pool = BufferPool::new(10 * PAGE_SIZE);
+        let s = IoSession::new(pool);
+        s.read_page(page(1, 0), PAGE_SIZE);
+        s.read_page(page(1, 0), PAGE_SIZE);
+        let stats = s.stats();
+        assert_eq!(stats.pages_read, 1);
+        assert_eq!(stats.pool_hits, 1);
+        assert_eq!(stats.bytes_read, PAGE_SIZE);
+    }
+
+    #[test]
+    fn sequential_scan_counts_one_seek() {
+        let pool = BufferPool::new(100 * PAGE_SIZE);
+        let s = IoSession::new(pool);
+        s.read_file_sequential(FileId(7), 10 * PAGE_SIZE);
+        let stats = s.stats();
+        assert_eq!(stats.pages_read, 10);
+        assert_eq!(stats.seeks, 1); // only the initial positioning
+    }
+
+    #[test]
+    fn random_access_counts_seeks() {
+        let pool = BufferPool::new(100 * PAGE_SIZE);
+        let s = IoSession::new(pool);
+        for p in [0u32, 5, 2, 9] {
+            s.read_page(page(3, p), PAGE_SIZE);
+        }
+        assert_eq!(s.stats().seeks, 4);
+    }
+
+    #[test]
+    fn clock_evicts_when_full() {
+        let pool = BufferPool::new(2 * PAGE_SIZE); // 2 frames
+        let s = IoSession::new(pool.clone());
+        s.read_page(page(1, 0), PAGE_SIZE);
+        s.read_page(page(1, 1), PAGE_SIZE);
+        s.read_page(page(1, 2), PAGE_SIZE); // evicts something
+        assert_eq!(pool.resident_pages(), 2);
+        // Re-reading the full set of 3 can't all be hits.
+        let before = s.stats().pages_read;
+        s.read_page(page(1, 0), PAGE_SIZE);
+        s.read_page(page(1, 1), PAGE_SIZE);
+        s.read_page(page(1, 2), PAGE_SIZE);
+        assert!(s.stats().pages_read > before);
+    }
+
+    #[test]
+    fn unbounded_pool_caches_everything() {
+        let s = IoSession::unmetered();
+        for p in 0..1000 {
+            s.read_page(page(1, p), PAGE_SIZE);
+        }
+        for p in 0..1000 {
+            s.read_page(page(1, p), PAGE_SIZE);
+        }
+        let stats = s.stats();
+        assert_eq!(stats.pages_read, 1000);
+        assert_eq!(stats.pool_hits, 1000);
+    }
+
+    #[test]
+    fn disk_model_times() {
+        let m = DiskModel::default();
+        let stats = IoStats {
+            bytes_read: 200 * 1024 * 1024,
+            pages_read: 6400,
+            seeks: 0,
+            pool_hits: 0,
+        };
+        let t = m.io_time(&stats);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+        let with_seeks = IoStats { seeks: 250, ..stats };
+        assert!((m.io_time(&with_seeks).as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn take_stats_resets() {
+        let s = IoSession::unmetered();
+        s.read_page(page(1, 0), 100);
+        assert_eq!(s.take_stats().pages_read, 1);
+        assert_eq!(s.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn pool_clear() {
+        let pool = BufferPool::new(10 * PAGE_SIZE);
+        let s = IoSession::new(pool.clone());
+        s.read_page(page(1, 0), PAGE_SIZE);
+        assert_eq!(pool.resident_pages(), 1);
+        pool.clear();
+        assert_eq!(pool.resident_pages(), 0);
+    }
+
+    #[test]
+    fn file_ids_unique() {
+        let a = FileId::fresh();
+        let b = FileId::fresh();
+        assert_ne!(a, b);
+    }
+}

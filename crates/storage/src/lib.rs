@@ -1,0 +1,33 @@
+//! # cvr-storage — storage substrate for both engines
+//!
+//! The paper's experiments hinge on *where bytes live and how many of them a
+//! query must move*. This crate provides both storage layouts plus the
+//! metered simulated disk they are charged against:
+//!
+//! * [`io`] — 32 KB pages, [`io::BufferPool`] (CLOCK), per-query
+//!   [`io::IoSession`] accounting, and the [`io::DiskModel`] that converts
+//!   page traffic into modeled I/O time (the substitution for the paper's
+//!   4-disk array; see DESIGN.md §4).
+//! * [`rowcodec`] / [`heap`] — the row-store side: N-ary tuples with 8-byte
+//!   headers in slotted heap pages, optionally horizontally partitioned
+//!   (System X's `orderdate` partitioning).
+//! * [`encode`] / [`column`](mod@column) — the column-store side: per-column files with
+//!   plain / RLE / dictionary encodings that support *direct operation on
+//!   compressed data*, plus positional-gather charging for late
+//!   materialization.
+//!
+//! The crate is engine-agnostic: `cvr-row` and `cvr-core` build their
+//! physical designs out of these parts.
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod encode;
+pub mod heap;
+pub mod io;
+pub mod rowcodec;
+
+pub use column::{ColumnStore, EncodingChoice, StoredColumn};
+pub use encode::{Column, IntColumn, Run, StrColumn};
+pub use heap::{HeapFile, PartitionedHeap};
+pub use io::{BufferPool, DiskModel, FileId, IoSession, IoStats, PageId, PAGE_SIZE};

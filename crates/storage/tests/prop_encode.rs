@@ -1,0 +1,128 @@
+//! Property tests for the column encodings and the row codec: round-trips,
+//! size accounting, and direct-operation equivalence for arbitrary data.
+
+use cvr_data::value::{DataType, Value};
+use cvr_storage::encode::{byte_width, IntColumn, StrColumn, RLE_RUN_BYTES};
+use cvr_storage::rowcodec::{encode_row, encoded_size, record_len, RecordView};
+use proptest::prelude::*;
+
+/// Values with clustering so RLE sees runs sometimes.
+fn clustered_ints() -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec((0i64..50, 1usize..20), 0..60)
+        .prop_map(|runs| runs.into_iter().flat_map(|(v, n)| std::iter::repeat_n(v, n)).collect())
+}
+
+fn small_strings() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{0,12}", 0..200)
+}
+
+proptest! {
+    #[test]
+    fn rle_round_trips(values in clustered_ints()) {
+        let col = IntColumn::rle(&values);
+        prop_assert_eq!(col.decode(), values.clone());
+        prop_assert_eq!(col.len(), values.len());
+    }
+
+    #[test]
+    fn rle_value_at_matches_decode(values in clustered_ints()) {
+        let col = IntColumn::rle(&values);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(col.value_at(i as u32), v);
+        }
+    }
+
+    #[test]
+    fn rle_runs_are_maximal_and_cover(values in clustered_ints()) {
+        let col = IntColumn::rle(&values);
+        if values.is_empty() {
+            return Ok(());
+        }
+        let runs = col.runs();
+        // Coverage: runs tile [0, n) exactly.
+        let mut next = 0u32;
+        for r in runs {
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.len >= 1);
+            next = r.start + r.len;
+        }
+        prop_assert_eq!(next as usize, values.len());
+        // Maximality: adjacent runs differ in value.
+        for w in runs.windows(2) {
+            prop_assert_ne!(w[0].value, w[1].value);
+        }
+        prop_assert_eq!(col.encoded_bytes(), runs.len() as u64 * RLE_RUN_BYTES);
+    }
+
+    #[test]
+    fn auto_never_bigger_than_plain(values in clustered_ints()) {
+        let auto = IntColumn::auto(values.clone());
+        let plain = IntColumn::plain(values);
+        prop_assert!(auto.encoded_bytes() <= plain.encoded_bytes());
+    }
+
+    #[test]
+    fn byte_width_is_sufficient(values in prop::collection::vec(any::<i64>(), 0..50)) {
+        let w = byte_width(&values);
+        for &v in &values {
+            match w {
+                1 => prop_assert!((0..256).contains(&v)),
+                2 => prop_assert!((0..65536).contains(&v)),
+                4 => prop_assert!((0..(1i64 << 32)).contains(&v)),
+                8 => {} // anything fits
+                _ => prop_assert!(false, "invalid width {w}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dict_round_trips_and_is_order_preserving(values in small_strings()) {
+        let col = StrColumn::dict(&values);
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(col.value_at(i as u32), v.as_str());
+        }
+        let (dict, codes) = col.dict_parts();
+        // Sorted dictionary ⇒ code comparison == string comparison.
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                prop_assert_eq!(
+                    codes[i].cmp(&codes[j]),
+                    a.cmp(b),
+                    "order must be preserved through codes"
+                );
+            }
+            let _ = dict;
+            if i > 8 { break; } // quadratic check capped
+        }
+    }
+
+    #[test]
+    fn plain_str_round_trips(values in small_strings()) {
+        let col = StrColumn::plain(values.clone());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(col.value_at(i as u32), v.as_str());
+        }
+    }
+
+    #[test]
+    fn row_codec_round_trips(
+        ints in prop::collection::vec(0i64..1 << 31, 1..6),
+        strs in prop::collection::vec("[ -~]{0,40}", 0..4),
+    ) {
+        let mut row: Vec<Value> = ints.iter().map(|&i| Value::Int(i)).collect();
+        row.extend(strs.iter().map(|s| Value::str(s.as_str())));
+        let types: Vec<DataType> = row.iter().map(Value::dtype).collect();
+        let mut buf = Vec::new();
+        encode_row(&row, &mut buf);
+        prop_assert_eq!(record_len(&buf), buf.len());
+        prop_assert_eq!(encoded_size(&row), buf.len());
+        let view = RecordView::new(&buf);
+        prop_assert_eq!(view.decode_all(&types), row);
+        // Offset-based access agrees with walking access.
+        let mut offsets = Vec::new();
+        view.field_offsets(&types, &mut offsets);
+        for (i, t) in types.iter().enumerate() {
+            prop_assert_eq!(view.value_at(*t, offsets[i]), view.field(&types, i));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! OLAP roll-up riding between-predicate rewriting.
+//!
+//! Section 5.4.2 argues the rewriting applies "more often than one might
+//! initially expect" because warehouse dimensions carry hierarchies of
+//! increasingly finer granularity, and analysts roll up through them:
+//! "tell me profit by region, tell me profit by nation, tell me profit by
+//! city". This example runs exactly that drill-down and shows that *every*
+//! level's predicate rewrites to a between-predicate on the fact table's
+//! foreign keys — no hash table in sight until the data itself is
+//! non-contiguous.
+//!
+//! ```text
+//! cargo run --release --example rollup
+//! ```
+
+use cvr::core::invisible::{phase1_key_pred, FactKeyPred};
+use cvr::core::{CStoreDb, EngineConfig};
+use cvr::data::gen::SsbConfig;
+use cvr::data::queries::{AggExpr, DimPredicate, GroupColumn, Pred, QueryId, SsbQuery};
+use cvr::data::schema::Dim;
+use cvr::data::value::Value;
+use cvr::storage::io::IoSession;
+use std::sync::Arc;
+
+fn profit_query(column: &'static str, value: &str, group: &'static str) -> SsbQuery {
+    SsbQuery {
+        id: QueryId::new(4, 1),
+        dim_predicates: vec![DimPredicate {
+            dim: Dim::Supplier,
+            column,
+            pred: Pred::Eq(Value::str(value)),
+        }],
+        fact_predicates: vec![],
+        group_by: vec![GroupColumn { dim: Dim::Supplier, column: group }],
+        aggregate: AggExpr::SumRevenueMinusSupplyCost,
+        paper_selectivity: 0.2,
+    }
+}
+
+fn main() {
+    let tables = Arc::new(SsbConfig::with_scale(0.01).generate());
+    let db = CStoreDb::build(tables, true);
+    let io = IoSession::unmetered();
+    let cfg = EngineConfig::FULL;
+
+    // The drill-down: profit by nation within a region, then by city within
+    // a nation — each level one equality predicate deeper in the supplier
+    // hierarchy (region, nation, city).
+    let levels = [
+        ("s_region", "ASIA", "s_nation", "profit by nation in ASIA"),
+        ("s_nation", "CHINA", "s_city", "profit by city in CHINA"),
+    ];
+
+    for (pred_col, pred_val, group_col, title) in levels {
+        let q = profit_query(pred_col, pred_val, group_col);
+        let kp = phase1_key_pred(&db, &q, Dim::Supplier, cfg, &io).expect("restricted");
+        let rewrite = match &kp {
+            FactKeyPred::Between(lo, hi) => format!("lo_suppkey BETWEEN {lo} AND {hi}"),
+            FactKeyPred::KeySet(s) => format!("hash set of {} keys", s.len()),
+        };
+        println!("{title}\n  predicate {pred_col} = {pred_val:?} rewrote to: {rewrite}");
+        let out = cvr::core::invisible::execute(&db, &q, cfg, &io);
+        for (key, profit) in out.rows.iter().take(4) {
+            println!("    {:<14} profit = {profit}", key[0].to_string());
+        }
+        if out.rows.len() > 4 {
+            println!("    ... {} more groups", out.rows.len() - 4);
+        }
+        assert!(
+            matches!(kp, FactKeyPred::Between(..)),
+            "hierarchy predicates must stay contiguous under the sorted projection"
+        );
+        println!();
+    }
+    println!(
+        "Both roll-up levels rewrote to between-predicates: the supplier\n\
+         projection is sorted (region, nation, city), so equality at any\n\
+         level selects a contiguous run of reassigned keys — Section 5.4.2's\n\
+         argument, executable."
+    );
+}

@@ -1,0 +1,44 @@
+//! # cvr — Column-stores vs. Row-stores, reproduced in Rust
+//!
+//! A from-scratch reproduction of Abadi, Madden, and Hachem,
+//! *"Column-Stores vs. Row-Stores: How Different Are They Really?"*
+//! (SIGMOD 2008): two complete execution engines — a C-Store-style column
+//! engine with the paper's **invisible join**, and a System-X-style row
+//! engine with the paper's five physical designs — over a shared Star
+//! Schema Benchmark substrate and a metered simulated disk.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`data`] (`cvr-data`) — SSBM schema, generator, 13-query catalog,
+//!   reference evaluator;
+//! * [`storage`] (`cvr-storage`) — heap files, column encodings, buffer
+//!   pool, disk model;
+//! * [`index`] (`cvr-index`) — B+Tree, bitmap index, Bloom filter, hash
+//!   index;
+//! * [`row`] (`cvr-row`) — the row engine: T, T(B), MV, VP, AI designs;
+//! * [`core`] (`cvr-core`) — the column engine: invisible join, late
+//!   materialization, compressed execution, Row-MV, denormalization.
+//!
+//! ```
+//! use cvr::core::{ColumnEngine, EngineConfig};
+//! use cvr::data::{gen::SsbConfig, queries};
+//! use cvr::row::designs::{RowDb, RowDesign};
+//! use cvr::storage::io::IoSession;
+//! use std::sync::Arc;
+//!
+//! let tables = Arc::new(SsbConfig::with_scale(0.0005).generate());
+//! let cs = ColumnEngine::new(tables.clone());
+//! let rs = RowDb::build(tables.clone(), RowDesign::Traditional);
+//! let io = IoSession::unmetered();
+//! let q = queries::query(2, 1);
+//! // Same answer from both worlds.
+//! assert_eq!(cs.execute(&q, EngineConfig::FULL, &io), rs.execute(&q, &io));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cvr_core as core;
+pub use cvr_data as data;
+pub use cvr_index as index;
+pub use cvr_row as row;
+pub use cvr_storage as storage;

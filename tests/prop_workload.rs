@@ -1,0 +1,58 @@
+//! Property tests over the whole stack: for *arbitrary* generator seeds and
+//! scales, the engines must agree with the brute-force reference evaluator.
+//!
+//! These run fewer cases than the unit-level property tests (each case
+//! builds several physical designs), but they exercise the full pipeline —
+//! generation → storage → plans → execution — under randomized data.
+
+use cvr::core::{ColumnEngine, EngineConfig};
+use cvr::data::gen::SsbConfig;
+use cvr::data::queries::all_queries;
+use cvr::data::reference;
+use cvr::row::designs::{RowDb, RowDesign};
+use cvr::storage::io::IoSession;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn column_engine_matches_reference_on_random_data(
+        seed in any::<u64>(),
+        sf in 0.0004f64..0.0012,
+    ) {
+        let tables = Arc::new(SsbConfig { sf, seed }.generate());
+        let engine = ColumnEngine::new(tables.clone());
+        let io = IoSession::unmetered();
+        for q in all_queries() {
+            let expected = reference::evaluate(&tables, &q);
+            prop_assert_eq!(
+                engine.execute(&q, EngineConfig::FULL, &io),
+                expected.clone(),
+                "tICL {} seed {}", q.id, seed
+            );
+            prop_assert_eq!(
+                engine.execute(&q, EngineConfig::parse("tiCL"), &io),
+                expected,
+                "tiCL {} seed {}", q.id, seed
+            );
+        }
+    }
+
+    #[test]
+    fn row_engine_matches_reference_on_random_data(
+        seed in any::<u64>(),
+        sf in 0.0004f64..0.0012,
+    ) {
+        let tables = Arc::new(SsbConfig { sf, seed }.generate());
+        let io = IoSession::unmetered();
+        let trad = RowDb::build(tables.clone(), RowDesign::Traditional);
+        let vp = RowDb::build(tables.clone(), RowDesign::VerticalPartitioning);
+        for q in all_queries() {
+            let expected = reference::evaluate(&tables, &q);
+            prop_assert_eq!(trad.execute(&q, &io), expected.clone(), "T {} seed {}", q.id, seed);
+            prop_assert_eq!(vp.execute(&q, &io), expected, "VP {} seed {}", q.id, seed);
+        }
+    }
+}
