@@ -98,10 +98,8 @@ fn bench_poslist_intersect(c: &mut Criterion) {
     let range_b = PosList::Range { start: 300_000, end: 900_000, universe: n };
     let bm_a = PosList::Bitmap(RidBitmap::from_rids(n, (0..n).filter(|p| p % 3 == 0)));
     let bm_b = PosList::Bitmap(RidBitmap::from_rids(n, (0..n).filter(|p| p % 5 == 0)));
-    let ex_a =
-        PosList::Explicit { positions: (0..n).step_by(101).collect(), universe: n };
-    let ex_b =
-        PosList::Explicit { positions: (0..n).step_by(103).collect(), universe: n };
+    let ex_a = PosList::Explicit { positions: (0..n).step_by(101).collect(), universe: n };
+    let ex_b = PosList::Explicit { positions: (0..n).step_by(103).collect(), universe: n };
     g.bench_function("range_range", |b| b.iter(|| black_box(range_a.intersect(&range_b))));
     g.bench_function("bitmap_bitmap", |b| b.iter(|| black_box(bm_a.intersect(&bm_b))));
     g.bench_function("explicit_explicit", |b| b.iter(|| black_box(ex_a.intersect(&ex_b))));

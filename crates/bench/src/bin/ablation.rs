@@ -28,8 +28,7 @@ fn main() {
     let with = InvisibleOptions { between_rewriting: true };
     let without = InvisibleOptions { between_rewriting: false };
 
-    let a: Vec<Measurement> =
-        harness.measure_series(|q, io| execute_opts(&db, q, cfg, with, io));
+    let a: Vec<Measurement> = harness.measure_series(|q, io| execute_opts(&db, q, cfg, with, io));
     let b: Vec<Measurement> =
         harness.measure_series(|q, io| execute_opts(&db, q, cfg, without, io));
     let c: Vec<Measurement> =
@@ -37,10 +36,7 @@ fn main() {
 
     println!("\nAblation: between-predicate rewriting inside the invisible join (sf {})", args.sf);
     println!("=======================================================================\n");
-    println!(
-        "{:<8}{:>14}{:>16}{:>14}",
-        "query", "IJ+rewrite", "IJ hash-only", "LM join"
-    );
+    println!("{:<8}{:>14}{:>16}{:>14}", "query", "IJ+rewrite", "IJ hash-only", "LM join");
     let (mut sa, mut sb, mut sc) = (0.0, 0.0, 0.0);
     for i in 0..13 {
         let (x, y, z) = (a[i].seconds(), b[i].seconds(), c[i].seconds());

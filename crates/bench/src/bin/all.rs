@@ -38,7 +38,10 @@ fn main() {
         ("CS".into(), harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io))),
         ("CS (Row-MV)".into(), harness.measure_series(|q, io| cs_row_mv.execute(q, io))),
     ];
-    println!("{}", render_figure("Figure 5: Baseline comparison", &fig5, &paper::figure5(), args.sf));
+    println!(
+        "{}",
+        render_figure("Figure 5: Baseline comparison", &fig5, &paper::figure5(), args.sf)
+    );
 
     // ---- Figure 6 ----
     eprintln!("# figure 6 ...");
@@ -56,12 +59,18 @@ fn main() {
     for cfg in EngineConfig::figure7() {
         fig7.push((cfg.code(), harness.measure_series(|q, io| cs.execute(q, cfg, io))));
     }
-    println!("{}", render_figure("Figure 7: Optimization removal", &fig7, &paper::figure7(), args.sf));
+    println!(
+        "{}",
+        render_figure("Figure 7: Optimization removal", &fig7, &paper::figure7(), args.sf)
+    );
 
     // ---- Figure 8 ----
     eprintln!("# figure 8 ...");
     let mut fig8: Vec<(String, Vec<Measurement>)> = Vec::new();
-    fig8.push(("Base".into(), harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io))));
+    fig8.push((
+        "Base".into(),
+        harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io)),
+    ));
     for variant in
         [DenormVariant::NoCompression, DenormVariant::IntCompression, DenormVariant::MaxCompression]
     {

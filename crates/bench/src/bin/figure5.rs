@@ -24,10 +24,7 @@ fn main() {
     eprintln!("# RS (MV)");
     ours.push(("RS (MV)".into(), harness.measure_series(|q, io| rs_mv.execute(q, io))));
     eprintln!("# CS (full C-Store: tICL)");
-    ours.push((
-        "CS".into(),
-        harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io)),
-    ));
+    ours.push(("CS".into(), harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io))));
     eprintln!("# CS (Row-MV)");
     ours.push(("CS (Row-MV)".into(), harness.measure_series(|q, io| cs_row_mv.execute(q, io))));
 

@@ -15,10 +15,7 @@ fn main() {
     for design in RowDesign::ALL {
         eprintln!("# building + running {} (sf {})", design.label(), args.sf);
         let db = RowDb::build(harness.tables.clone(), design);
-        ours.push((
-            design.label().to_string(),
-            harness.measure_series(|q, io| db.execute(q, io)),
-        ));
+        ours.push((design.label().to_string(), harness.measure_series(|q, io| db.execute(q, io))));
     }
 
     println!(

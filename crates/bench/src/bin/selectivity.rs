@@ -18,10 +18,8 @@ fn main() {
     for (q, label) in all_queries().iter().zip(paper::QUERY_LABELS) {
         let measured = measured_selectivity(&tables, q);
         let ratio = if measured > 0.0 { measured / q.paper_selectivity } else { 0.0 };
-        let note = if q.paper_selectivity * rows < 20.0 { "  (few expected rows at this sf)" } else { "" };
-        println!(
-            "Q{label:<7}{:>14.2e}{measured:>14.2e}{ratio:>10.2}{note}",
-            q.paper_selectivity
-        );
+        let note =
+            if q.paper_selectivity * rows < 20.0 { "  (few expected rows at this sf)" } else { "" };
+        println!("Q{label:<7}{:>14.2e}{measured:>14.2e}{ratio:>10.2}{note}", q.paper_selectivity);
     }
 }

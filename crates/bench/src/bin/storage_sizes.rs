@@ -48,10 +48,7 @@ fn main() {
 
     let cs_plain = CStoreDb::build(tables.clone(), false);
     let cs_comp = CStoreDb::build(Arc::clone(&tables), true);
-    println!(
-        "C-Store fact uncompressed:  {:>7.2} GB",
-        gb(cs_plain.fact_bytes(), scale_to_sf10)
-    );
+    println!("C-Store fact uncompressed:  {:>7.2} GB", gb(cs_plain.fact_bytes(), scale_to_sf10));
     println!(
         "C-Store fact compressed:    {:>7.2} GB   (paper: 2.3 GB whole table)",
         gb(cs_comp.fact_bytes(), scale_to_sf10)

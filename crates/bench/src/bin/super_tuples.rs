@@ -31,12 +31,12 @@ fn main() {
     let mcs: Vec<Measurement> =
         harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io));
 
-    println!("\nExtension: super-tuple VP vs plain VP vs traditional vs column store (sf {})", args.sf);
-    println!("===========================================================================\n");
     println!(
-        "{:<8}{:>12}{:>12}{:>14}{:>12}",
-        "query", "T", "VP", "super-VP", "CS (tICL)"
+        "\nExtension: super-tuple VP vs plain VP vs traditional vs column store (sf {})",
+        args.sf
     );
+    println!("===========================================================================\n");
+    println!("{:<8}{:>12}{:>12}{:>14}{:>12}", "query", "T", "VP", "super-VP", "CS (tICL)");
     let mut sums = [0.0f64; 4];
     for i in 0..13 {
         let row = [mt[i].seconds(), mvp[i].seconds(), msup[i].seconds(), mcs[i].seconds()];
@@ -45,7 +45,11 @@ fn main() {
         }
         println!(
             "Q{:<7}{:>12.3}{:>12.3}{:>14.3}{:>12.3}",
-            paper::QUERY_LABELS[i], row[0], row[1], row[2], row[3]
+            paper::QUERY_LABELS[i],
+            row[0],
+            row[1],
+            row[2],
+            row[3]
         );
     }
     println!(

@@ -70,13 +70,7 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs {
-            sf: 0.02,
-            seed: 0x55B0_2008,
-            runs: 3,
-            pool_fraction: 0.08,
-            cpu_scale: 5.0,
-        }
+        HarnessArgs { sf: 0.02, seed: 0x55B0_2008, runs: 3, pool_fraction: 0.08, cpu_scale: 5.0 }
     }
 }
 
@@ -168,10 +162,7 @@ impl Harness {
     /// Run `exec` for one query: one warm-up + `runs` measured executions;
     /// returns the best measurement and the query output (verified identical
     /// across runs).
-    pub fn measure(
-        &self,
-        exec: impl Fn(&IoSession) -> QueryOutput,
-    ) -> (Measurement, QueryOutput) {
+    pub fn measure(&self, exec: impl Fn(&IoSession) -> QueryOutput) -> (Measurement, QueryOutput) {
         // Warm-up (also populates the buffer pool the way the paper's warm
         // runs do).
         let warm_io = IoSession::new(self.pool.clone());
@@ -186,8 +177,7 @@ impl Harness {
             assert_eq!(out, reference, "non-deterministic query result");
             let stats = io.stats();
             let scaled_cpu = cpu.mul_f64(self.args.cpu_scale);
-            let m =
-                Measurement { cpu, io: stats, modeled: scaled_cpu + self.disk.io_time(&stats) };
+            let m = Measurement { cpu, io: stats, modeled: scaled_cpu + self.disk.io_time(&stats) };
             best = Some(match best {
                 None => m,
                 Some(b) if m.modeled < b.modeled => m,
@@ -298,8 +288,7 @@ mod tests {
         let h = Harness::new(args);
         let db = RowDb::build(h.tables.clone(), RowDesign::MaterializedViews);
         let series = h.measure_series(|q, io| db.execute(q, io));
-        let s =
-            render_figure("Test", &[("MV".to_string(), series)], &paper::figure6(), 0.001);
+        let s = render_figure("Test", &[("MV".to_string(), series)], &paper::figure6(), 0.001);
         for q in paper::QUERY_LABELS {
             assert!(s.contains(q));
         }

@@ -6,9 +6,8 @@
 //! Q1.1 … Q4.3, then the average.
 
 /// Query labels in figure order.
-pub const QUERY_LABELS: [&str; 13] = [
-    "1.1", "1.2", "1.3", "2.1", "2.2", "2.3", "3.1", "3.2", "3.3", "3.4", "4.1", "4.2", "4.3",
-];
+pub const QUERY_LABELS: [&str; 13] =
+    ["1.1", "1.2", "1.3", "2.1", "2.2", "2.3", "3.1", "3.2", "3.3", "3.4", "4.1", "4.2", "4.3"];
 
 /// One published series: label + 13 per-query seconds (average derivable).
 pub struct PaperSeries {
@@ -42,9 +41,7 @@ pub fn figure5() -> Vec<PaperSeries> {
         },
         PaperSeries {
             label: "CS (Row-MV)",
-            times: [
-                16.0, 9.1, 8.4, 33.5, 23.5, 22.3, 48.5, 21.5, 17.6, 17.4, 48.6, 38.4, 32.1,
-            ],
+            times: [16.0, 9.1, 8.4, 33.5, 23.5, 22.3, 48.5, 21.5, 17.6, 17.4, 48.6, 38.4, 32.1],
         },
     ]
 }
@@ -73,8 +70,7 @@ pub fn figure6() -> Vec<PaperSeries> {
         PaperSeries {
             label: "AI",
             times: [
-                107.2, 50.8, 48.5, 359.8, 46.4, 43.9, 413.8, 40.7, 531.4, 65.5, 623.9, 280.1,
-                263.9,
+                107.2, 50.8, 48.5, 359.8, 46.4, 43.9, 413.8, 40.7, 531.4, 65.5, 623.9, 280.1, 263.9,
             ],
         },
     ]
@@ -109,9 +105,7 @@ pub fn figure7() -> Vec<PaperSeries> {
         },
         PaperSeries {
             label: "Ticl",
-            times: [
-                33.4, 28.2, 27.4, 40.5, 36.0, 35.0, 56.5, 34.0, 30.3, 30.2, 66.3, 60.8, 54.4,
-            ],
+            times: [33.4, 28.2, 27.4, 40.5, 36.0, 35.0, 56.5, 34.0, 30.3, 30.2, 66.3, 60.8, 54.4],
         },
     ]
 }

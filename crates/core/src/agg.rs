@@ -45,11 +45,7 @@ impl Grouper {
 
 /// Aggregate column-major inputs: `group_cols` are aligned value arrays (one
 /// per group-by column), `terms` the per-row aggregate terms.
-pub fn aggregate_columns(
-    q: &SsbQuery,
-    group_cols: &[Vec<Value>],
-    terms: &[i64],
-) -> QueryOutput {
+pub fn aggregate_columns(q: &SsbQuery, group_cols: &[Vec<Value>], terms: &[i64]) -> QueryOutput {
     let mut g = Grouper::new();
     for (i, &term) in terms.iter().enumerate() {
         let key: Vec<Value> = group_cols.iter().map(|c| c[i].clone()).collect();

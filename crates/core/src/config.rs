@@ -131,8 +131,7 @@ mod tests {
 
     #[test]
     fn figure7_order() {
-        let codes: Vec<String> =
-            EngineConfig::figure7().iter().map(EngineConfig::code).collect();
+        let codes: Vec<String> = EngineConfig::figure7().iter().map(EngineConfig::code).collect();
         assert_eq!(codes, ["tICL", "TICL", "tiCL", "TiCL", "ticL", "TicL", "Ticl"]);
     }
 
@@ -147,8 +146,7 @@ mod tests {
     fn all_sixteen_unique() {
         let all = EngineConfig::all();
         assert_eq!(all.len(), 16);
-        let codes: std::collections::HashSet<String> =
-            all.iter().map(EngineConfig::code).collect();
+        let codes: std::collections::HashSet<String> = all.iter().map(EngineConfig::code).collect();
         assert_eq!(codes.len(), 16);
     }
 

@@ -165,9 +165,7 @@ impl DenormDb {
                             dict.dedup();
                             let codes: Vec<i64> = v
                                 .iter()
-                                .map(|s| {
-                                    dict.binary_search_by(|d| (**d).cmp(s)).unwrap() as i64
-                                })
+                                .map(|s| dict.binary_search_by(|d| (**d).cmp(s)).unwrap() as i64)
                                 .collect();
                             dicts.insert(def.name, dict);
                             defs2.push(ColumnDef { name: def.name, dtype: DataType::Int });
@@ -175,8 +173,7 @@ impl DenormDb {
                         }
                     }
                 }
-                let t2 =
-                    TableData::new(TableSchema { name: "denorm", columns: defs2 }, cols2);
+                let t2 = TableData::new(TableSchema { name: "denorm", columns: defs2 }, cols2);
                 (ColumnStore::from_table(&t2, EncodingChoice::Plain), n)
             }
         };
@@ -224,7 +221,12 @@ impl DenormDb {
                     None => PosList::empty(n),
                     Some((lo, hi, matches)) => {
                         if matches[lo as usize..=hi as usize].iter().all(|&m| m) {
-                            scan_int_where(col, move |v| v >= lo && v <= hi, cfg.block_iteration, io)
+                            scan_int_where(
+                                col,
+                                move |v| v >= lo && v <= hi,
+                                cfg.block_iteration,
+                                io,
+                            )
                         } else {
                             scan_int_where(
                                 col,

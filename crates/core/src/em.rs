@@ -30,12 +30,7 @@ struct DimTable {
     restricted: bool,
 }
 
-fn build_dim_table(
-    db: &CStoreDb,
-    q: &SsbQuery,
-    dim: Dim,
-    io: &IoSession,
-) -> DimTable {
+fn build_dim_table(db: &CStoreDb, q: &SsbQuery, dim: Dim, io: &IoSession) -> DimTable {
     let store = db.dim(dim);
     let n = store.sorted.num_rows();
     let preds = q.dim_predicates_on(dim);
@@ -78,8 +73,7 @@ pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -
         q.fact_predicates.iter().map(|p| (col_of[p.column], &p.pred)).collect();
     let fk_idx: Vec<(Dim, usize)> =
         q.touched_dims().into_iter().map(|d| (d, col_of[d.fact_fk_column()])).collect();
-    let agg_idx: Vec<usize> =
-        q.aggregate.fact_columns().iter().map(|c| col_of[c]).collect();
+    let agg_idx: Vec<usize> = q.aggregate.fact_columns().iter().map(|c| col_of[c]).collect();
     let group_dim_order: Vec<Dim> = q.group_by.iter().map(|g| g.dim).collect();
 
     // Dimension join tables (row-style builds).
@@ -98,11 +92,22 @@ pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -
             if !process_tuple(&tuple, &pred_idx, &fk_idx, &dims) {
                 continue 'rows;
             }
-            accumulate(&tuple, q, &fk_idx, &dims, &group_dim_order, &agg_idx, &mut inputs, &mut grouper);
+            accumulate(
+                &tuple,
+                q,
+                &fk_idx,
+                &dims,
+                &group_dim_order,
+                &agg_idx,
+                &mut inputs,
+                &mut grouper,
+            );
         }
     } else {
-        let mut sources: Vec<Box<dyn Iterator<Item = &Value>>> =
-            decoded.iter().map(|c| Box::new(c.iter()) as Box<dyn Iterator<Item = &Value>>).collect();
+        let mut sources: Vec<Box<dyn Iterator<Item = &Value>>> = decoded
+            .iter()
+            .map(|c| Box::new(c.iter()) as Box<dyn Iterator<Item = &Value>>)
+            .collect();
         'rows2: for _ in 0..n {
             let tuple: Vec<Value> = sources
                 .iter_mut()
@@ -111,7 +116,16 @@ pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -
             if !process_tuple(&tuple, &pred_idx, &fk_idx, &dims) {
                 continue 'rows2;
             }
-            accumulate(&tuple, q, &fk_idx, &dims, &group_dim_order, &agg_idx, &mut inputs, &mut grouper);
+            accumulate(
+                &tuple,
+                q,
+                &fk_idx,
+                &dims,
+                &group_dim_order,
+                &agg_idx,
+                &mut inputs,
+                &mut grouper,
+            );
         }
     }
     grouper.finish(q)

@@ -175,8 +175,8 @@ pub fn execute_opts(
     // Phases 1+2 per restricted dimension, intersecting position lists.
     let mut pos: Option<PosList> = None;
     for dim in q.restricted_dims() {
-        let key_pred = phase1_key_pred_opts(db, q, dim, cfg, opts, io)
-            .expect("restricted dim has predicates");
+        let key_pred =
+            phase1_key_pred_opts(db, q, dim, cfg, opts, io).expect("restricted dim has predicates");
         let pl = phase2_probe(db, dim, &key_pred, cfg, io);
         pos = Some(match pos {
             None => pl,
@@ -212,12 +212,9 @@ pub fn execute_opts(
                 let keycol = db.dim(dim).store.column(dim.key_column());
                 keycol.charge_scan(io);
                 let keys = keycol.column.as_int().decode();
-                let map = IntHashMap::from_pairs(
-                    keys.iter().enumerate().map(|(p, &k)| (k, p as u32)),
-                );
-                fks.into_iter()
-                    .map(|k| map.get(k).expect("fact FK must join DATE"))
-                    .collect()
+                let map =
+                    IntHashMap::from_pairs(keys.iter().enumerate().map(|(p, &k)| (k, p as u32)));
+                fks.into_iter().map(|k| map.get(k).expect("fact FK must join DATE")).collect()
             };
             dim_positions
         });
@@ -355,8 +352,7 @@ mod ablation_tests {
 
     #[test]
     fn disabling_rewriting_preserves_results() {
-        let db =
-            CStoreDb::build(Arc::new(SsbConfig { sf: 0.002, seed: 61 }.generate()), true);
+        let db = CStoreDb::build(Arc::new(SsbConfig { sf: 0.002, seed: 61 }.generate()), true);
         let io = IoSession::unmetered();
         let no_rewrite = InvisibleOptions { between_rewriting: false };
         for q in all_queries() {
@@ -371,8 +367,7 @@ mod ablation_tests {
 
     #[test]
     fn disabling_rewriting_forces_hash_sets() {
-        let db =
-            CStoreDb::build(Arc::new(SsbConfig { sf: 0.002, seed: 61 }.generate()), true);
+        let db = CStoreDb::build(Arc::new(SsbConfig { sf: 0.002, seed: 61 }.generate()), true);
         let io = IoSession::unmetered();
         let no_rewrite = InvisibleOptions { between_rewriting: false };
         let q = query(3, 1); // region predicates: rewritable when enabled

@@ -53,7 +53,13 @@ fn restricted_in_order(db: &CStoreDb, q: &SsbQuery) -> Vec<Dim> {
 
 /// Build `key → dimension position` for the dimension rows matching the
 /// query's predicates (all rows when unrestricted).
-fn dim_hash(db: &CStoreDb, q: &SsbQuery, dim: Dim, cfg: EngineConfig, io: &IoSession) -> IntHashMap {
+fn dim_hash(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    dim: Dim,
+    cfg: EngineConfig,
+    io: &IoSession,
+) -> IntHashMap {
     let store = db.dim(dim);
     let preds = q.dim_predicates_on(dim);
     let dpos = if preds.is_empty() {

@@ -229,10 +229,7 @@ mod tests {
             PosList::from_ascending(vec![3, 4, 5, 6], 100),
             PosList::Range { start: 3, end: 7, .. }
         ));
-        assert!(matches!(
-            PosList::from_ascending(vec![3, 5], 100),
-            PosList::Explicit { .. }
-        ));
+        assert!(matches!(PosList::from_ascending(vec![3, 5], 100), PosList::Explicit { .. }));
     }
 
     #[test]
@@ -278,10 +275,7 @@ mod tests {
     #[test]
     fn range_bitmap_intersection() {
         let r = PosList::Range { start: 10, end: 20, universe: 64 };
-        let bm = PosList::Bitmap(cvr_index::bitmap::RidBitmap::from_rids(
-            64,
-            [5u32, 10, 15, 25],
-        ));
+        let bm = PosList::Bitmap(cvr_index::bitmap::RidBitmap::from_rids(64, [5u32, 10, 15, 25]));
         assert_eq!(r.intersect(&bm).to_vec(), vec![10, 15]);
         assert_eq!(bm.intersect(&r).to_vec(), vec![10, 15]);
     }

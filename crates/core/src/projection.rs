@@ -105,8 +105,7 @@ impl CStoreDb {
                 };
                 let remap: HashMap<i64, i64> =
                     old_keys.iter().enumerate().map(|(p, &k)| (k, p as i64)).collect();
-                sorted.columns[key_idx] =
-                    ColumnData::Int((0..sorted.num_rows() as i64).collect());
+                sorted.columns[key_idx] = ColumnData::Int((0..sorted.num_rows() as i64).collect());
                 key_remaps.insert(d, remap);
             }
             let store = ColumnStore::from_table(&sorted, choice);
@@ -216,8 +215,7 @@ mod tests {
         // Projection join: sorted fact fk == position into sorted customer.
         let new_fk = db.fact.column("lo_custkey").column.as_int().decode();
         let new_city = db.dim(Dim::Customer).sorted.column("c_city").strs();
-        let mut got: Vec<String> =
-            new_fk.iter().map(|&k| new_city[k as usize].clone()).collect();
+        let mut got: Vec<String> = new_fk.iter().map(|&k| new_city[k as usize].clone()).collect();
         expected.sort();
         got.sort();
         assert_eq!(expected, got);
@@ -251,8 +249,7 @@ mod tests {
         let db = db(true);
         let cust = &db.dim(Dim::Customer).sorted;
         let regions = cust.column("c_region").strs();
-        let matching: Vec<usize> =
-            (0..cust.num_rows()).filter(|&i| regions[i] == "ASIA").collect();
+        let matching: Vec<usize> = (0..cust.num_rows()).filter(|&i| regions[i] == "ASIA").collect();
         if matching.len() > 1 {
             assert_eq!(matching[matching.len() - 1] - matching[0] + 1, matching.len());
         }

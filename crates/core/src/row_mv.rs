@@ -185,9 +185,7 @@ impl RowMvDb {
             let key_idx = table.columns.iter().position(|c| *c == dim.key_column()).unwrap();
             let pred_idx: Vec<(usize, &cvr_data::queries::Pred)> = preds
                 .iter()
-                .map(|p| {
-                    (table.columns.iter().position(|c| *c == p.column).unwrap(), &p.pred)
-                })
+                .map(|p| (table.columns.iter().position(|c| *c == p.column).unwrap(), &p.pred))
                 .collect();
             let mut fields: Vec<usize> = vec![key_idx];
             fields.extend(pred_idx.iter().map(|(i, _)| *i));
@@ -203,8 +201,7 @@ impl RowMvDb {
                 map.insert(parsed[0].as_int(), group_rows.len() as u32);
                 group_rows.push(parsed[1 + pred_idx.len()..].to_vec());
             }
-            dim_tables
-                .insert(dim, JoinTable { map, group_rows, restricted: !preds.is_empty() });
+            dim_tables.insert(dim, JoinTable { map, group_rows, restricted: !preds.is_empty() });
         }
 
         // Fact view scan.
@@ -220,8 +217,7 @@ impl RowMvDb {
             q.fact_predicates.iter().map(|p| (col_of[p.column], &p.pred)).collect();
         let fk_idx: Vec<(Dim, usize)> =
             q.touched_dims().into_iter().map(|d| (d, col_of[d.fact_fk_column()])).collect();
-        let agg_idx: Vec<usize> =
-            q.aggregate.fact_columns().iter().map(|c| col_of[c]).collect();
+        let agg_idx: Vec<usize> = q.aggregate.fact_columns().iter().map(|c| col_of[c]).collect();
 
         let mut grouper = Grouper::new();
         let mut inputs = vec![0i64; agg_idx.len()];
@@ -243,8 +239,7 @@ impl RowMvDb {
                 let (_, fk_col) = fk_idx.iter().find(|(d, _)| *d == dim).unwrap();
                 let t = &dim_tables[&dim];
                 let row = t.map.get(tuple[*fk_col].as_int()).expect("join checked");
-                let offset =
-                    q.group_by.iter().take(gi).filter(|g2| g2.dim == dim).count();
+                let offset = q.group_by.iter().take(gi).filter(|g2| g2.dim == dim).count();
                 key.push(t.group_rows[row as usize][offset].clone());
             }
             for (j, idx) in agg_idx.iter().enumerate() {

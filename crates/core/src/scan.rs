@@ -131,8 +131,7 @@ pub fn scan_int_where(
                 // Tuple-at-a-time: one opaque virtual call per value
                 // (black_box prevents devirtualization, so the call cost is
                 // real, like C-Store's getNext interface).
-                let mut src: Box<dyn Iterator<Item = i64>> =
-                    Box::new(values.iter().copied());
+                let mut src: Box<dyn Iterator<Item = i64>> = Box::new(values.iter().copied());
                 let mut i = 0u32;
                 while let Some(v) = std::hint::black_box(&mut src).next() {
                     if test(v) {
@@ -226,11 +225,7 @@ mod tests {
     }
 
     fn reference(values: &[i64], test: impl Fn(i64) -> bool) -> Vec<u32> {
-        values
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &v)| test(v).then_some(i as u32))
-            .collect()
+        values.iter().enumerate().filter_map(|(i, &v)| test(v).then_some(i as u32)).collect()
     }
 
     #[test]
@@ -285,8 +280,7 @@ mod tests {
             let a = scan_str_pred(&d, &pred, block, &io);
             let b = scan_str_pred(&p, &pred, block, &io);
             assert_eq!(a.to_vec(), b.to_vec());
-            let expected =
-                (0..5000).filter(|i| matches!(i % 7, 2 | 5)).count() as u32;
+            let expected = (0..5000).filter(|i| matches!(i % 7, 2 | 5)).count() as u32;
             assert_eq!(a.count(), expected);
         }
     }

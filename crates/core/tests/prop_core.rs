@@ -2,9 +2,9 @@
 //! algebra across representations, scan/extraction equivalence across
 //! encodings and iteration interfaces.
 
+use cvr_core::extract::{extract_at, gather_ints};
 use cvr_core::poslist::PosList;
 use cvr_core::scan::{scan_int_where, scan_pred, scan_str_pred};
-use cvr_core::extract::{extract_at, gather_ints};
 use cvr_data::queries::Pred;
 use cvr_data::value::Value;
 use cvr_index::bitmap::RidBitmap;

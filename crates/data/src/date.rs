@@ -123,9 +123,8 @@ pub fn all_dates() -> Vec<CalDate> {
 /// English month name for `month` (1..=12), as used by SSB's `yearmonth`
 /// column ("Dec1997").
 pub fn month_name(month: i64) -> &'static str {
-    const NAMES: [&str; 12] = [
-        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
-    ];
+    const NAMES: [&str; 12] =
+        ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
     NAMES[(month - 1) as usize]
 }
 

@@ -95,17 +95,44 @@ pub const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHI
 
 /// Part colors (subset of dbgen's list; cardinality is what matters).
 pub const COLORS: [&str; 32] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "frosted", "gainsboro", "ghost",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
 ];
 
 /// Part container sizes and kinds (5 × 8 = 40 combinations, as in dbgen).
 pub const CONTAINER_SIZES: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
 /// Container kinds.
-pub const CONTAINER_KINDS: [&str; 8] =
-    ["BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG"];
+pub const CONTAINER_KINDS: [&str; 8] = ["BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG"];
 
 /// Part type syllables (6 × 5 × 5 = 150 types, as in dbgen).
 pub const TYPE_S1: [&str; 6] = ["ANODIZED", "BURNISHED", "ECONOMY", "LARGE", "PROMO", "STANDARD"];
@@ -325,12 +352,7 @@ fn gen_part(n: usize, seed: u64) -> TableData {
         category.push(format!("MFGR#{m}{c}"));
         brand1.push(format!("MFGR#{m}{c}{b:02}"));
         color.push(rng.pick(&COLORS).to_string());
-        ptype.push(format!(
-            "{} {} {}",
-            rng.pick(&TYPE_S1),
-            rng.pick(&TYPE_S2),
-            rng.pick(&TYPE_S3)
-        ));
+        ptype.push(format!("{} {} {}", rng.pick(&TYPE_S1), rng.pick(&TYPE_S2), rng.pick(&TYPE_S3)));
         size.push(rng.int_range(1, 50));
         container.push(format!("{} {}", rng.pick(&CONTAINER_SIZES), rng.pick(&CONTAINER_KINDS)));
     }

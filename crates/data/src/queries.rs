@@ -322,16 +322,8 @@ pub fn all_queries() -> Vec<SsbQuery> {
         SsbQuery {
             id: QueryId::new(3, 3),
             dim_predicates: vec![
-                dp(
-                    Customer,
-                    "c_city",
-                    Pred::InSet(vec![s("UNITED KI1"), s("UNITED KI5")]),
-                ),
-                dp(
-                    Supplier,
-                    "s_city",
-                    Pred::InSet(vec![s("UNITED KI1"), s("UNITED KI5")]),
-                ),
+                dp(Customer, "c_city", Pred::InSet(vec![s("UNITED KI1"), s("UNITED KI5")])),
+                dp(Supplier, "s_city", Pred::InSet(vec![s("UNITED KI1"), s("UNITED KI5")])),
                 dp(Date, "d_year", Pred::Between(int(1992), int(1997))),
             ],
             fact_predicates: vec![],
@@ -342,16 +334,8 @@ pub fn all_queries() -> Vec<SsbQuery> {
         SsbQuery {
             id: QueryId::new(3, 4),
             dim_predicates: vec![
-                dp(
-                    Customer,
-                    "c_city",
-                    Pred::InSet(vec![s("UNITED KI1"), s("UNITED KI5")]),
-                ),
-                dp(
-                    Supplier,
-                    "s_city",
-                    Pred::InSet(vec![s("UNITED KI1"), s("UNITED KI5")]),
-                ),
+                dp(Customer, "c_city", Pred::InSet(vec![s("UNITED KI1"), s("UNITED KI5")])),
+                dp(Supplier, "s_city", Pred::InSet(vec![s("UNITED KI1"), s("UNITED KI5")])),
                 dp(Date, "d_yearmonth", Pred::Eq(s("Dec1997"))),
             ],
             fact_predicates: vec![],
@@ -465,10 +449,7 @@ mod tests {
         let cols = q.fact_columns();
         // orderdate FK + two predicate columns + two aggregate inputs,
         // with lo_discount shared between predicate and aggregate.
-        assert_eq!(
-            cols,
-            vec!["lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"]
-        );
+        assert_eq!(cols, vec!["lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"]);
     }
 
     #[test]

@@ -66,10 +66,7 @@ mod tests {
 
     #[test]
     fn new_sorts_rows() {
-        let out = QueryOutput::new(vec![
-            (vec![Value::Int(2)], 20),
-            (vec![Value::Int(1)], 10),
-        ]);
+        let out = QueryOutput::new(vec![(vec![Value::Int(2)], 20), (vec![Value::Int(1)], 10)]);
         assert_eq!(out.rows[0].1, 10);
         assert_eq!(out.len(), 2);
         assert_eq!(out.checksum(), 30);
@@ -85,14 +82,8 @@ mod tests {
 
     #[test]
     fn equality_after_normalization() {
-        let a = QueryOutput::new(vec![
-            (vec![Value::str("x")], 1),
-            (vec![Value::str("y")], 2),
-        ]);
-        let b = QueryOutput::new(vec![
-            (vec![Value::str("y")], 2),
-            (vec![Value::str("x")], 1),
-        ]);
+        let a = QueryOutput::new(vec![(vec![Value::str("x")], 1), (vec![Value::str("y")], 2)]);
+        let b = QueryOutput::new(vec![(vec![Value::str("y")], 2), (vec![Value::str("x")], 1)]);
         assert_eq!(a, b);
     }
 

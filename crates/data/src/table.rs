@@ -218,19 +218,14 @@ mod tests {
                 ColumnDef { name: "b", dtype: DataType::Int },
             ],
         };
-        TableData::new(
-            schema,
-            vec![ColumnData::Int(vec![1]), ColumnData::Int(vec![1, 2])],
-        );
+        TableData::new(schema, vec![ColumnData::Int(vec![1]), ColumnData::Int(vec![1, 2])]);
     }
 
     #[test]
     #[should_panic(expected = "wrong type")]
     fn new_validates_types() {
-        let schema = TableSchema {
-            name: "t",
-            columns: vec![ColumnDef { name: "a", dtype: DataType::Int }],
-        };
+        let schema =
+            TableSchema { name: "t", columns: vec![ColumnDef { name: "a", dtype: DataType::Int }] };
         TableData::new(schema, vec![ColumnData::Str(vec!["x".into()])]);
     }
 }

@@ -278,7 +278,12 @@ impl BPlusTree {
     ///
     /// Composite-key note: a bound with fewer values than stored keys acts as
     /// a prefix bound, e.g. `lo = [x]` matches every `[x, *]` from its start.
-    pub fn range_scan(&self, lo: Option<&Key>, hi: Option<&Key>, io: &IoSession) -> Vec<(Key, Rid)> {
+    pub fn range_scan(
+        &self,
+        lo: Option<&Key>,
+        hi: Option<&Key>,
+        io: &IoSession,
+    ) -> Vec<(Key, Rid)> {
         let (mut leaf, path) = match lo {
             Some(k) => self.descend(k),
             None => {
@@ -535,8 +540,7 @@ mod tests {
             t.insert(skey(w), i as Rid);
         }
         let io = IoSession::unmetered();
-        let keys: Vec<String> =
-            t.full_scan(&io).map(|(k, _)| k[0].as_str().to_string()).collect();
+        let keys: Vec<String> = t.full_scan(&io).map(|(k, _)| k[0].as_str().to_string()).collect();
         assert_eq!(keys, vec!["alpha", "bravo", "charlie", "delta", "echo"]);
     }
 }

@@ -64,9 +64,8 @@ impl AiDb {
         let mut fact_idx = HashMap::new();
         for col in fact_cols {
             let data = tables.lineorder.column(col);
-            let entries: Vec<(Key, u32)> = (0..data.len())
-                .map(|rid| (vec![data.value(rid)], rid as u32))
-                .collect();
+            let entries: Vec<(Key, u32)> =
+                (0..data.len()).map(|rid| (vec![data.value(rid)], rid as u32)).collect();
             fact_idx.insert(col, BPlusTree::bulk_load(entries));
         }
         let mut dim_idx = HashMap::new();
@@ -100,9 +99,7 @@ impl AiDb {
             let rid_name = format!("rid#{i}");
             let pred = q.fact_predicates.iter().find(|p| p.column == col);
             let scan: BoxedOp<'_> = match pred {
-                Some(p) => {
-                    Box::new(IndexRangeScanOp::new(tree, &[col], &rid_name, &p.pred, io))
-                }
+                Some(p) => Box::new(IndexRangeScanOp::new(tree, &[col], &rid_name, &p.pred, io)),
                 None => Box::new(IndexFullScanOp::new(tree, &[col], &rid_name, io)),
             };
             pipeline = Some(match pipeline {

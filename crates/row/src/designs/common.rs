@@ -19,9 +19,8 @@ pub fn dim_selectivity(tables: &SsbTables, q: &SsbQuery, dim: Dim) -> f64 {
     if n == 0 {
         return 1.0;
     }
-    let matches = (0..n)
-        .filter(|&i| preds.iter().all(|p| p.pred.matches(&table.value(i, p.column))))
-        .count();
+    let matches =
+        (0..n).filter(|&i| preds.iter().all(|p| p.pred.matches(&table.value(i, p.column)))).count();
     matches as f64 / n as f64
 }
 
@@ -30,9 +29,7 @@ pub fn dim_matching_rows(tables: &SsbTables, q: &SsbQuery, dim: Dim) -> Vec<u32>
     let preds = q.dim_predicates_on(dim);
     let table = tables.dim(dim);
     (0..table.num_rows() as u32)
-        .filter(|&i| {
-            preds.iter().all(|p| p.pred.matches(&table.value(i as usize, p.column)))
-        })
+        .filter(|&i| preds.iter().all(|p| p.pred.matches(&table.value(i as usize, p.column))))
         .collect()
 }
 
@@ -224,10 +221,7 @@ mod tests {
         let domain = [1i64, 2, 3, 4, 5, 6];
         assert!(selects_contiguous(&domain, &Pred::Between(Value::Int(2), Value::Int(4))));
         assert!(selects_contiguous(&domain, &Pred::Eq(Value::Int(6))));
-        assert!(!selects_contiguous(
-            &domain,
-            &Pred::InSet(vec![Value::Int(1), Value::Int(5)])
-        ));
+        assert!(!selects_contiguous(&domain, &Pred::InSet(vec![Value::Int(1), Value::Int(5)])));
         // Empty selection counts as contiguous.
         assert!(selects_contiguous(&domain, &Pred::Eq(Value::Int(99))));
     }

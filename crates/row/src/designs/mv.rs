@@ -14,7 +14,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use crate::designs::common::{aggregate_and_finish, dim_needed_columns, int_col, join_order, qualifying_years};
+use crate::designs::common::{
+    aggregate_and_finish, dim_needed_columns, int_col, join_order, qualifying_years,
+};
 use crate::ops::{BoxedOp, ChainOp, HashJoin, SeqScan};
 use cvr_data::gen::SsbTables;
 use cvr_data::queries::{all_queries, SsbQuery};

@@ -71,12 +71,9 @@ impl TraditionalDb {
             .collect::<Vec<i64>>();
         let fact_partitioned =
             opts.partitioned.then(|| PartitionedHeap::build(&tables.lineorder, |i| years[i]));
-        let fact_whole = (!opts.partitioned || opts.bitmap_indexes)
-            .then(|| HeapFile::build(&tables.lineorder));
-        let dims = Dim::ALL
-            .iter()
-            .map(|&d| (d, HeapFile::build(tables.dim(d))))
-            .collect();
+        let fact_whole =
+            (!opts.partitioned || opts.bitmap_indexes).then(|| HeapFile::build(&tables.lineorder));
+        let dims = Dim::ALL.iter().map(|&d| (d, HeapFile::build(tables.dim(d)))).collect();
         let mut fact_indexes = HashMap::new();
         if opts.bitmap_indexes {
             for col in BITMAP_COLUMNS {
@@ -177,10 +174,7 @@ impl TraditionalDb {
     /// even a biased optimizer would) — then the bitmaps are ANDed and the
     /// surviving tuples fetched from the heap.
     pub fn execute_bitmap(&self, q: &SsbQuery, io: &IoSession) -> QueryOutput {
-        assert!(
-            self.opts.bitmap_indexes,
-            "TraditionalDb was built without bitmap indexes"
-        );
+        assert!(self.opts.bitmap_indexes, "TraditionalDb was built without bitmap indexes");
         let heap = self.fact_whole.as_ref().expect("bitmap plans use the whole heap");
         let n = heap.num_rows() as u32;
         let mut bitmap = RidBitmap::full(n);

@@ -62,12 +62,7 @@ impl SuperColumn {
 
     /// Volcano scan producing `(pos, value)` tuples, with an optional
     /// pushed-down predicate. Positions are virtual (the value's ordinal).
-    fn scan<'a>(
-        &'a self,
-        name: &str,
-        pred: Option<Pred>,
-        io: &'a IoSession,
-    ) -> SuperTupleScan<'a> {
+    fn scan<'a>(&'a self, name: &str, pred: Option<Pred>, io: &'a IoSession) -> SuperTupleScan<'a> {
         self.store.charge_scan(io);
         SuperTupleScan {
             column: &self.store,
@@ -130,7 +125,8 @@ impl SuperVpDb {
         for &d in &Dim::ALL {
             let table = tables.dim(d);
             for def in &tables.schema.dim(d).columns {
-                dim_cols.insert((d, def.name), SuperColumn::build(def.name, table.column(def.name)));
+                dim_cols
+                    .insert((d, def.name), SuperColumn::build(def.name, table.column(def.name)));
             }
         }
         SuperVpDb { tables, fact_cols, dim_cols }
@@ -262,12 +258,9 @@ mod tests {
         let vp = VpDb::build(t.clone());
         let sup = SuperVpDb::build(t.clone());
         // 16 B/row (header + position + value) vs 4 B/value.
-        let ratio = vp.fact_column_bytes("lo_revenue") as f64
-            / sup.fact_column_bytes("lo_revenue") as f64;
-        assert!(
-            (3.5..=4.5).contains(&ratio),
-            "expected ~4x shrink, got {ratio:.2}"
-        );
+        let ratio =
+            vp.fact_column_bytes("lo_revenue") as f64 / sup.fact_column_bytes("lo_revenue") as f64;
+        assert!((3.5..=4.5).contains(&ratio), "expected ~4x shrink, got {ratio:.2}");
     }
 
     #[test]

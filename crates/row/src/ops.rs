@@ -113,10 +113,7 @@ impl RowOp for SeqScan<'_> {
                 }
             }
             return Some(
-                self.projection
-                    .iter()
-                    .map(|&i| rec.value_at(types[i], self.offsets[i]))
-                    .collect(),
+                self.projection.iter().map(|&i| rec.value_at(types[i], self.offsets[i])).collect(),
             );
         }
         None
@@ -284,8 +281,7 @@ impl<'a> HashJoin<'a> {
         let build_rows = drain(build);
         let mut table = IntHashMap::with_capacity(build_rows.len());
         let mut chain = vec![CHAIN_END; build_rows.len()];
-        let mut bloom =
-            use_bloom.then(|| BloomFilter::new(build_rows.len().max(16), 0.01));
+        let mut bloom = use_bloom.then(|| BloomFilter::new(build_rows.len().max(16), 0.01));
         for (i, row) in build_rows.iter().enumerate() {
             let k = row[build_key].as_int();
             if let Some(b) = bloom.as_mut() {
@@ -429,7 +425,13 @@ impl<'a> SortOp<'a> {
     pub fn new(child: BoxedOp<'a>, columns: &[&str]) -> SortOp<'a> {
         let key_cols = columns.iter().map(|c| child.schema().idx(c)).collect();
         let schema = child.schema().clone();
-        SortOp { child: Some(child), sorted: Vec::new().into_iter(), key_cols, schema, started: false }
+        SortOp {
+            child: Some(child),
+            sorted: Vec::new().into_iter(),
+            key_cols,
+            schema,
+            started: false,
+        }
     }
 }
 
@@ -479,8 +481,7 @@ impl<'a> HashAgg<'a> {
         group_columns: &[&str],
         term: impl Fn(&Tuple) -> i64 + 'a,
     ) -> HashAgg<'a> {
-        let group_cols: Vec<usize> =
-            group_columns.iter().map(|c| child.schema().idx(c)).collect();
+        let group_cols: Vec<usize> = group_columns.iter().map(|c| child.schema().idx(c)).collect();
         let mut cols: Vec<String> = group_columns.iter().map(|c| c.to_string()).collect();
         cols.push("agg".to_string());
         HashAgg {
@@ -494,11 +495,7 @@ impl<'a> HashAgg<'a> {
     }
 
     /// Convenience: sum of one integer column.
-    pub fn sum_of(
-        child: BoxedOp<'a>,
-        group_columns: &[&str],
-        value_column: &str,
-    ) -> HashAgg<'a> {
+    pub fn sum_of(child: BoxedOp<'a>, group_columns: &[&str], value_column: &str) -> HashAgg<'a> {
         let idx = child.schema().idx(value_column);
         HashAgg::new(child, group_columns, move |t| t[idx].as_int())
     }
@@ -516,8 +513,7 @@ impl RowOp for HashAgg<'_> {
             let mut groups: std::collections::HashMap<Vec<Value>, i64> =
                 std::collections::HashMap::new();
             while let Some(t) = child.next() {
-                let key: Vec<Value> =
-                    self.group_cols.iter().map(|&i| t[i].clone()).collect();
+                let key: Vec<Value> = self.group_cols.iter().map(|&i| t[i].clone()).collect();
                 *groups.entry(key).or_insert(0) += (self.term)(&t);
             }
             let mut rows: Vec<Tuple> = groups
@@ -679,11 +675,6 @@ impl RowOp for BitmapFetch<'_> {
         let rec = self.heap.fetch(rid, self.io);
         let types = self.heap.types();
         rec.field_offsets(types, &mut self.offsets);
-        Some(
-            self.projection
-                .iter()
-                .map(|&i| rec.value_at(types[i], self.offsets[i]))
-                .collect(),
-        )
+        Some(self.projection.iter().map(|&i| rec.value_at(types[i], self.offsets[i])).collect())
     }
 }

@@ -41,10 +41,7 @@ fn hash_join_inner_semantics() {
     let j = HashJoin::new(probe, build, "k", "k2", false);
     let mut got = ints(Box::new(j));
     got.sort();
-    assert_eq!(
-        got,
-        vec![vec![2, 200, 2, 7], vec![2, 201, 2, 7], vec![3, 300, 3, 8]]
-    );
+    assert_eq!(got, vec![vec![2, 200, 2, 7], vec![2, 201, 2, 7], vec![3, 300, 3, 8]]);
 }
 
 #[test]
@@ -69,13 +66,7 @@ fn hash_join_with_bloom_same_result() {
         "k2",
         false,
     );
-    let b = HashJoin::new(
-        vals(&["k", "x"], rows),
-        vals(&["k2", "y"], build_rows),
-        "k",
-        "k2",
-        true,
-    );
+    let b = HashJoin::new(vals(&["k", "x"], rows), vals(&["k2", "y"], build_rows), "k", "k2", true);
     let mut xs = ints(Box::new(a));
     let mut ys = ints(Box::new(b));
     xs.sort();
@@ -97,10 +88,7 @@ fn merge_join_on_sorted_inputs() {
 fn sort_op_orders_by_key_prefix() {
     let child = vals(&["a", "b"], vec![vec![2, 1], vec![1, 9], vec![2, 0], vec![1, 3]]);
     let s = SortOp::new(child, &["a", "b"]);
-    assert_eq!(
-        ints(Box::new(s)),
-        vec![vec![1, 3], vec![1, 9], vec![2, 0], vec![2, 1]]
-    );
+    assert_eq!(ints(Box::new(s)), vec![vec![1, 3], vec![1, 9], vec![2, 0], vec![2, 1]]);
 }
 
 #[test]
@@ -192,10 +180,7 @@ fn index_scans_yield_keys_and_rids() {
 #[test]
 fn bitmap_fetch_projects_requested_rids() {
     let table = TableData::new(
-        TableSchema {
-            name: "t",
-            columns: vec![ColumnDef { name: "a", dtype: DataType::Int }],
-        },
+        TableSchema { name: "t", columns: vec![ColumnDef { name: "a", dtype: DataType::Int }] },
         vec![ColumnData::Int((0..100).map(|i| i * 3).collect())],
     );
     let heap = HeapFile::build(&table);

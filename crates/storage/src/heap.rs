@@ -172,7 +172,6 @@ mod tests {
     use crate::io::IoSession;
     use cvr_data::schema::{ColumnDef, TableSchema};
     use cvr_data::table::ColumnData;
-    
 
     fn table(n: usize) -> TableData {
         TableData::new(

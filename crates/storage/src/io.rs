@@ -341,12 +341,8 @@ mod tests {
     #[test]
     fn disk_model_times() {
         let m = DiskModel::default();
-        let stats = IoStats {
-            bytes_read: 200 * 1024 * 1024,
-            pages_read: 6400,
-            seeks: 0,
-            pool_hits: 0,
-        };
+        let stats =
+            IoStats { bytes_read: 200 * 1024 * 1024, pages_read: 6400, seeks: 0, pool_hits: 0 };
         let t = m.io_time(&stats);
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
         let with_seeks = IoStats { seeks: 250, ..stats };

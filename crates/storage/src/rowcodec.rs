@@ -84,8 +84,7 @@ impl<'a> RecordView<'a> {
             match t {
                 DataType::Int => {
                     if i == idx {
-                        let u =
-                            u32::from_le_bytes(self.buf[off..off + 4].try_into().unwrap());
+                        let u = u32::from_le_bytes(self.buf[off..off + 4].try_into().unwrap());
                         return Value::Int(u as i64);
                     }
                     off += INT_FIELD_BYTES;

@@ -20,7 +20,10 @@ fn main() {
     let q = queries::query(3, 1);
 
     println!("SSBM Q3.1: invisible join vs pre-joined tables (sf 0.01)\n");
-    println!("{:<14}{:>14}{:>14}{:>12}{:>12}", "variant", "stored MB", "MB read", "cpu ms", "model s");
+    println!(
+        "{:<14}{:>14}{:>14}{:>12}{:>12}",
+        "variant", "stored MB", "MB read", "cpu ms", "model s"
+    );
 
     let engine = ColumnEngine::new(tables.clone());
     let io = IoSession::unmetered();

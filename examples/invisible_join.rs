@@ -12,11 +12,11 @@
 use cvr::core::invisible::{phase1_key_pred, phase2_probe, FactKeyPred};
 use cvr::core::{CStoreDb, EngineConfig};
 use cvr::data::gen::{SsbConfig, SsbTables};
+use cvr::data::queries::{AggExpr, GroupColumn, QueryId};
 use cvr::data::queries::{DimPredicate, Pred, SsbQuery};
 use cvr::data::schema::{star_schema, Dim};
 use cvr::data::table::{ColumnData, TableData};
 use cvr::data::value::Value;
-use cvr::data::queries::{AggExpr, GroupColumn, QueryId};
 use cvr::storage::io::IoSession;
 use std::sync::Arc;
 
@@ -84,8 +84,7 @@ fn figure2_tables() -> SsbTables {
     // orderdate, revenue [43256,33333,12121,23233,45456,43251,34235].
     let custkey = vec![3i64, 1, 2, 1, 2, 1, 3];
     let suppkey = vec![1i64, 2, 1, 1, 2, 2, 2];
-    let orderdate =
-        vec![19970101i64, 19970101, 19970102, 19970102, 19970102, 19970103, 19970103];
+    let orderdate = vec![19970101i64, 19970101, 19970102, 19970102, 19970102, 19970103, 19970103];
     let revenue = vec![43256i64, 33333, 12121, 23233, 45456, 43251, 34235];
     let n = 7usize;
     let lineorder = TableData::new(
@@ -143,8 +142,16 @@ fn query31() -> SsbQuery {
     SsbQuery {
         id: QueryId::new(3, 1),
         dim_predicates: vec![
-            DimPredicate { dim: Dim::Customer, column: "c_region", pred: Pred::Eq(Value::str("ASIA")) },
-            DimPredicate { dim: Dim::Supplier, column: "s_region", pred: Pred::Eq(Value::str("ASIA")) },
+            DimPredicate {
+                dim: Dim::Customer,
+                column: "c_region",
+                pred: Pred::Eq(Value::str("ASIA")),
+            },
+            DimPredicate {
+                dim: Dim::Supplier,
+                column: "s_region",
+                pred: Pred::Eq(Value::str("ASIA")),
+            },
             DimPredicate {
                 dim: Dim::Date,
                 column: "d_year",
@@ -180,11 +187,7 @@ fn main() {
     let mut preds = Vec::new();
     for dim in [Dim::Customer, Dim::Supplier, Dim::Date] {
         let kp = phase1_key_pred(&db, &q, dim, cfg, &io).expect("restricted");
-        println!(
-            "  {:<9} predicate rewritten to: fk {}",
-            dim.table_name(),
-            describe(&kp)
-        );
+        println!("  {:<9} predicate rewritten to: fk {}", dim.table_name(), describe(&kp));
         preds.push((dim, kp));
     }
     println!(

@@ -64,11 +64,9 @@ fn denormalized_variants_match_reference() {
     let t = tables();
     let exp = expected(&t);
     let io = IoSession::unmetered();
-    for variant in [
-        DenormVariant::NoCompression,
-        DenormVariant::IntCompression,
-        DenormVariant::MaxCompression,
-    ] {
+    for variant in
+        [DenormVariant::NoCompression, DenormVariant::IntCompression, DenormVariant::MaxCompression]
+    {
         let db = DenormDb::build(t.clone(), variant);
         for (q, e) in all_queries().iter().zip(&exp) {
             assert_eq!(

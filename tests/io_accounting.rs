@@ -164,8 +164,5 @@ fn invisible_join_reads_only_touched_columns() {
         col.execute(&q, EngineConfig::parse("tIcL"), io);
     });
     let whole = col.db(EngineConfig::parse("tIcL")).fact_bytes();
-    assert!(
-        bytes < whole / 3,
-        "Q1.1 should read ~4/17 of the fact table: {bytes} vs {whole}"
-    );
+    assert!(bytes < whole / 3, "Q1.1 should read ~4/17 of the fact table: {bytes} vs {whole}");
 }

@@ -18,17 +18,13 @@ fn between_rewriting_applies_at_least_once_per_query() {
     for q in all_queries() {
         let mut rewrites = 0;
         for dim in q.restricted_dims() {
-            let kp = phase1_key_pred(&db, &q, dim, EngineConfig::FULL, &io)
-                .expect("restricted dim");
+            let kp =
+                phase1_key_pred(&db, &q, dim, EngineConfig::FULL, &io).expect("restricted dim");
             if kp.kind() == "between" {
                 rewrites += 1;
             }
         }
-        assert!(
-            rewrites >= 1,
-            "{}: no join rewrote to a between-predicate",
-            q.id
-        );
+        assert!(rewrites >= 1, "{}: no join rewrote to a between-predicate", q.id);
     }
 }
 
@@ -73,12 +69,7 @@ fn date_hierarchy_predicates_stay_contiguous() {
         assert!(!pl.is_empty());
     }
     // A predicate on a non-sorted date attribute is NOT contiguous.
-    let pl = scan_pred(
-        date.column("d_weeknuminyear"),
-        &Pred::Eq(Value::Int(6)),
-        true,
-        &io,
-    );
+    let pl = scan_pred(date.column("d_weeknuminyear"), &Pred::Eq(Value::Int(6)), true, &io);
     assert!(!pl.is_contiguous(), "week-of-year repeats every year");
 }
 

@@ -1,0 +1,75 @@
+//! `any::<T>()` — the "whole domain of `T`" strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy (mirrors
+/// `proptest::arbitrary::Arbitrary` without the parameterization).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Returns the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),+ $(,)?) => { $(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )+ };
+}
+
+int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII: plenty of variety without Unicode edge cases the
+        // workspace's strategies never rely on.
+        char::from(b' ' + rng.below(95) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_signs_and_magnitudes() {
+        let mut rng = TestRng::for_case("arbitrary::tests", 0);
+        let strat = any::<i64>();
+        let draws: Vec<i64> = (0..200).map(|_| strat.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|&v| v < 0));
+        assert!(draws.iter().any(|&v| v > 0));
+        assert!(draws.iter().any(|&v| v.unsigned_abs() > 1 << 60));
+        let bools: Vec<bool> = (0..64).map(|_| bool::arbitrary(&mut rng)).collect();
+        assert!(bools.contains(&true) && bools.contains(&false));
+        for _ in 0..100 {
+            let c = char::arbitrary(&mut rng);
+            assert!(c.is_ascii_graphic() || c == ' ');
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Collection strategies (`prop::collection::vec`, `prop::collection::btree_set`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// `Vec` strategy: length drawn from `size`, elements from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.clone().generate(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `BTreeSet` strategy: draws `size` candidate elements and keeps the
+/// distinct ones, so (as in real proptest) the set's length may come out
+/// below the drawn size when the element domain is small.
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// Strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.clone().generate(rng);
+        (0..target).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_length_and_element_ranges() {
+        let mut rng = TestRng::for_case("collection::tests::vec", 0);
+        let strat = vec(0i64..50, 0..60);
+        let mut lens = BTreeSet::new();
+        for _ in 0..300 {
+            let v = strat.generate(&mut rng);
+            assert!(v.len() < 60);
+            assert!(v.iter().all(|x| (0..50).contains(x)));
+            lens.insert(v.len());
+        }
+        assert!(lens.len() > 20, "lengths should vary, got {lens:?}");
+    }
+
+    #[test]
+    fn btree_set_stays_in_domain_and_below_target() {
+        let mut rng = TestRng::for_case("collection::tests::set", 0);
+        let strat = btree_set(0u32..10, 0..300);
+        for _ in 0..100 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() <= 10, "only 10 distinct values exist");
+            assert!(s.iter().all(|x| *x < 10));
+        }
+    }
+}

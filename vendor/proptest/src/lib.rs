@@ -1,0 +1,191 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate, implementing the API subset this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! same surface (`proptest!`, `prop_assert*!`, `Strategy`, `any`,
+//! `prop::collection`, `ProptestConfig`) backed by a deterministic
+//! SplitMix64 generator. Differences from real proptest, on purpose:
+//!
+//! * **No shrinking.** A failing case reports the case number and seed; the
+//!   inputs are reproduced by the deterministic seeding rather than
+//!   minimized. Set `PROPTEST_SEED` to explore a different universe.
+//! * **Regex strategies** (`"[a-z]{0,12}"` as a `Strategy<Value = String>`)
+//!   support the character-class + repetition subset the workspace uses,
+//!   not full regex syntax.
+//! * Collection strategies take a `Range<usize>` length, the only size
+//!   specification the workspace's tests use.
+//!
+//! Swapping back to real proptest requires only a `Cargo.toml` change; the
+//! test sources compile against either.
+
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The `use proptest::prelude::*` surface: strategy constructors, the
+/// config/runner types, and the macros.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of `proptest::prelude::prop`, the module-style entry point
+    /// (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
+
+/// Defines property tests. Mirrors `proptest::proptest!`: takes an optional
+/// `#![proptest_config(..)]` inner attribute followed by `#[test]` functions
+/// whose arguments use `pattern in strategy` syntax.
+///
+/// Each function runs `config.cases` deterministic cases; `prop_assert*!`
+/// failures abort the case with a panic naming the case number.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    { ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )* } => { $(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                let ($($pat,)+) =
+                    ($($crate::strategy::Strategy::generate(&($strat), &mut rng),)+);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    ::std::panic!(
+                        "proptest case {}/{} failed: {}\n(deterministic: rerun reproduces it; \
+                         set PROPTEST_SEED to vary inputs)",
+                        case + 1,
+                        config.cases,
+                        err
+                    );
+                }
+            }
+        }
+    )* };
+}
+
+/// Asserts a condition inside a `proptest!` body, returning a
+/// [`test_runner::TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            left,
+            right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`\n{}",
+            left,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+#[cfg(test)]
+mod macro_tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn holds_for_every_case(x in 0i64..10, v in prop::collection::vec(0u32..5, 0..8)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(v.len() < 8);
+            prop_assert_ne!(x, 10);
+        }
+
+        #[test]
+        fn early_ok_return_is_accepted(x in 0i64..10) {
+            if x >= 0 {
+                return Ok(());
+            }
+            prop_assert!(false, "unreachable: x is never negative here");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+        // The harness must be able to FAIL: a property runner that cannot
+        // reject a false property would green-light every test above it.
+        #[test]
+        #[should_panic(expected = "proptest case 1/3 failed")]
+        fn false_property_panics(x in 0i64..10) {
+            prop_assert_eq!(x, -1, "x in 0..10 is never -1");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The [`Strategy`] trait and the built-in strategies over ranges, tuples,
+//! and constants.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type. Mirrors the generation half
+/// of `proptest::strategy::Strategy`; there is no shrinking, so a strategy
+/// is simply a function from an RNG to a value.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (mirrors `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy behind a shared reference is itself a strategy; this is what
+/// lets the `proptest!` macro generate from `&strategy`.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value (mirrors `proptest::prelude::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $unsigned:ty),+ $(,)?) => { $(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                // Two's-complement trick: the unsigned difference is the
+                // width for signed and unsigned types alike, and wrapping
+                // addition of an offset below it lands back in range.
+                let width = (self.end as $unsigned).wrapping_sub(self.start as $unsigned);
+                let offset = rng.below(width as u64) as $unsigned;
+                self.start.wrapping_add(offset as $t)
+            }
+        }
+    )+ };
+}
+
+int_range_strategy! {
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy {self:?}");
+        let v = self.start + rng.next_f64() * (self.end - self.start);
+        // Rounding in the interpolation could land exactly on `end`.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))+) => { $(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )+ };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy::tests", 0)
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            assert!((-5i64..7).contains(&(-5i64..7).generate(&mut r)));
+            assert!((0u32..3).contains(&(0u32..3).generate(&mut r)));
+            assert!((1usize..2).contains(&(1usize..2).generate(&mut r)));
+        }
+        // Full-width signed range exercises the wrapping arithmetic.
+        for _ in 0..100 {
+            let _ = (i64::MIN..i64::MAX).generate(&mut r);
+        }
+    }
+
+    #[test]
+    fn f64_range_stays_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (0.25f64..0.5).generate(&mut r);
+            assert!((0.25..0.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut r = rng();
+        let strat = (0i64..10, 1usize..4).prop_map(|(v, n)| vec![v; n]);
+        for _ in 0..100 {
+            let v = strat.generate(&mut r);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+        assert_eq!(Just(7).generate(&mut r), 7);
+    }
+}

@@ -1,0 +1,185 @@
+//! String strategies from pattern literals: `"[a-z]{0,12}"` used directly as
+//! a `Strategy<Value = String>`, as in real proptest.
+//!
+//! Supported pattern subset: a concatenation of atoms, where an atom is a
+//! character class `[...]` (literal characters and `a-z` ranges) or a single
+//! literal character, optionally followed by `{n}` or `{m,n}` repetition.
+//! That covers every pattern in this workspace's tests; anything else
+//! panics loudly rather than silently generating the wrong language.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One parsed atom: a set of inclusive character ranges plus a repetition.
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Inclusive `(lo, hi)` alternatives; a literal is a degenerate range.
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"))
+                + i;
+            let mut ranges = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    assert!(
+                        chars[j] <= chars[j + 2],
+                        "inverted class range in pattern {pattern:?}"
+                    );
+                    ranges.push((chars[j], chars[j + 2]));
+                    j += 3;
+                } else {
+                    ranges.push((chars[j], chars[j]));
+                    j += 1;
+                }
+            }
+            assert!(!ranges.is_empty(), "empty character class in pattern {pattern:?}");
+            i = close + 1;
+            ranges
+        } else {
+            assert!(
+                !"{}()|*+?.\\^$".contains(chars[i]),
+                "unsupported regex syntax {:?} in pattern {pattern:?} \
+                 (this shim handles classes + repetition only)",
+                chars[i]
+            );
+            let lit = chars[i];
+            i += 1;
+            vec![(lit, lit)]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let reps = match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().unwrap_or_else(|_| panic!("bad repetition in {pattern:?}")),
+                    n.trim().parse().unwrap_or_else(|_| panic!("bad repetition in {pattern:?}")),
+                ),
+                None => {
+                    let n = body
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repetition in {pattern:?}"));
+                    (n, n)
+                }
+            };
+            assert!(reps.0 <= reps.1, "inverted repetition in pattern {pattern:?}");
+            i = close + 1;
+            reps
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+fn draw(atoms: &[Atom], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in atoms {
+        let reps = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+        for _ in 0..reps {
+            // Weight alternatives by their width so every character in the
+            // class is equally likely.
+            let total: u64 = atom.ranges.iter().map(|&(lo, hi)| hi as u64 - lo as u64 + 1).sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in &atom.ranges {
+                let width = hi as u64 - lo as u64 + 1;
+                if pick < width {
+                    out.push(char::from_u32(lo as u32 + pick as u32).expect("ASCII class"));
+                    break;
+                }
+                pick -= width;
+            }
+        }
+    }
+    out
+}
+
+/// String literals are string strategies (`"[a-z]{1,3}"` ⇒ matching
+/// `String`s). Parsing happens per draw; pattern literals are a few bytes,
+/// so this stays invisible next to the properties under test.
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        draw(&parse(self), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string::tests", 0)
+    }
+
+    #[test]
+    fn class_with_bounded_repetition() {
+        let mut r = rng();
+        let mut seen_empty = false;
+        let mut seen_long = false;
+        for _ in 0..300 {
+            let s = "[a-z]{0,12}".generate(&mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            seen_empty |= s.is_empty();
+            seen_long |= s.len() >= 10;
+        }
+        assert!(seen_empty && seen_long, "repetition bounds should both be reachable");
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[ -~]{0,40}".generate(&mut r);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_multi_range_classes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-dx]{1}".generate(&mut r);
+            assert_eq!(s.chars().count(), 1);
+            let c = s.chars().next().unwrap();
+            assert!(('a'..='d').contains(&c) || c == 'x');
+        }
+    }
+
+    #[test]
+    fn concatenation_of_atoms() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "x[0-9]{2}y".generate(&mut r);
+            assert_eq!(s.len(), 4);
+            assert!(s.starts_with('x') && s.ends_with('y'));
+            assert!(s[1..3].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex syntax")]
+    fn unsupported_syntax_panics() {
+        let _ = "(a|b)".generate(&mut rng());
+    }
+}

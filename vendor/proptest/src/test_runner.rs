@@ -1,0 +1,125 @@
+//! Config, error type, and the deterministic RNG behind the `proptest!`
+//! macro.
+
+use std::fmt;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config` (exposed
+/// in the prelude as `ProptestConfig`). Only the fields this workspace's
+/// tests set are meaningful; the rest exist for struct-update compatibility.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented, so this is
+    /// never consulted.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps `cargo test -q` fast while
+        // still exercising each property across a spread of sizes (the
+        // per-case seeds cover empty, tiny, and near-maximum collections).
+        Config { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// Failure raised by the `prop_assert*!` macros.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// SplitMix64: a tiny, high-quality 64-bit generator (Steele et al.,
+/// "Fast splittable pseudorandom number generators", OOPSLA 2014).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one test case, seeded from the test's module path + name and
+    /// the case index, so every case of every property draws from a distinct
+    /// deterministic stream. `PROPTEST_SEED=<u64>` shifts all streams.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        let base: u64 =
+            std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(0x5EED_2008);
+        let mut seed = base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(case) + 1);
+        for b in test_name.bytes() {
+            // FNV-1a over the name keeps unrelated tests decorrelated.
+            seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Modulo bias is ~bound/2^64 — irrelevant at test-strategy scales.
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        let mut a1 = TestRng::for_case("t::alpha", 0);
+        let mut a2 = TestRng::for_case("t::alpha", 0);
+        let mut b = TestRng::for_case("t::beta", 0);
+        let mut a_next = TestRng::for_case("t::alpha", 1);
+        let x = a1.next_u64();
+        assert_eq!(x, a2.next_u64());
+        assert_ne!(x, b.next_u64());
+        assert_ne!(x, a_next.next_u64());
+    }
+
+    #[test]
+    fn next_f64_stays_in_unit_interval() {
+        let mut rng = TestRng::for_case("t::unit", 0);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::for_case("t::below", 0);
+        for bound in [1u64, 2, 3, 17, 1 << 40] {
+            for _ in 0..100 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+}
