@@ -17,6 +17,7 @@ use cvr_row::designs::{RowDb, RowDesign};
 fn main() {
     let args = HarnessArgs::parse();
     let harness = Harness::new(args.clone());
+    let par = args.parallelism();
 
     // ---- Section 3: selectivities ----
     println!("\nSection 3: LINEORDER selectivities (sf {})", args.sf);
@@ -35,7 +36,10 @@ fn main() {
     let fig5: Vec<(String, Vec<Measurement>)> = vec![
         ("RS".into(), harness.measure_series(|q, io| rs.execute(q, io))),
         ("RS (MV)".into(), harness.measure_series(|q, io| rs_mv.execute(q, io))),
-        ("CS".into(), harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io))),
+        (
+            "CS".into(),
+            harness.measure_series(|q, io| cs.execute_with(q, EngineConfig::FULL, par, io)),
+        ),
         ("CS (Row-MV)".into(), harness.measure_series(|q, io| cs_row_mv.execute(q, io))),
     ];
     println!(
@@ -57,7 +61,7 @@ fn main() {
     eprintln!("# figure 7 ...");
     let mut fig7: Vec<(String, Vec<Measurement>)> = Vec::new();
     for cfg in EngineConfig::figure7() {
-        fig7.push((cfg.code(), harness.measure_series(|q, io| cs.execute(q, cfg, io))));
+        fig7.push((cfg.code(), harness.measure_series(|q, io| cs.execute_with(q, cfg, par, io))));
     }
     println!(
         "{}",
@@ -69,7 +73,7 @@ fn main() {
     let mut fig8: Vec<(String, Vec<Measurement>)> = Vec::new();
     fig8.push((
         "Base".into(),
-        harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io)),
+        harness.measure_series(|q, io| cs.execute_with(q, EngineConfig::FULL, par, io)),
     ));
     for variant in
         [DenormVariant::NoCompression, DenormVariant::IntCompression, DenormVariant::MaxCompression]

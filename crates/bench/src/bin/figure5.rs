@@ -23,8 +23,12 @@ fn main() {
     ours.push(("RS".into(), harness.measure_series(|q, io| rs.execute(q, io))));
     eprintln!("# RS (MV)");
     ours.push(("RS (MV)".into(), harness.measure_series(|q, io| rs_mv.execute(q, io))));
-    eprintln!("# CS (full C-Store: tICL)");
-    ours.push(("CS".into(), harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io))));
+    eprintln!("# CS (full C-Store: tICL, {} thread(s))", args.threads);
+    let par = args.parallelism();
+    ours.push((
+        "CS".into(),
+        harness.measure_series(|q, io| cs.execute_with(q, EngineConfig::FULL, par, io)),
+    ));
     eprintln!("# CS (Row-MV)");
     ours.push(("CS (Row-MV)".into(), harness.measure_series(|q, io| cs_row_mv.execute(q, io))));
 

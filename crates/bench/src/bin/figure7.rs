@@ -15,9 +15,13 @@ fn main() {
     let engine = ColumnEngine::new(harness.tables.clone());
 
     let mut ours: Vec<(String, Vec<Measurement>)> = Vec::new();
+    let par = args.parallelism();
     for cfg in EngineConfig::figure7() {
-        eprintln!("# running {}", cfg.code());
-        ours.push((cfg.code(), harness.measure_series(|q, io| engine.execute(q, cfg, io))));
+        eprintln!("# running {} ({} thread(s))", cfg.code(), par.threads);
+        ours.push((
+            cfg.code(),
+            harness.measure_series(|q, io| engine.execute_with(q, cfg, par, io)),
+        ));
     }
 
     println!(

@@ -14,10 +14,11 @@ fn main() {
     let engine = ColumnEngine::new(harness.tables.clone());
 
     let mut ours: Vec<(String, Vec<Measurement>)> = Vec::new();
-    eprintln!("# Base (invisible join)");
+    eprintln!("# Base (invisible join, {} thread(s))", args.threads);
+    let par = args.parallelism();
     ours.push((
         "Base".into(),
-        harness.measure_series(|q, io| engine.execute(q, EngineConfig::FULL, io)),
+        harness.measure_series(|q, io| engine.execute_with(q, EngineConfig::FULL, par, io)),
     ));
     for variant in
         [DenormVariant::NoCompression, DenormVariant::IntCompression, DenormVariant::MaxCompression]

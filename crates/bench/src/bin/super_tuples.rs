@@ -28,8 +28,9 @@ fn main() {
     let mt: Vec<Measurement> = harness.measure_series(|q, io| t.execute(q, io));
     let mvp: Vec<Measurement> = harness.measure_series(|q, io| vp.execute(q, io));
     let msup: Vec<Measurement> = harness.measure_series(|q, io| sup.execute(q, io));
+    let par = args.parallelism();
     let mcs: Vec<Measurement> =
-        harness.measure_series(|q, io| cs.execute(q, EngineConfig::FULL, io));
+        harness.measure_series(|q, io| cs.execute_with(q, EngineConfig::FULL, par, io));
 
     println!(
         "\nExtension: super-tuple VP vs plain VP vs traditional vs column store (sf {})",

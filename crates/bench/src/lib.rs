@@ -37,12 +37,30 @@
 //! | `partitioning` | §6.1's partitioning factor-of-two claim |
 //! | `ablation` | §6.3.2's between-predicate-rewriting attribution, isolated |
 //! | `super_tuples` | §7's row-store prescription (Halverson et al.), implemented |
+//! | `scaling` | morsel-driven parallelism: threads-vs-speedup over the 13 queries |
 //! | `all` | the full evaluation in one run |
+//!
+//! ## Threads
+//!
+//! The column engine executes queries with morsel-driven parallelism
+//! (`cvr_core::morsel`). Every binary accepts `--threads N`; unset, the
+//! `CVR_THREADS` environment variable and then the machine's available
+//! parallelism decide. The knob governs `ColumnEngine` executions only —
+//! the row-store designs reproduce the paper's single-threaded System X and
+//! always run serial — and `--threads 1` reproduces the paper's
+//! single-threaded column-store measurements. Results and I/O accounting
+//! are byte-identical at any thread count — only CPU time changes. The `scaling` binary sweeps thread
+//! counts {1, 2, 4, 8} over the 13-query flight set and prints a
+//! threads-vs-speedup table; because CI containers often pin a single core,
+//! it reports **critical-path CPU time** (serial coordinator time plus the
+//! busiest worker's CPU time per fan-out) next to wall-clock, and verifies
+//! outputs and I/O stats against the `--threads 1` run.
 
 #![warn(missing_docs)]
 
 pub mod paper;
 
+use cvr_core::morsel::Parallelism;
 use cvr_data::gen::{SsbConfig, SsbTables};
 use cvr_data::queries::{all_queries, SsbQuery};
 use cvr_data::result::QueryOutput;
@@ -66,11 +84,24 @@ pub struct HarnessArgs {
     /// (default 5.0: modern cores process these workloads roughly 5x
     /// faster per byte than the paper's 2.8 GHz Pentium D).
     pub cpu_scale: f64,
+    /// Worker threads for the column engine's morsel-driven execution
+    /// (default: `CVR_THREADS`, else available parallelism). The `scaling`
+    /// binary sweeps thread counts from {1, 2, 4, 8} up to
+    /// `max(threads, 4)` — it never sweeps below 4, so the scaling table
+    /// stays meaningful even where the default resolves to 1.
+    pub threads: usize,
 }
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { sf: 0.02, seed: 0x55B0_2008, runs: 3, pool_fraction: 0.08, cpu_scale: 5.0 }
+        HarnessArgs {
+            sf: 0.02,
+            seed: 0x55B0_2008,
+            runs: 3,
+            pool_fraction: 0.08,
+            cpu_scale: 5.0,
+            threads: Parallelism::from_env().threads,
+        }
     }
 }
 
@@ -96,10 +127,14 @@ impl HarnessArgs {
                 "--cpu-scale" => {
                     args.cpu_scale = take(&mut i).parse().expect("--cpu-scale takes a float")
                 }
+                "--threads" => {
+                    args.threads =
+                        take(&mut i).parse::<usize>().expect("--threads takes an int").max(1)
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "usage: [--sf F] [--seed N] [--runs N] [--pool-fraction F] [--cpu-scale F]\n\
-                         defaults: --sf 0.02 --runs 3 --pool-fraction 0.08 --cpu-scale 5.0"
+                        "usage: [--sf F] [--seed N] [--runs N] [--pool-fraction F] [--cpu-scale F] [--threads N]\n\
+                         defaults: --sf 0.02 --runs 3 --pool-fraction 0.08 --cpu-scale 5.0 --threads CVR_THREADS|auto"
                     );
                     std::process::exit(0);
                 }
@@ -113,6 +148,11 @@ impl HarnessArgs {
     /// Generate the SSBM database for these options.
     pub fn tables(&self) -> Arc<SsbTables> {
         Arc::new(SsbConfig { sf: self.sf, seed: self.seed }.generate())
+    }
+
+    /// The [`Parallelism`] these options select.
+    pub fn parallelism(&self) -> Parallelism {
+        Parallelism::with_threads(self.threads)
     }
 }
 

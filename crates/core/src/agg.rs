@@ -23,6 +23,20 @@ impl Grouper {
         *self.map.entry(key).or_insert(0) += term;
     }
 
+    /// Fold another grouper's partial aggregates into this one. Integer sums
+    /// commute, and [`Grouper::finish`] sorts rows, so merging per-morsel
+    /// groupers in morsel order yields outputs byte-identical to a serial
+    /// execution.
+    pub fn merge(&mut self, other: Grouper) {
+        if self.map.is_empty() {
+            self.map = other.map;
+            return;
+        }
+        for (key, term) in other.map {
+            *self.map.entry(key).or_insert(0) += term;
+        }
+    }
+
     /// Number of groups so far.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -68,6 +82,32 @@ mod tests {
         assert_eq!(g.len(), 2);
         let out = g.finish(&query(2, 1));
         assert_eq!(out.rows, vec![(vec![Value::str("a")], 3), (vec![Value::str("b")], 5)]);
+    }
+
+    #[test]
+    fn merge_combines_partial_aggregates() {
+        let mut a = Grouper::new();
+        a.add(vec![Value::str("x")], 1);
+        a.add(vec![Value::str("y")], 10);
+        let mut b = Grouper::new();
+        b.add(vec![Value::str("x")], 2);
+        b.add(vec![Value::str("z")], 100);
+        a.merge(b);
+        let out = a.finish(&query(2, 1));
+        assert_eq!(
+            out.rows,
+            vec![
+                (vec![Value::str("x")], 3),
+                (vec![Value::str("y")], 10),
+                (vec![Value::str("z")], 100)
+            ]
+        );
+        // Merging into an empty grouper adopts the other side wholesale.
+        let mut empty = Grouper::new();
+        let mut c = Grouper::new();
+        c.add(vec![Value::Int(1)], 7);
+        empty.merge(c);
+        assert_eq!(empty.len(), 1);
     }
 
     #[test]

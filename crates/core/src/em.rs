@@ -13,6 +13,7 @@
 use crate::agg::Grouper;
 use crate::config::EngineConfig;
 use crate::extract::decode_all;
+use crate::morsel::{run_morsels, Parallelism};
 use crate::projection::CStoreDb;
 use cvr_data::queries::SsbQuery;
 use cvr_data::result::QueryOutput;
@@ -21,6 +22,7 @@ use cvr_data::value::Value;
 use cvr_index::hashidx::IntHashMap;
 use cvr_storage::io::IoSession;
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// Per-dimension join table for row-mode execution: FK → group values of
 /// rows passing the dimension predicates.
@@ -59,74 +61,122 @@ fn build_dim_table(db: &CStoreDb, q: &SsbQuery, dim: Dim, io: &IoSession) -> Dim
     DimTable { map, group_rows, restricted: !preds.is_empty() }
 }
 
-/// Execute `q` with early materialization.
-pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -> QueryOutput {
-    let n = db.fact_rows();
+/// The shared prelude of both execution paths: every needed fact column
+/// fully decoded (tuple construction forces decompression) plus the
+/// row-style dimension join tables and the index maps the pipeline needs.
+/// All of the plan's I/O is charged here.
+struct RowPlan<'q> {
+    decoded: Vec<Vec<Value>>,
+    pred_idx: Vec<(usize, &'q cvr_data::queries::Pred)>,
+    fk_idx: Vec<(Dim, usize)>,
+    agg_idx: Vec<usize>,
+    group_dim_order: Vec<Dim>,
+    dims: HashMap<Dim, DimTable>,
+}
 
-    // Tuple construction inputs: every needed fact column, fully decoded.
+fn build_plan<'q>(db: &CStoreDb, q: &'q SsbQuery, io: &IoSession) -> RowPlan<'q> {
     let fact_columns = q.fact_columns();
     let decoded: Vec<Vec<Value>> =
         fact_columns.iter().map(|c| decode_all(db.fact.column(c), io)).collect();
     let col_of: HashMap<&str, usize> =
         fact_columns.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-    let pred_idx: Vec<(usize, &cvr_data::queries::Pred)> =
-        q.fact_predicates.iter().map(|p| (col_of[p.column], &p.pred)).collect();
-    let fk_idx: Vec<(Dim, usize)> =
-        q.touched_dims().into_iter().map(|d| (d, col_of[d.fact_fk_column()])).collect();
-    let agg_idx: Vec<usize> = q.aggregate.fact_columns().iter().map(|c| col_of[c]).collect();
-    let group_dim_order: Vec<Dim> = q.group_by.iter().map(|g| g.dim).collect();
+    RowPlan {
+        decoded,
+        pred_idx: q.fact_predicates.iter().map(|p| (col_of[p.column], &p.pred)).collect(),
+        fk_idx: q.touched_dims().into_iter().map(|d| (d, col_of[d.fact_fk_column()])).collect(),
+        agg_idx: q.aggregate.fact_columns().iter().map(|c| col_of[c]).collect(),
+        group_dim_order: q.group_by.iter().map(|g| g.dim).collect(),
+        dims: q.touched_dims().into_iter().map(|d| (d, build_dim_table(db, q, d, io))).collect(),
+    }
+}
 
-    // Dimension join tables (row-style builds).
-    let dims: HashMap<Dim, DimTable> =
-        q.touched_dims().into_iter().map(|d| (d, build_dim_table(db, q, d, io))).collect();
-
-    // Row pipeline: construct a tuple per fact row, then filter/join/agg.
+/// The row pipeline over fact rows `[start, end)`: construct a tuple per
+/// row, then filter/join/aggregate into a (partial) [`Grouper`]. Pure CPU —
+/// serial execution runs it once over `[0, n)`, parallel execution once per
+/// morsel. In tuple-at-a-time mode every value access goes through a boxed
+/// per-column iterator (the `getNext` interface); in block mode tuples are
+/// stitched by direct indexing.
+fn run_rows(plan: &RowPlan<'_>, q: &SsbQuery, cfg: EngineConfig, range: Range<usize>) -> Grouper {
     let mut grouper = Grouper::new();
-    let mut inputs = vec![0i64; agg_idx.len()];
-    // In tuple-at-a-time mode every value access goes through a boxed
-    // per-column iterator (the `getNext` interface); in block mode tuples
-    // are stitched by direct indexing.
+    let mut inputs = vec![0i64; plan.agg_idx.len()];
     if cfg.block_iteration {
-        'rows: for i in 0..n {
-            let tuple: Vec<Value> = decoded.iter().map(|c| c[i].clone()).collect();
-            if !process_tuple(&tuple, &pred_idx, &fk_idx, &dims) {
+        'rows: for i in range {
+            let tuple: Vec<Value> = plan.decoded.iter().map(|c| c[i].clone()).collect();
+            if !process_tuple(&tuple, &plan.pred_idx, &plan.fk_idx, &plan.dims) {
                 continue 'rows;
             }
             accumulate(
                 &tuple,
                 q,
-                &fk_idx,
-                &dims,
-                &group_dim_order,
-                &agg_idx,
+                &plan.fk_idx,
+                &plan.dims,
+                &plan.group_dim_order,
+                &plan.agg_idx,
                 &mut inputs,
                 &mut grouper,
             );
         }
     } else {
-        let mut sources: Vec<Box<dyn Iterator<Item = &Value>>> = decoded
+        let mut sources: Vec<Box<dyn Iterator<Item = &Value>>> = plan
+            .decoded
             .iter()
-            .map(|c| Box::new(c.iter()) as Box<dyn Iterator<Item = &Value>>)
+            .map(|c| Box::new(c[range.clone()].iter()) as Box<dyn Iterator<Item = &Value>>)
             .collect();
-        'rows2: for _ in 0..n {
+        'rows2: for _ in range {
             let tuple: Vec<Value> = sources
                 .iter_mut()
                 .map(|s| std::hint::black_box(s).next().expect("column length").clone())
                 .collect();
-            if !process_tuple(&tuple, &pred_idx, &fk_idx, &dims) {
+            if !process_tuple(&tuple, &plan.pred_idx, &plan.fk_idx, &plan.dims) {
                 continue 'rows2;
             }
             accumulate(
                 &tuple,
                 q,
-                &fk_idx,
-                &dims,
-                &group_dim_order,
-                &agg_idx,
+                &plan.fk_idx,
+                &plan.dims,
+                &plan.group_dim_order,
+                &plan.agg_idx,
                 &mut inputs,
                 &mut grouper,
             );
         }
+    }
+    grouper
+}
+
+/// Execute `q` with early materialization.
+pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -> QueryOutput {
+    let plan = build_plan(db, q, io);
+    run_rows(&plan, q, cfg, 0..db.fact_rows()).finish(q)
+}
+
+/// Execute `q` with early materialization across `par.threads` morsel
+/// workers.
+///
+/// All I/O happens in the shared serial prelude ([`build_plan`]) — tuple
+/// construction decompresses every needed column in full, and the dimension
+/// join tables are built row-style on the coordinator — so the charges on
+/// `io` are identical to [`execute`] by construction. The row pipeline
+/// ([`run_rows`]) is pure CPU and fans out over morsels of the
+/// constructed-tuple space; partial aggregates merge in morsel order.
+pub fn execute_par(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    par: Parallelism,
+    io: &IoSession,
+) -> QueryOutput {
+    if par.is_serial() {
+        return execute(db, q, cfg, io);
+    }
+    let plan = build_plan(db, q, io);
+    let partials = run_morsels(db.fact_rows() as u32, par, |_, range| {
+        run_rows(&plan, q, cfg, range.start as usize..range.end as usize)
+    });
+    let mut grouper = Grouper::new();
+    for partial in partials {
+        grouper.merge(partial);
     }
     grouper.finish(q)
 }

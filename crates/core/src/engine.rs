@@ -1,6 +1,7 @@
 //! The column engine facade: one entry point over every plan shape.
 
 use crate::config::EngineConfig;
+use crate::morsel::Parallelism;
 use crate::projection::CStoreDb;
 use crate::{em, invisible, lmjoin};
 use cvr_data::gen::SsbTables;
@@ -38,15 +39,41 @@ impl ColumnEngine {
         }
     }
 
-    /// Execute `q` under `config`.
+    /// Execute `q` under `config` at the process-default parallelism: the
+    /// `CVR_THREADS` environment variable when set, otherwise the machine's
+    /// available parallelism (see [`Parallelism::from_env`]). Results and
+    /// I/O accounting are byte-identical at every thread count.
     pub fn execute(&self, q: &SsbQuery, config: EngineConfig, io: &IoSession) -> QueryOutput {
+        self.execute_with(q, config, Parallelism::from_env(), io)
+    }
+
+    /// Execute `q` under `config` with an explicit [`Parallelism`].
+    ///
+    /// `par.threads == 1` takes the serial code path; larger values run the
+    /// morsel-driven parallel pipeline of the selected plan shape, merging
+    /// partial aggregates and per-morsel I/O logs in morsel order.
+    pub fn execute_with(
+        &self,
+        q: &SsbQuery,
+        config: EngineConfig,
+        par: Parallelism,
+        io: &IoSession,
+    ) -> QueryOutput {
         let db = self.db(config);
-        if !config.late_materialization {
-            em::execute(db, q, config, io)
+        if par.is_serial() {
+            if !config.late_materialization {
+                em::execute(db, q, config, io)
+            } else if config.invisible_join {
+                invisible::execute(db, q, config, io)
+            } else {
+                lmjoin::execute(db, q, config, io)
+            }
+        } else if !config.late_materialization {
+            em::execute_par(db, q, config, par, io)
         } else if config.invisible_join {
-            invisible::execute(db, q, config, io)
+            invisible::execute_par(db, q, config, par, io)
         } else {
-            lmjoin::execute(db, q, config, io)
+            lmjoin::execute_par(db, q, config, par, io)
         }
     }
 }
@@ -73,6 +100,31 @@ mod tests {
                     cfg.code(),
                     q.id
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_to_serial() {
+        let tables = Arc::new(SsbConfig { sf: 0.0015, seed: 53 }.generate());
+        let engine = ColumnEngine::new(tables);
+        // Small morsels so even this tiny scale factor fans out.
+        let par = |threads| Parallelism { threads, morsel_rows: 512 };
+        for q in all_queries() {
+            for cfg in
+                [EngineConfig::FULL, EngineConfig::parse("tiCL"), EngineConfig::parse("tICl")]
+            {
+                let serial_io = IoSession::unmetered();
+                let expected = engine.execute_with(&q, cfg, Parallelism::serial(), &serial_io);
+                for threads in [2, 4] {
+                    let io = IoSession::unmetered();
+                    let got = engine.execute_with(&q, cfg, par(threads), &io);
+                    assert_eq!(got, expected, "{} threads on {} ({})", threads, q.id, cfg.code());
+                    let (a, b) = (serial_io.stats(), io.stats());
+                    assert_eq!(a.bytes_read, b.bytes_read, "{} bytes ({})", q.id, cfg.code());
+                    assert_eq!(a.pages_read, b.pages_read, "{} pages ({})", q.id, cfg.code());
+                    assert_eq!(a.seeks, b.seeks, "{} seeks ({})", q.id, cfg.code());
+                }
             }
         }
     }

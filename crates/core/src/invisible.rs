@@ -22,9 +22,10 @@
 use crate::agg::Grouper;
 use crate::config::EngineConfig;
 use crate::extract::{extract_at, gather_ints};
+use crate::morsel::{intersect_ascending, run_morsels, Parallelism};
 use crate::poslist::PosList;
 use crate::projection::CStoreDb;
-use crate::scan::{scan_int_where, scan_pred};
+use crate::scan::{scan_int_where, scan_int_where_range, scan_pred, scan_pred_range};
 use cvr_data::queries::SsbQuery;
 use cvr_data::result::QueryOutput;
 use cvr_data::schema::Dim;
@@ -240,6 +241,165 @@ pub fn execute_opts(
         let key: Vec<Value> = group_cols.iter().map(|gc| gc[i].clone()).collect();
         grouper.add(key, q.aggregate.term(&inputs));
     }
+    grouper.finish(q)
+}
+
+/// Execute `q` with the invisible join across `par.threads` morsel workers.
+///
+/// Phase 1 (dimension predicate → key predicate) stays on the coordinator —
+/// dimension tables are small and its charges must precede the fact probes,
+/// exactly as in [`execute`]. Phases 2 and 3 run as one pipelined fan-out:
+/// each morsel probes every foreign-key predicate over its slice of the fact
+/// position space, applies the fact predicates, extracts group and measure
+/// values at its surviving positions, and partially aggregates. The
+/// coordinator replays per-morsel I/O logs and merges partial aggregates in
+/// morsel order, making both the result and the accounting byte-identical
+/// to the serial path.
+pub fn execute_par(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    par: Parallelism,
+    io: &IoSession,
+) -> QueryOutput {
+    if par.is_serial() {
+        return execute(db, q, cfg, io);
+    }
+    let n = db.fact_rows() as u32;
+
+    // Phase 1 (serial): dimension predicates rewritten to fact key
+    // predicates, charged on the main session like the serial plan.
+    let key_preds: Vec<(Dim, FactKeyPred)> = q
+        .restricted_dims()
+        .into_iter()
+        .map(|dim| {
+            let kp = phase1_key_pred(db, q, dim, cfg, io).expect("restricted dim has predicates");
+            (dim, kp)
+        })
+        .collect();
+
+    // Non-dense grouped dimensions (DATE) need a key → position join table;
+    // the serial plan builds it once per dimension inside phase 3. Build it
+    // up front so every morsel can share it read-only.
+    let group_dims: Vec<Dim> = {
+        let mut dims: Vec<Dim> = Vec::new();
+        for g in &q.group_by {
+            if !dims.contains(&g.dim) {
+                dims.push(g.dim);
+            }
+        }
+        dims
+    };
+    let mut join_maps: std::collections::HashMap<Dim, IntHashMap> =
+        std::collections::HashMap::new();
+    for &dim in &group_dims {
+        if !db.dim(dim).dense_keys {
+            let keycol = db.dim(dim).store.column(dim.key_column());
+            keycol.charge_scan(io);
+            let keys = keycol.column.as_int().decode();
+            join_maps.insert(
+                dim,
+                IntHashMap::from_pairs(keys.iter().enumerate().map(|(p, &k)| (k, p as u32))),
+            );
+        }
+    }
+
+    let pool = io.pool().clone();
+    let results = run_morsels(n, par, |_, range| {
+        let rio = IoSession::recording(pool.clone());
+
+        // Phase 2 over this morsel: every key predicate and fact predicate,
+        // intersected into the morsel's surviving positions.
+        let mut pos: Option<Vec<u32>> = None;
+        for (dim, key_pred) in &key_preds {
+            let col = db.fact.column(dim.fact_fk_column());
+            let frag = match key_pred {
+                FactKeyPred::Between(lo, hi) => {
+                    let (lo, hi) = (*lo, *hi);
+                    scan_int_where_range(
+                        col,
+                        range.start,
+                        range.end,
+                        move |v| v >= lo && v <= hi,
+                        cfg.block_iteration,
+                        &rio,
+                    )
+                }
+                FactKeyPred::KeySet(set) => scan_int_where_range(
+                    col,
+                    range.start,
+                    range.end,
+                    |v| set.contains(v),
+                    cfg.block_iteration,
+                    &rio,
+                ),
+            };
+            pos = Some(match pos {
+                None => frag,
+                Some(acc) => intersect_ascending(&acc, &frag),
+            });
+        }
+        for p in &q.fact_predicates {
+            let col = db.fact.column(p.column);
+            let frag =
+                scan_pred_range(col, range.start, range.end, &p.pred, cfg.block_iteration, &rio);
+            pos = Some(match pos {
+                None => frag,
+                Some(acc) => intersect_ascending(&acc, &frag),
+            });
+        }
+        let pos = PosList::explicit(pos.unwrap_or_else(|| range.collect()), n);
+
+        // Phase 3 over this morsel: minimal out-of-order extraction at the
+        // surviving positions, then partial aggregation.
+        let mut group_cols: Vec<Vec<Value>> = Vec::with_capacity(q.group_by.len());
+        let mut fk_cache: std::collections::HashMap<Dim, Vec<u32>> =
+            std::collections::HashMap::new();
+        for g in &q.group_by {
+            let dim = g.dim;
+            fk_cache.entry(dim).or_insert_with(|| {
+                let fk_col = db.fact.column(dim.fact_fk_column());
+                let fks = gather_ints(fk_col, &pos, &rio);
+                if db.dim(dim).dense_keys {
+                    fks.into_iter().map(|k| k as u32).collect()
+                } else {
+                    let map = &join_maps[&dim];
+                    fks.into_iter().map(|k| map.get(k).expect("fact FK must join DATE")).collect()
+                }
+            });
+            let dim_positions = &fk_cache[&dim];
+            let col = db.dim(dim).store.column(g.column);
+            group_cols.push(extract_at(col, dim_positions, &rio));
+        }
+
+        let measure_cols: Vec<Vec<i64>> = q
+            .aggregate
+            .fact_columns()
+            .iter()
+            .map(|c| gather_ints(db.fact.column(c), &pos, &rio))
+            .collect();
+        let mut grouper = Grouper::new();
+        let mut inputs = vec![0i64; measure_cols.len()];
+        for i in 0..pos.count() as usize {
+            for (j, m) in measure_cols.iter().enumerate() {
+                inputs[j] = m[i];
+            }
+            let key: Vec<Value> = group_cols.iter().map(|gc| gc[i].clone()).collect();
+            grouper.add(key, q.aggregate.term(&inputs));
+        }
+        (rio.take_log(), grouper)
+    });
+
+    // Deterministic merge: partial aggregates fold in morsel order, and the
+    // per-morsel I/O logs replay op-major, reconstructing the serial plan's
+    // charge order (see `IoSession::replay_interleaved`).
+    let mut grouper = Grouper::new();
+    let mut logs = Vec::with_capacity(results.len());
+    for (log, partial) in results {
+        logs.push(log);
+        grouper.merge(partial);
+    }
+    io.replay_interleaved(&logs);
     grouper.finish(q)
 }
 

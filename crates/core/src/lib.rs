@@ -19,7 +19,11 @@
 //! * [`denorm`] — pre-joined fact tables at three compression levels
 //!   (Figure 8);
 //! * [`config`] / [`engine`] — the four Figure 7 knobs (`tICL` … `Ticl`) and
-//!   the dispatching facade.
+//!   the dispatching facade;
+//! * [`morsel`] — morsel-driven parallel execution: the fact position space
+//!   is split into morsels claimed by scoped worker threads, with partial
+//!   aggregates and per-morsel I/O logs merged deterministically in morsel
+//!   order ([`Parallelism`] / `CVR_THREADS` select the thread count).
 //!
 //! ```
 //! use cvr_core::{ColumnEngine, EngineConfig};
@@ -45,6 +49,7 @@ pub mod engine;
 pub mod extract;
 pub mod invisible;
 pub mod lmjoin;
+pub mod morsel;
 pub mod poslist;
 pub mod projection;
 pub mod row_mv;
@@ -53,6 +58,7 @@ pub mod scan;
 pub use config::EngineConfig;
 pub use denorm::{DenormDb, DenormVariant};
 pub use engine::ColumnEngine;
+pub use morsel::Parallelism;
 pub use poslist::PosList;
 pub use projection::CStoreDb;
 pub use row_mv::RowMvDb;

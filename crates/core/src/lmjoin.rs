@@ -21,9 +21,10 @@
 use crate::agg::Grouper;
 use crate::config::EngineConfig;
 use crate::extract::{extract_at, gather_ints};
+use crate::morsel::{intersect_ascending, run_morsels, Parallelism};
 use crate::poslist::PosList;
 use crate::projection::CStoreDb;
-use crate::scan::scan_pred;
+use crate::scan::{scan_pred, scan_pred_range};
 use cvr_data::queries::SsbQuery;
 use cvr_data::result::QueryOutput;
 use cvr_data::schema::Dim;
@@ -77,6 +78,63 @@ fn dim_hash(
     };
     let keys = gather_ints(store.store.column(dim.key_column()), &dpos, io);
     IntHashMap::from_pairs(keys.into_iter().zip(dpos.iter()))
+}
+
+/// Morsel-range counterpart of [`probe_full_scan`]: probe fact positions
+/// `[start, end)` of the FK column against `map`.
+fn probe_range(
+    db: &CStoreDb,
+    dim: Dim,
+    map: &IntHashMap,
+    cfg: EngineConfig,
+    start: u32,
+    end: u32,
+    io: &IoSession,
+) -> (Vec<u32>, Vec<u32>) {
+    let col = db.fact.column(dim.fact_fk_column());
+    col.charge_scan_range(start, end, io);
+    let mut fact_pos = Vec::new();
+    let mut dim_pos = Vec::new();
+    if start >= end {
+        return (fact_pos, dim_pos);
+    }
+    match col.column.as_int() {
+        IntColumn::Rle { runs, .. } => {
+            let mut idx = col.column.as_int().run_containing(start);
+            while idx < runs.len() && runs[idx].start < end {
+                let r = &runs[idx];
+                if let Some(d) = map.get(r.value) {
+                    for p in r.start.max(start)..(r.start + r.len).min(end) {
+                        fact_pos.push(p);
+                        dim_pos.push(d);
+                    }
+                }
+                idx += 1;
+            }
+        }
+        IntColumn::Plain { values, .. } => {
+            let slice = &values[start as usize..end as usize];
+            if cfg.block_iteration {
+                for (off, &v) in slice.iter().enumerate() {
+                    if let Some(d) = map.get(v) {
+                        fact_pos.push(start + off as u32);
+                        dim_pos.push(d);
+                    }
+                }
+            } else {
+                let mut src: Box<dyn Iterator<Item = i64>> = Box::new(slice.iter().copied());
+                let mut i = start;
+                while let Some(v) = std::hint::black_box(&mut src).next() {
+                    if let Some(d) = map.get(v) {
+                        fact_pos.push(i);
+                        dim_pos.push(d);
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    (fact_pos, dim_pos)
 }
 
 /// Probe an entire fact FK column against `map`: returns matched fact
@@ -234,6 +292,164 @@ pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -
             .collect();
         grouper.add(key, q.aggregate.term(&inputs));
     }
+    grouper.finish(q)
+}
+
+/// Execute `q` with late-materialized hash joins across `par.threads`
+/// morsel workers.
+///
+/// The dimension hash tables are built once on the coordinator (they are
+/// small, and their charges land on the main session exactly as in
+/// [`execute`]); each morsel then pipelines its slice of the fact position
+/// space through the same join order — fact predicates, restricted
+/// dimensions by selectivity with eager out-of-order extraction, group-only
+/// dimensions, measures, partial aggregation. Per-morsel I/O logs replay
+/// and partial aggregates merge in morsel order.
+pub fn execute_par(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    par: Parallelism,
+    io: &IoSession,
+) -> QueryOutput {
+    if par.is_serial() {
+        return execute(db, q, cfg, io);
+    }
+    let n = db.fact_rows() as u32;
+
+    // Join order and dimension hash tables, built serially up front. The
+    // serial plan builds each table lazily between fact-column operations;
+    // per-file page sequences are identical either way.
+    let order = restricted_in_order(db, q);
+    let mut maps: std::collections::HashMap<Dim, IntHashMap> = std::collections::HashMap::new();
+    for &dim in &order {
+        maps.insert(dim, dim_hash(db, q, dim, cfg, io));
+    }
+    for dim in q.touched_dims() {
+        let grouped = q.group_by.iter().any(|g| g.dim == dim);
+        if grouped && !maps.contains_key(&dim) {
+            maps.insert(dim, dim_hash(db, q, dim, cfg, io));
+        }
+    }
+
+    let pool = io.pool().clone();
+    let results = run_morsels(n, par, |_, range| {
+        let rio = IoSession::recording(pool.clone());
+
+        // Fact-column predicates over this morsel.
+        let mut pos: Option<Vec<u32>> = None;
+        for p in &q.fact_predicates {
+            let col = db.fact.column(p.column);
+            let frag =
+                scan_pred_range(col, range.start, range.end, &p.pred, cfg.block_iteration, &rio);
+            pos = Some(match pos {
+                None => frag,
+                Some(acc) => intersect_ascending(&acc, &frag),
+            });
+        }
+
+        // Restricted dimensions, most selective first, with eager
+        // out-of-order extraction — the morsel-local copy of the serial
+        // pipeline.
+        let mut group_vals: Vec<Option<Vec<Value>>> = vec![None; q.group_by.len()];
+        for dim in &order {
+            let map = &maps[dim];
+            let (new_pos, dim_positions) = match pos {
+                None => probe_range(db, *dim, map, cfg, range.start, range.end, &rio),
+                Some(current) => {
+                    let fk_col = db.fact.column(dim.fact_fk_column());
+                    let pl = PosList::explicit(current.clone(), n);
+                    let fks = gather_ints(fk_col, &pl, &rio);
+                    let mut keep = Vec::with_capacity(current.len());
+                    let mut new_pos = Vec::new();
+                    let mut dim_positions = Vec::new();
+                    for (i, fk) in fks.into_iter().enumerate() {
+                        match map.get(fk) {
+                            Some(d) => {
+                                keep.push(true);
+                                new_pos.push(current[i]);
+                                dim_positions.push(d);
+                            }
+                            None => keep.push(false),
+                        }
+                    }
+                    for slot in group_vals.iter_mut().flatten() {
+                        let mut j = 0;
+                        slot.retain(|_| {
+                            let k = keep[j];
+                            j += 1;
+                            k
+                        });
+                    }
+                    (new_pos, dim_positions)
+                }
+            };
+            for (gi, g) in q.group_by.iter().enumerate() {
+                if g.dim == *dim {
+                    let col = db.dim(*dim).store.column(g.column);
+                    group_vals[gi] = Some(extract_at(col, &dim_positions, &rio));
+                }
+            }
+            pos = Some(new_pos);
+        }
+
+        let pos = pos.unwrap_or_else(|| range.clone().collect());
+        let pl = PosList::explicit(pos.clone(), n);
+
+        // Group-only dimensions (no predicates).
+        for dim in q.touched_dims() {
+            let missing: Vec<usize> = q
+                .group_by
+                .iter()
+                .enumerate()
+                .filter(|(gi, g)| g.dim == dim && group_vals[*gi].is_none())
+                .map(|(gi, _)| gi)
+                .collect();
+            if missing.is_empty() {
+                continue;
+            }
+            let map = &maps[&dim];
+            let fks = gather_ints(db.fact.column(dim.fact_fk_column()), &pl, &rio);
+            let dim_positions: Vec<u32> =
+                fks.into_iter().map(|k| map.get(k).expect("FK joins dimension")).collect();
+            for gi in missing {
+                let col = db.dim(dim).store.column(q.group_by[gi].column);
+                group_vals[gi] = Some(extract_at(col, &dim_positions, &rio));
+            }
+        }
+
+        // Measures + partial aggregation.
+        let measure_cols: Vec<Vec<i64>> = q
+            .aggregate
+            .fact_columns()
+            .iter()
+            .map(|c| gather_ints(db.fact.column(c), &pl, &rio))
+            .collect();
+        let mut grouper = Grouper::new();
+        let mut inputs = vec![0i64; measure_cols.len()];
+        for i in 0..pos.len() {
+            for (j, m) in measure_cols.iter().enumerate() {
+                inputs[j] = m[i];
+            }
+            let key: Vec<Value> = group_vals
+                .iter()
+                .map(|v| v.as_ref().expect("all group columns extracted")[i].clone())
+                .collect();
+            grouper.add(key, q.aggregate.term(&inputs));
+        }
+        (rio.take_log(), grouper)
+    });
+
+    // Partial aggregates fold in morsel order; I/O logs replay op-major,
+    // reconstructing the serial plan's charge order (see
+    // `IoSession::replay_interleaved`).
+    let mut grouper = Grouper::new();
+    let mut logs = Vec::with_capacity(results.len());
+    for (log, partial) in results {
+        logs.push(log);
+        grouper.merge(partial);
+    }
+    io.replay_interleaved(&logs);
     grouper.finish(q)
 }
 

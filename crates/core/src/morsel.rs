@@ -1,0 +1,339 @@
+//! Morsel-driven parallel execution infrastructure.
+//!
+//! The LINEORDER position space is split into fixed-size **morsels**
+//! (contiguous position ranges, after Leis et al.'s morsel-driven model). A
+//! pool of scoped worker threads claims morsels from a shared atomic counter
+//! (self-balancing: fast workers steal the remaining morsels), runs the
+//! whole per-morsel pipeline — predicate scans, join probes, positional
+//! extraction, partial aggregation — and hands its results back tagged with
+//! the morsel index. The coordinator merges everything **in morsel order**,
+//! which is what makes parallel execution deterministic:
+//!
+//! * partial aggregates merge in a fixed order (and are order-insensitive
+//!   sums anyway), so [`cvr_data::result::QueryOutput`]s are byte-identical
+//!   to a serial run;
+//! * per-morsel [`cvr_storage::io::IoLog`]s replay against the shared
+//!   [`cvr_storage::io::BufferPool`] in morsel order, so the merged
+//!   [`cvr_storage::io::IoStats`] equal the serial run's bytes, pages and
+//!   seeks regardless of which worker ran which morsel when.
+//!
+//! Thread count comes from [`Parallelism`]: the `--threads` harness flag,
+//! the `CVR_THREADS` environment variable, or (default) the machine's
+//! available parallelism.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Default morsel size in fact-table positions. Large enough that per-morsel
+/// bookkeeping is noise, small enough that a 4-thread run of even a small
+/// scale factor gets balanced work; [`run_morsels`] shrinks it further when
+/// the input is small.
+pub const DEFAULT_MORSEL_ROWS: u32 = 16_384;
+
+/// Smallest morsel [`run_morsels`] will auto-shrink to.
+const MIN_MORSEL_ROWS: u32 = 256;
+
+/// Degree of parallelism for one query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker threads (including the coordinator, which also claims
+    /// morsels). `1` selects the serial execution path.
+    pub threads: usize,
+    /// Morsel size in positions (upper bound; shrunk for small inputs).
+    pub morsel_rows: u32,
+}
+
+impl Parallelism {
+    /// Strictly serial execution.
+    pub fn serial() -> Parallelism {
+        Parallelism { threads: 1, morsel_rows: DEFAULT_MORSEL_ROWS }
+    }
+
+    /// Parallel execution with `threads` workers (0 is clamped to 1).
+    pub fn with_threads(threads: usize) -> Parallelism {
+        Parallelism { threads: threads.max(1), morsel_rows: DEFAULT_MORSEL_ROWS }
+    }
+
+    /// The process default: `CVR_THREADS` when set (and ≥ 1), otherwise the
+    /// machine's available parallelism. Cached after the first call.
+    pub fn from_env() -> Parallelism {
+        static THREADS: OnceLock<usize> = OnceLock::new();
+        let threads = *THREADS.get_or_init(|| {
+            match std::env::var("CVR_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => n,
+                _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            }
+        });
+        Parallelism::with_threads(threads)
+    }
+
+    /// True when this configuration takes the serial path.
+    pub fn is_serial(&self) -> bool {
+        self.threads <= 1
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::from_env()
+    }
+}
+
+/// Run `task` over every morsel of `[0, n)` on up to `par.threads` workers;
+/// returns the per-morsel results **in morsel order**.
+///
+/// `task(index, range)` must be safe to call concurrently (it receives
+/// disjoint ranges). Workers claim morsels from a shared counter, so the
+/// assignment of morsels to threads is scheduling-dependent — which is why
+/// callers must only rely on the returned order, never on worker identity.
+pub fn run_morsels<T: Send>(
+    n: u32,
+    par: Parallelism,
+    task: impl Fn(usize, Range<u32>) -> T + Sync,
+) -> Vec<T> {
+    // Aim for a few morsels per worker so claiming self-balances, without
+    // dropping below the minimum useful size.
+    let aim = n.div_ceil((par.threads * 4).max(1) as u32).max(MIN_MORSEL_ROWS);
+    let morsel = par.morsel_rows.min(aim).max(1);
+    let count = (n.div_ceil(morsel) as usize).max(1);
+    let range_of = |i: usize| {
+        let start = i as u32 * morsel;
+        start..((i as u32).saturating_add(1) * morsel).min(n)
+    };
+
+    let workers = par.threads.min(count);
+    if workers <= 1 {
+        return (0..count).map(|i| task(i, range_of(i))).collect();
+    }
+
+    profile::begin_fanout();
+    let next = AtomicUsize::new(0);
+    let work = |out: &mut Vec<(usize, T)>, coordinator: bool| {
+        let started = thread_cpu_time();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= count {
+                break;
+            }
+            out.push((i, task(i, range_of(i))));
+            // Rotate the run queue between morsels: when the machine has
+            // fewer cores than workers (CI containers), the first scheduled
+            // worker would otherwise drain the whole queue inside one
+            // timeslice, serializing the "parallel" execution. On idle
+            // multicore hardware this yield is a no-op costing ~1µs per
+            // multi-hundred-µs morsel.
+            std::thread::yield_now();
+        }
+        profile::record(thread_cpu_time().saturating_sub(started), coordinator);
+    };
+
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(count);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    work(&mut out, false);
+                    out
+                })
+            })
+            .collect();
+        work(&mut tagged, true);
+        for h in handles {
+            tagged.extend(h.join().expect("morsel worker panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Intersect two ascending position vectors (the per-morsel analogue of
+/// [`crate::poslist::PosList::intersect`], kept on plain vectors because
+/// morsel fragments are small and short-lived).
+pub fn intersect_ascending(xs: &[u32], ys: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(xs.len().min(ys.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < xs.len() && j < ys.len() {
+        match xs[i].cmp(&ys[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(xs[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// CPU time consumed by the calling thread (Linux; wall-clock elsewhere).
+///
+/// Used to measure the parallel **critical path** (span): on machines with
+/// fewer cores than workers — CI containers, laptops under load — wall-clock
+/// cannot show scaling, but `max` over per-worker CPU time can.
+pub fn thread_cpu_time() -> Duration {
+    #[cfg(target_os = "linux")]
+    {
+        #[repr(C)]
+        struct Timespec {
+            sec: i64,
+            nsec: i64,
+        }
+        extern "C" {
+            fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
+        }
+        const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+        let mut ts = Timespec { sec: 0, nsec: 0 };
+        // SAFETY: clock_gettime writes a timespec through a valid pointer.
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        if rc == 0 {
+            return Duration::new(ts.sec.max(0) as u64, ts.nsec.clamp(0, 999_999_999) as u32);
+        }
+    }
+    // Fallback: wall-clock since an arbitrary process-wide epoch.
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    EPOCH.get_or_init(std::time::Instant::now).elapsed()
+}
+
+/// Opt-in per-worker busy-time profiling, used by the `scaling` binary to
+/// report critical-path CPU time. Disabled (and free) by default.
+pub mod profile {
+    use super::*;
+
+    static ENABLED: AtomicUsize = AtomicUsize::new(0);
+    static BUSY: Mutex<Vec<Vec<Duration>>> = Mutex::new(Vec::new());
+    static COORD_BUSY_NS: AtomicUsize = AtomicUsize::new(0);
+
+    /// Per-worker busy times collected between [`start`] and [`finish`].
+    #[derive(Debug, Default)]
+    pub struct ProfileReport {
+        /// One group per [`super::run_morsels`] fan-out; each entry is one
+        /// worker's CPU time inside that fan-out (coordinator included).
+        pub groups: Vec<Vec<Duration>>,
+        /// The coordinator thread's share of the fan-out work — already
+        /// part of the coordinator's thread-CPU clock, unlike the other
+        /// workers' time.
+        pub coordinator_busy: Duration,
+    }
+
+    impl ProfileReport {
+        /// Critical-path CPU time given the coordinator's total thread-CPU
+        /// time for the measured region: the serial portion plus the
+        /// busiest worker of each fan-out.
+        pub fn critical_path(&self, coordinator_cpu: Duration) -> Duration {
+            let span: Duration =
+                self.groups.iter().map(|g| g.iter().max().copied().unwrap_or_default()).sum();
+            coordinator_cpu.saturating_sub(self.coordinator_busy) + span
+        }
+
+        /// Total CPU spent inside fan-outs across all workers.
+        pub fn total_work(&self) -> Duration {
+            self.groups.iter().flatten().sum()
+        }
+    }
+
+    /// Enable collection and clear any previous samples.
+    pub fn start() {
+        BUSY.lock().unwrap().clear();
+        COORD_BUSY_NS.store(0, Ordering::Relaxed);
+        ENABLED.store(1, Ordering::Relaxed);
+    }
+
+    /// Open a new sample group (one per [`super::run_morsels`] fan-out).
+    pub(super) fn begin_fanout() {
+        if ENABLED.load(Ordering::Relaxed) == 1 {
+            BUSY.lock().unwrap().push(Vec::new());
+        }
+    }
+
+    /// Record one worker's busy time into the current fan-out group.
+    pub(super) fn record(busy: Duration, coordinator: bool) {
+        if ENABLED.load(Ordering::Relaxed) == 1 {
+            let mut groups = BUSY.lock().unwrap();
+            match groups.last_mut() {
+                Some(g) => g.push(busy),
+                None => groups.push(vec![busy]),
+            }
+            if coordinator {
+                COORD_BUSY_NS.fetch_add(busy.as_nanos() as usize, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Stop collection and return the per-worker busy times.
+    pub fn finish() -> ProfileReport {
+        ENABLED.store(0, Ordering::Relaxed);
+        ProfileReport {
+            groups: std::mem::take(&mut BUSY.lock().unwrap()),
+            coordinator_busy: Duration::from_nanos(COORD_BUSY_NS.swap(0, Ordering::Relaxed) as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsels_tile_and_return_in_order() {
+        for threads in [1, 2, 4, 8] {
+            let par = Parallelism { threads, morsel_rows: 64 };
+            let ranges = run_morsels(1000, par, |i, r| (i, r));
+            assert!(!ranges.is_empty());
+            let mut next = 0u32;
+            for (idx, (i, r)) in ranges.iter().enumerate() {
+                assert_eq!(idx, *i, "results must come back in morsel order");
+                assert_eq!(r.start, next, "morsels must tile [0, n)");
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, 1000);
+        }
+    }
+
+    #[test]
+    fn empty_input_runs_one_empty_morsel() {
+        let got = run_morsels(0, Parallelism::with_threads(4), |i, r| (i, r));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, 0..0);
+    }
+
+    #[test]
+    fn work_is_claimed_exactly_once() {
+        let par = Parallelism { threads: 4, morsel_rows: 16 };
+        let sums = run_morsels(10_000, par, |_, r| r.map(|p| p as u64).sum::<u64>());
+        let total: u64 = sums.iter().sum();
+        assert_eq!(total, 9_999 * 10_000 / 2);
+    }
+
+    #[test]
+    fn intersect_ascending_matches_set_semantics() {
+        let xs: Vec<u32> = (0..300).filter(|p| p % 3 == 0).collect();
+        let ys: Vec<u32> = (0..300).filter(|p| p % 5 == 0).collect();
+        let expected: Vec<u32> = (0..300).filter(|p| p % 15 == 0).collect();
+        assert_eq!(intersect_ascending(&xs, &ys), expected);
+        assert_eq!(intersect_ascending(&[], &ys), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn serial_knob_parses_env_shapes() {
+        assert!(Parallelism::serial().is_serial());
+        assert_eq!(Parallelism::with_threads(0).threads, 1);
+        assert!(!Parallelism::with_threads(8).is_serial());
+    }
+
+    #[test]
+    fn thread_cpu_time_is_monotone() {
+        let a = thread_cpu_time();
+        let mut x = 0u64;
+        for i in 0..100_000u64 {
+            x = x.wrapping_add(i * 2_654_435_761);
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_time();
+        assert!(b >= a);
+    }
+}

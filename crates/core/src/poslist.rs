@@ -48,6 +48,14 @@ impl PosList {
         PosList::Range { start: 0, end: universe, universe }
     }
 
+    /// Wrap ascending positions without changing representation — the cheap
+    /// constructor for short-lived morsel fragments, where the compact-form
+    /// analysis of [`PosList::from_ascending`] would cost more than it saves.
+    pub fn explicit(positions: Vec<u32>, universe: u32) -> PosList {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        PosList::Explicit { positions, universe }
+    }
+
     /// Build from ascending positions, choosing a compact representation.
     pub fn from_ascending(positions: Vec<u32>, universe: u32) -> PosList {
         debug_assert!(positions.windows(2).all(|w| w[0] < w[1]));

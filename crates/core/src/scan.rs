@@ -208,6 +208,137 @@ pub fn scan_pred(col: &StoredColumn, pred: &Pred, block: bool, io: &IoSession) -
     }
 }
 
+// ---------------------------------------------------------------------------
+// Morsel-range kernels: the per-morsel halves of the scans above. Each scans
+// positions `[start, end)` only, charges the proportional slice of the
+// column's pages (`charge_scan_range`), and returns ascending positions as a
+// plain vector — morsel fragments are small, short-lived, and merged in
+// morsel order by the parallel executors.
+// ---------------------------------------------------------------------------
+
+/// Morsel-range counterpart of [`scan_int_where`]: positions in
+/// `[start, end)` where `test(value)` holds.
+pub fn scan_int_where_range(
+    col: &StoredColumn,
+    start: u32,
+    end: u32,
+    test: impl Fn(i64) -> bool,
+    block: bool,
+    io: &IoSession,
+) -> Vec<u32> {
+    col.charge_scan_range(start, end, io);
+    let mut out = Vec::new();
+    if start >= end {
+        return out;
+    }
+    match col.column.as_int() {
+        IntColumn::Rle { runs, .. } => {
+            // Direct operation on compressed data, clamped to the morsel.
+            let mut idx = col.column.as_int().run_containing(start);
+            while idx < runs.len() && runs[idx].start < end {
+                let r = &runs[idx];
+                if test(r.value) {
+                    out.extend(r.start.max(start)..(r.start + r.len).min(end));
+                }
+                idx += 1;
+            }
+        }
+        IntColumn::Plain { values, .. } => {
+            let slice = &values[start as usize..end as usize];
+            if block {
+                for (off, &v) in slice.iter().enumerate() {
+                    if test(v) {
+                        out.push(start + off as u32);
+                    }
+                }
+            } else {
+                let mut src: Box<dyn Iterator<Item = i64>> = Box::new(slice.iter().copied());
+                let mut i = start;
+                while let Some(v) = std::hint::black_box(&mut src).next() {
+                    if test(v) {
+                        out.push(i);
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Morsel-range counterpart of [`scan_str_pred`].
+pub fn scan_str_pred_range(
+    col: &StoredColumn,
+    start: u32,
+    end: u32,
+    pred: &Pred,
+    block: bool,
+    io: &IoSession,
+) -> Vec<u32> {
+    col.charge_scan_range(start, end, io);
+    let mut out = Vec::new();
+    if start >= end {
+        return out;
+    }
+    match col.column.as_str() {
+        StrColumn::Dict { dict, codes, .. } => {
+            let matches: Vec<bool> = dict.iter().map(|d| pred.matches_str(d)).collect();
+            let slice = &codes[start as usize..end as usize];
+            if block {
+                for (off, &c) in slice.iter().enumerate() {
+                    if matches[c as usize] {
+                        out.push(start + off as u32);
+                    }
+                }
+            } else {
+                let mut src: Box<dyn Iterator<Item = u32>> = Box::new(slice.iter().copied());
+                let mut i = start;
+                while let Some(c) = std::hint::black_box(&mut src).next() {
+                    if matches[c as usize] {
+                        out.push(i);
+                    }
+                    i += 1;
+                }
+            }
+        }
+        StrColumn::Plain { values, .. } => {
+            let slice = &values[start as usize..end as usize];
+            if block {
+                for (off, v) in slice.iter().enumerate() {
+                    if pred.matches_str(v) {
+                        out.push(start + off as u32);
+                    }
+                }
+            } else {
+                let mut src: Box<dyn Iterator<Item = &Box<str>>> = Box::new(slice.iter());
+                let mut i = start;
+                while let Some(v) = std::hint::black_box(&mut src).next() {
+                    if pred.matches_str(v) {
+                        out.push(i);
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Morsel-range counterpart of [`scan_pred`].
+pub fn scan_pred_range(
+    col: &StoredColumn,
+    start: u32,
+    end: u32,
+    pred: &Pred,
+    block: bool,
+    io: &IoSession,
+) -> Vec<u32> {
+    match &col.column {
+        Column::Int(_) => scan_int_where_range(col, start, end, |v| pred.matches_int(v), block, io),
+        Column::Str(_) => scan_str_pred_range(col, start, end, pred, block, io),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +450,54 @@ mod tests {
         let io = IoSession::unmetered();
         scan_int_where(&col, |_| false, true, &io);
         assert_eq!(io.stats().bytes_read, col.bytes());
+    }
+
+    #[test]
+    fn range_kernels_tile_to_the_full_scan() {
+        // Concatenating morsel-range results over a tiling of [0, n) must
+        // equal the whole-column scan, for every encoding and interface.
+        let n = 10_000u32;
+        let ints: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 100).collect();
+        let mut runs = Vec::new();
+        for v in 0..100i64 {
+            runs.extend(std::iter::repeat_n(v % 9, 100));
+        }
+        let strs: Vec<String> = (0..n).map(|i| format!("R{}", i % 7)).collect();
+        let bounds = [0u32, 1, 999, 1_000, 4_097, 9_999, n];
+        let io = IoSession::unmetered();
+        let pred = Pred::InSet(vec![Value::str("R2"), Value::str("R5")]);
+        for block in [true, false] {
+            for col in [int_col(ints.clone(), false), int_col(runs.clone(), true)] {
+                let full = scan_int_where(&col, |v| (3..=40).contains(&v), block, &io).to_vec();
+                let mut tiled = Vec::new();
+                for w in bounds.windows(2) {
+                    tiled.extend(scan_int_where_range(
+                        &col,
+                        w[0],
+                        w[1],
+                        |v| (3..=40).contains(&v),
+                        block,
+                        &io,
+                    ));
+                }
+                assert_eq!(tiled, full);
+            }
+            for col in [str_col(strs.clone(), true), str_col(strs.clone(), false)] {
+                let full = scan_str_pred(&col, &pred, block, &io).to_vec();
+                let mut tiled = Vec::new();
+                for w in bounds.windows(2) {
+                    tiled.extend(scan_pred_range(&col, w[0], w[1], &pred, block, &io));
+                }
+                assert_eq!(tiled, full);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_range_scans_nothing() {
+        let col = int_col((0..100).collect(), false);
+        let io = IoSession::unmetered();
+        assert!(scan_int_where_range(&col, 40, 40, |_| true, true, &io).is_empty());
     }
 
     #[test]

@@ -11,10 +11,19 @@
 //!
 //! Sequential vs random access matters to several experiments (index plans
 //! pay seeks; heap scans do not), so [`IoSession`] detects non-consecutive
-//! page misses per file and counts them as seeks.
+//! page misses *per file* and counts them as seeks: each file is an
+//! independent stream on the modeled striped array, so interleaving reads of
+//! two files costs two positioning seeks, not one per alternation.
+//!
+//! For morsel-driven parallel execution (see `cvr-core::morsel`) a session
+//! can also run in **recording** mode ([`IoSession::recording`]): page
+//! touches are appended to an [`IoLog`] instead of hitting the pool, and the
+//! coordinator later [`IoSession::replay`]s the per-morsel logs in morsel
+//! order — making the merged accounting deterministic and byte-identical to
+//! a serial execution regardless of thread scheduling.
 
 use parking_lot::Mutex;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -187,21 +196,71 @@ impl BufferPool {
     }
 }
 
+/// Page touches recorded by a session in recording mode: `(page, on-disk
+/// bytes)` pairs exactly as they would have been charged, segmented into
+/// **ops** (one op per `charge_*` call on a stored column).
+///
+/// The segmentation is what lets [`IoSession::replay_interleaved`] put the
+/// merged parallel accounting back into *serial plan order*: every morsel of
+/// one query runs the same structural op sequence, so replaying op `k` of
+/// every morsel (in morsel order) before op `k + 1` of any morsel
+/// reconstructs the order a serial execution charges — column by column —
+/// instead of interleaving files morsel by morsel, which would thrash a
+/// bounded buffer pool that serial execution would not.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoLog {
+    entries: Vec<(PageId, u64)>,
+    /// Start index of each op within `entries`.
+    ops: Vec<usize>,
+}
+
+impl IoLog {
+    /// All recorded touches, op boundaries ignored.
+    pub fn entries(&self) -> &[(PageId, u64)] {
+        &self.entries
+    }
+
+    /// Number of ops recorded.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The touches of op `k` (empty when `k` is out of range).
+    pub fn op(&self, k: usize) -> &[(PageId, u64)] {
+        match self.ops.get(k) {
+            None => &[],
+            Some(&start) => {
+                let end = self.ops.get(k + 1).copied().unwrap_or(self.entries.len());
+                &self.entries[start..end]
+            }
+        }
+    }
+}
+
 /// Per-query I/O accounting handle.
 ///
-/// Cheap to create; not `Sync` (one per executing query). All storage and
-/// index access paths take `&IoSession` and charge their page touches here.
+/// Cheap to create; `Send` but not `Sync` (one per executing query or per
+/// morsel worker). All storage and index access paths take `&IoSession` and
+/// charge their page touches here.
 pub struct IoSession {
     pool: Arc<BufferPool>,
     stats: Cell<IoStats>,
-    /// Last page fetched per file, for sequentiality detection.
-    last_fetch: Cell<Option<PageId>>,
+    /// Last page *missed* per file, for per-file sequentiality detection.
+    last_fetch: RefCell<HashMap<FileId, u32>>,
+    /// `Some` puts the session in recording mode: touches go to the log
+    /// instead of the pool/stats.
+    log: Option<RefCell<IoLog>>,
 }
 
 impl IoSession {
     /// New session over `pool`.
     pub fn new(pool: Arc<BufferPool>) -> IoSession {
-        IoSession { pool, stats: Cell::new(IoStats::default()), last_fetch: Cell::new(None) }
+        IoSession {
+            pool,
+            stats: Cell::new(IoStats::default()),
+            last_fetch: RefCell::new(HashMap::new()),
+            log: None,
+        }
     }
 
     /// Convenience: session over a fresh unbounded pool (tests).
@@ -209,23 +268,93 @@ impl IoSession {
         IoSession::new(BufferPool::unbounded())
     }
 
+    /// A recording session over `pool`: every [`IoSession::read_page`] call
+    /// appends to an internal [`IoLog`] and charges nothing. Morsel workers
+    /// use one recording session per morsel; the coordinator merges their
+    /// accounting deterministically by [`IoSession::replay`]ing the logs in
+    /// morsel order.
+    pub fn recording(pool: Arc<BufferPool>) -> IoSession {
+        IoSession {
+            pool,
+            stats: Cell::new(IoStats::default()),
+            last_fetch: RefCell::new(HashMap::new()),
+            log: Some(RefCell::new(IoLog::default())),
+        }
+    }
+
+    /// True when this session records touches instead of charging them.
+    pub fn is_recording(&self) -> bool {
+        self.log.is_some()
+    }
+
+    /// Drain the recorded log (recording sessions; empty otherwise).
+    pub fn take_log(&self) -> IoLog {
+        match &self.log {
+            Some(log) => std::mem::take(&mut log.borrow_mut()),
+            None => IoLog::default(),
+        }
+    }
+
+    /// Open a new op in the recorded log (no-op for live sessions). The
+    /// storage layer calls this at the top of every `charge_*` entry point,
+    /// so recorded logs segment along the plan's operation boundaries.
+    pub fn begin_op(&self) {
+        if let Some(log) = &self.log {
+            let mut log = log.borrow_mut();
+            let at = log.entries.len();
+            log.ops.push(at);
+        }
+    }
+
+    /// Replay a recorded log against this session, charging each touch as if
+    /// it were issued here (duplicate boundary touches resolve to pool hits,
+    /// per-file sequentiality is preserved).
+    pub fn replay(&self, log: &IoLog) {
+        for &(page, bytes) in log.entries() {
+            self.read_page(page, bytes);
+        }
+    }
+
+    /// Replay per-morsel logs **op-major**: op `k` of every log (in the
+    /// given morsel order), then op `k + 1`. Because every morsel of a query
+    /// executes the same structural op sequence, this reconstructs the
+    /// serial plan's charge order — all fragments of one column scan arrive
+    /// together, not interleaved with other columns — so the merged stats
+    /// match a serial run even on a small, evicting buffer pool.
+    pub fn replay_interleaved(&self, logs: &[IoLog]) {
+        let max_ops = logs.iter().map(IoLog::num_ops).max().unwrap_or(0);
+        for k in 0..max_ops {
+            for log in logs {
+                for &(page, bytes) in log.op(k) {
+                    self.read_page(page, bytes);
+                }
+            }
+        }
+    }
+
     /// Touch `page` whose on-disk size is `bytes` (≤ [`PAGE_SIZE`]; the last
     /// page of a file may be short).
     pub fn read_page(&self, page: PageId, bytes: u64) {
+        if let Some(log) = &self.log {
+            let mut log = log.borrow_mut();
+            if log.ops.is_empty() {
+                log.ops.push(0); // tolerate touches before any begin_op
+            }
+            log.entries.push((page, bytes));
+            return;
+        }
         let mut stats = self.stats.get();
         if self.pool.access(page) {
             stats.pool_hits += 1;
         } else {
             stats.pages_read += 1;
             stats.bytes_read += bytes;
-            let sequential = matches!(
-                self.last_fetch.get(),
-                Some(prev) if prev.file == page.file && page.page == prev.page.wrapping_add(1)
-            );
+            let mut last = self.last_fetch.borrow_mut();
+            let sequential = last.get(&page.file) == Some(&page.page.wrapping_sub(1));
             if !sequential {
                 stats.seeks += 1;
             }
-            self.last_fetch.set(Some(page));
+            last.insert(page.file, page.page);
         }
         self.stats.set(stats);
     }
@@ -250,7 +379,7 @@ impl IoSession {
     pub fn take_stats(&self) -> IoStats {
         let s = self.stats.get();
         self.stats.set(IoStats::default());
-        self.last_fetch.set(None);
+        self.last_fetch.borrow_mut().clear();
         s
     }
 
@@ -372,5 +501,93 @@ mod tests {
         let a = FileId::fresh();
         let b = FileId::fresh();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn interleaved_files_are_independent_streams() {
+        // Two files read in lockstep: each is sequential on its own stripe,
+        // so only the two initial positioning seeks are charged.
+        let s = IoSession::unmetered();
+        for p in 0..10u32 {
+            s.read_page(page(1, p), PAGE_SIZE);
+            s.read_page(page(2, p), PAGE_SIZE);
+        }
+        assert_eq!(s.stats().seeks, 2);
+        assert_eq!(s.stats().pages_read, 20);
+    }
+
+    #[test]
+    fn recording_session_charges_nothing() {
+        let pool = BufferPool::new(10 * PAGE_SIZE);
+        let rec = IoSession::recording(pool.clone());
+        assert!(rec.is_recording());
+        rec.read_page(page(1, 0), PAGE_SIZE);
+        rec.read_page(page(1, 1), 100);
+        assert_eq!(rec.stats(), IoStats::default());
+        assert_eq!(pool.resident_pages(), 0);
+        let log = rec.take_log();
+        assert_eq!(log.entries(), &[(page(1, 0), PAGE_SIZE), (page(1, 1), 100)]);
+        assert!(rec.take_log().entries().is_empty(), "log drained");
+    }
+
+    #[test]
+    fn op_major_replay_groups_fragments_by_op() {
+        // Two morsels, each charging op A (file 1) then op B (file 2).
+        // Op-major replay must order file 1's fragments together, like a
+        // serial plan, not interleave the files morsel by morsel.
+        let main = IoSession::unmetered();
+        let mut logs = Vec::new();
+        for half in 0..2u32 {
+            let rec = IoSession::recording(main.pool().clone());
+            rec.begin_op();
+            for p in half * 3..(half + 1) * 3 {
+                rec.read_page(page(1, p), PAGE_SIZE);
+            }
+            rec.begin_op();
+            for p in half * 3..(half + 1) * 3 {
+                rec.read_page(page(2, p), PAGE_SIZE);
+            }
+            let log = rec.take_log();
+            assert_eq!(log.num_ops(), 2);
+            assert_eq!(log.op(0).len(), 3);
+            logs.push(log);
+        }
+        main.replay_interleaved(&logs);
+        // Each file was read as one sequential stream: one seek per file.
+        let stats = main.stats();
+        assert_eq!(stats.pages_read, 12);
+        assert_eq!(stats.seeks, 2);
+    }
+
+    #[test]
+    fn replayed_split_logs_match_serial_stats() {
+        // A 10-page sequential scan split into two recorded halves with a
+        // duplicated boundary page replays to the exact serial stats.
+        let serial = IoSession::unmetered();
+        serial.read_file_sequential(FileId(9), 10 * PAGE_SIZE);
+
+        let replayed = IoSession::unmetered();
+        let first = IoSession::recording(replayed.pool().clone());
+        let second = IoSession::recording(replayed.pool().clone());
+        for p in 0..6u32 {
+            first.read_page(page(9, p), PAGE_SIZE);
+        }
+        for p in 5..10u32 {
+            second.read_page(page(9, p), PAGE_SIZE);
+        }
+        replayed.replay(&first.take_log());
+        replayed.replay(&second.take_log());
+
+        let (a, b) = (serial.stats(), replayed.stats());
+        assert_eq!(a.bytes_read, b.bytes_read);
+        assert_eq!(a.pages_read, b.pages_read);
+        assert_eq!(a.seeks, b.seeks);
+        assert_eq!(b.pool_hits, 1, "boundary page resolves to a hit");
+    }
+
+    #[test]
+    fn sessions_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<IoSession>();
     }
 }

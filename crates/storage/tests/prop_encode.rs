@@ -62,6 +62,58 @@ proptest! {
     }
 
     #[test]
+    fn auto_int_round_trips(values in clustered_ints()) {
+        // Whatever encoding `auto` picks: decode == input, point lookups
+        // agree with the bulk decode, and the footprint never regresses.
+        let col = IntColumn::auto(values.clone());
+        let decoded = col.decode();
+        prop_assert_eq!(&decoded, &values);
+        prop_assert_eq!(col.len(), values.len());
+        for (i, v) in decoded.iter().enumerate() {
+            prop_assert_eq!(col.value_at(i as u32), *v);
+        }
+        prop_assert!(col.encoded_bytes() <= IntColumn::plain(values).encoded_bytes());
+    }
+
+    #[test]
+    fn auto_int_round_trips_on_random_data(
+        values in prop::collection::vec(-1000i64..1_000_000, 0..300)
+    ) {
+        // No clustering: auto should fall back to plain and still round-trip.
+        let col = IntColumn::auto(values.clone());
+        prop_assert_eq!(col.decode(), values.clone());
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(col.value_at(i as u32), v);
+        }
+        prop_assert!(col.encoded_bytes() <= IntColumn::plain(values).encoded_bytes());
+    }
+
+    #[test]
+    fn auto_str_round_trips(values in small_strings()) {
+        let col = StrColumn::auto(values.clone());
+        let decoded = col.decode();
+        prop_assert_eq!(decoded.len(), values.len());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(&*decoded[i], v.as_str());
+            prop_assert_eq!(col.value_at(i as u32), v.as_str());
+        }
+        prop_assert!(col.encoded_bytes() <= StrColumn::plain(values).encoded_bytes());
+    }
+
+    #[test]
+    fn auto_str_round_trips_on_low_cardinality(
+        values in prop::collection::vec("[ab]{1,2}", 0..400)
+    ) {
+        // Heavy repetition: auto should pick the dictionary and still
+        // round-trip exactly.
+        let col = StrColumn::auto(values.clone());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(col.value_at(i as u32), v.as_str());
+        }
+        prop_assert!(col.encoded_bytes() <= StrColumn::plain(values).encoded_bytes());
+    }
+
+    #[test]
     fn byte_width_is_sufficient(values in prop::collection::vec(any::<i64>(), 0..50)) {
         let w = byte_width(&values);
         for &v in &values {

@@ -1,0 +1,178 @@
+//! The differential harness locking down morsel-driven parallel execution.
+//!
+//! Every cell of (query × plan shape × encoding × row design × seed × scale
+//! factor × thread count) must agree with `cvr_data::reference` — and the
+//! parallel cells must agree with the serial ones *byte for byte*, including
+//! the merged I/O accounting. This is the contract that lets the `scaling`
+//! binary make speed claims: a parallel execution is only faster, never
+//! different.
+//!
+//! Structure:
+//! * [`column_plan_shapes_match_reference`] — the three plan shapes
+//!   (invisible join, late-materialized join, early materialization) at both
+//!   compression settings, against the brute-force reference, at two seeds
+//!   and two scale factors;
+//! * [`row_designs_match_reference`] — the five row-store physical designs
+//!   over the same datasets;
+//! * [`thread_counts_are_byte_identical`] — thread counts {1, 2, 4, 8}
+//!   produce identical [`QueryOutput`]s and the merged parallel
+//!   [`cvr::storage::io::IoStats`] equal the serial run's bytes, pages and
+//!   seeks for every plan shape;
+//! * [`parallel_engine_matches_reference_directly`] — the parallel path vs
+//!   the reference evaluator, not just vs the serial engine.
+
+use cvr::core::morsel::Parallelism;
+use cvr::core::{ColumnEngine, EngineConfig};
+use cvr::data::gen::{SsbConfig, SsbTables};
+use cvr::data::queries::all_queries;
+use cvr::data::reference;
+use cvr::data::result::QueryOutput;
+use cvr::row::designs::{RowDb, RowDesign};
+use cvr::storage::io::IoSession;
+use std::sync::Arc;
+
+/// Two seeds × two scale factors: small enough to stay fast, different
+/// enough that sort orders, dictionary layouts and run structures all vary.
+fn datasets() -> Vec<Arc<SsbTables>> {
+    let mut out = Vec::new();
+    for sf in [0.0008, 0.0015] {
+        for seed in [7, 4242] {
+            out.push(Arc::new(SsbConfig { sf, seed }.generate()));
+        }
+    }
+    out
+}
+
+fn expected(tables: &SsbTables) -> Vec<QueryOutput> {
+    all_queries().iter().map(|q| reference::evaluate(tables, q)).collect()
+}
+
+/// The three column plan shapes at both compression settings:
+/// invisible join (`tICL`/`tIcL`), late-materialized join (`tiCL`/`ticL`),
+/// early materialization (`tICl`/`tIcl`).
+const PLAN_SHAPES: [&str; 6] = ["tICL", "tIcL", "tiCL", "ticL", "tICl", "tIcl"];
+
+#[test]
+fn column_plan_shapes_match_reference() {
+    for tables in datasets() {
+        let exp = expected(&tables);
+        let engine = ColumnEngine::new(tables.clone());
+        let io = IoSession::unmetered();
+        for code in PLAN_SHAPES {
+            let cfg = EngineConfig::parse(code);
+            for (q, e) in all_queries().iter().zip(&exp) {
+                assert_eq!(
+                    &engine.execute(q, cfg, &io),
+                    e,
+                    "{code} disagrees with reference on {} ({} fact rows)",
+                    q.id,
+                    tables.lineorder.num_rows()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn row_designs_match_reference() {
+    for tables in datasets() {
+        let exp = expected(&tables);
+        let io = IoSession::unmetered();
+        for design in RowDesign::ALL {
+            let db = RowDb::build(tables.clone(), design);
+            for (q, e) in all_queries().iter().zip(&exp) {
+                assert_eq!(
+                    &db.execute(q, &io),
+                    e,
+                    "{} disagrees with reference on {} ({} fact rows)",
+                    design.label(),
+                    q.id,
+                    tables.lineorder.num_rows()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn thread_counts_are_byte_identical() {
+    // One mid-sized dataset; small morsels so even it fans out widely.
+    let tables = Arc::new(SsbConfig { sf: 0.002, seed: 2026 }.generate());
+    let engine = ColumnEngine::new(tables);
+    let par = |threads| Parallelism { threads, morsel_rows: 384 };
+    for code in PLAN_SHAPES {
+        let cfg = EngineConfig::parse(code);
+        for q in all_queries() {
+            let serial_io = IoSession::unmetered();
+            let serial = engine.execute_with(&q, cfg, Parallelism::serial(), &serial_io);
+            let serial_stats = serial_io.stats();
+            for threads in [1, 2, 4, 8] {
+                let io = IoSession::unmetered();
+                let out = engine.execute_with(&q, cfg, par(threads), &io);
+                assert_eq!(out, serial, "{code} {} at {threads} threads", q.id);
+                let stats = io.stats();
+                assert_eq!(
+                    (stats.bytes_read, stats.pages_read, stats.seeks),
+                    (serial_stats.bytes_read, serial_stats.pages_read, serial_stats.seeks),
+                    "{code} {} at {threads} threads: merged IoStats must equal serial",
+                    q.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bounded_pool_io_matches_serial() {
+    // The figure binaries run over a small, evicting buffer pool. Parallel
+    // execution must charge the modeled disk in serial plan order there too
+    // — op-major log replay, not morsel-major — or the pool thrashes in a
+    // way a serial plan would not and the reproduced numbers become
+    // machine-dependent. Everything here is deterministic, so exact
+    // equality is the right assertion.
+    use cvr::storage::io::BufferPool;
+    let tables = Arc::new(SsbConfig { sf: 0.004, seed: 6 }.generate());
+    let engine = ColumnEngine::new(tables);
+    let pool_bytes = 1u64 << 20; // 32 pages: scans always spill
+    for code in PLAN_SHAPES {
+        let cfg = EngineConfig::parse(code);
+        for q in all_queries() {
+            let serial_io = IoSession::new(BufferPool::new(pool_bytes));
+            let serial = engine.execute_with(&q, cfg, Parallelism::serial(), &serial_io);
+            for threads in [2, 4] {
+                let io = IoSession::new(BufferPool::new(pool_bytes));
+                let par = Parallelism { threads, morsel_rows: 1024 };
+                let out = engine.execute_with(&q, cfg, par, &io);
+                assert_eq!(out, serial, "{code} {} at {threads} threads", q.id);
+                let (a, b) = (serial_io.stats(), io.stats());
+                assert_eq!(
+                    (a.bytes_read, a.pages_read, a.seeks),
+                    (b.bytes_read, b.pages_read, b.seeks),
+                    "{code} {} at {threads} threads: bounded-pool IoStats must equal serial",
+                    q.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_engine_matches_reference_directly() {
+    for tables in datasets().into_iter().take(2) {
+        let exp = expected(&tables);
+        let engine = ColumnEngine::new(tables);
+        let par = Parallelism { threads: 4, morsel_rows: 256 };
+        for code in PLAN_SHAPES {
+            let cfg = EngineConfig::parse(code);
+            for (q, e) in all_queries().iter().zip(&exp) {
+                let io = IoSession::unmetered();
+                assert_eq!(
+                    &engine.execute_with(q, cfg, par, &io),
+                    e,
+                    "parallel {code} disagrees with reference on {}",
+                    q.id
+                );
+            }
+        }
+    }
+}
