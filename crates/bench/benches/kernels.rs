@@ -1,0 +1,74 @@
+//! Scan-kernel microbenchmarks: scalar block iteration vs word-parallel
+//! kernels, per encoding × selectivity.
+//!
+//! "Scalar" is the one-value-at-a-time block loop (unpack/load, compare,
+//! push) — what the block-iteration paths did before the kernel layer;
+//! "word" is the SWAR mask kernel feeding the bulk accumulator path. The
+//! `kernels` binary measures the same matrix outside criterion and emits
+//! `BENCH_kernels.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cvr_bench::kernel_bench::{codes, slice_word_positions, word_positions};
+use cvr_core::kernels::{scalar, CmpOp};
+use cvr_storage::packed::PackedInts;
+use std::hint::black_box;
+
+const N: u32 = 1 << 20;
+
+/// One packed encoding at three selectivities, scalar vs word.
+fn bench_packed(c: &mut Criterion, bits: u8) {
+    let p = PackedInts::pack(bits, codes(N, (1u64 << bits) - 1));
+    let max = p.max_code();
+    for (label, hi) in [("sel1pct", max / 100), ("sel20pct", max / 5), ("sel90pct", max * 9 / 10)] {
+        let op = CmpOp::Le(hi);
+        let mut g = c.benchmark_group(format!("packed_w{bits}_{label}"));
+        g.bench_function("scalar", |b| {
+            b.iter(|| black_box(scalar::packed_cmp_positions(&p, 0, p.len(), op)))
+        });
+        g.bench_function("word", |b| b.iter(|| black_box(word_positions(&p, op))));
+        g.finish();
+    }
+}
+
+fn bench_packed_kernels(c: &mut Criterion) {
+    // Quantity-like narrow codes and FK-like wider codes.
+    bench_packed(c, 6);
+    bench_packed(c, 17);
+}
+
+fn bench_dict_kernels(c: &mut Criterion) {
+    // 25-entry dictionary (city-like), predicate selecting a contiguous
+    // code range — the hierarchy-predicate fast path — vs the scalar
+    // matches[] table lookup the dict path used before.
+    let card = 25u64;
+    let p = PackedInts::pack(5, codes(N, card - 1));
+    for (label, lo, hi) in [("sel4pct", 3u64, 3u64), ("sel40pct", 5, 14)] {
+        let matches: Vec<bool> = (0..card).map(|c| (lo..=hi).contains(&c)).collect();
+        let mut g = c.benchmark_group(format!("dict_card25_{label}"));
+        g.bench_function("scalar_table", |b| {
+            b.iter(|| {
+                black_box(scalar::packed_test_positions(&p, 0, p.len(), |c| matches[c as usize]))
+            })
+        });
+        g.bench_function("word_range", |b| {
+            b.iter(|| black_box(word_positions(&p, CmpOp::Range(lo, hi))))
+        });
+        g.finish();
+    }
+}
+
+fn bench_plain_slice_kernels(c: &mut Criterion) {
+    let values: Vec<i64> =
+        (0..N as i64).map(|i| (i.wrapping_mul(2_654_435_761)) % 30_000).collect();
+    for (label, hi) in [("sel1pct", 300i64), ("sel50pct", 15_000)] {
+        let mut g = c.benchmark_group(format!("plain_i64_{label}"));
+        g.bench_function("scalar", |b| {
+            b.iter(|| black_box(scalar::slice_cmp_positions(&values, 0, 0, hi)))
+        });
+        g.bench_function("word", |b| b.iter(|| black_box(slice_word_positions(&values, 0, hi))));
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_packed_kernels, bench_dict_kernels, bench_plain_slice_kernels);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Shared fixtures for the scan-kernel benchmarks: the `kernels` binary
+//! (which emits `BENCH_kernels.json`) and the `kernels` criterion bench
+//! measure the same matrix, so they must generate the same inputs and
+//! collect kernel output the same way — these helpers are that single
+//! definition.
+
+use cvr_core::kernels::{self, CmpOp};
+use cvr_storage::packed::PackedInts;
+
+/// Deterministic pseudo-random codes in `[0, max]`.
+pub fn codes(n: u32, max: u64) -> Vec<u64> {
+    (0..n as u64).map(|i| i.wrapping_mul(2_654_435_761) % (max + 1)).collect()
+}
+
+/// Run the packed compare kernel over all of `p` and collect the emitted
+/// masks into positions (the morsel-sink shape).
+pub fn word_positions(p: &PackedInts, op: CmpOp) -> Vec<u32> {
+    let mut out = Vec::new();
+    kernels::packed_cmp_masks(p, 0, p.len(), op, |base, m| push_mask(&mut out, base, m));
+    out
+}
+
+/// Run the plain-slice compare kernel and collect positions.
+pub fn slice_word_positions(values: &[i64], lo: i64, hi: i64) -> Vec<u32> {
+    let mut out = Vec::new();
+    kernels::slice_cmp_masks(values, 0, lo, hi, |base, m| push_mask(&mut out, base, m));
+    out
+}
+
+/// Append the set bits of one selection mask as positions.
+pub fn push_mask(out: &mut Vec<u32>, base: u32, mut mask: u64) {
+    while mask != 0 {
+        out.push(base + mask.trailing_zeros());
+        mask &= mask - 1;
+    }
+}

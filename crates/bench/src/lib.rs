@@ -38,6 +38,7 @@
 //! | `ablation` | §6.3.2's between-predicate-rewriting attribution, isolated |
 //! | `super_tuples` | §7's row-store prescription (Halverson et al.), implemented |
 //! | `scaling` | morsel-driven parallelism: threads-vs-speedup over the 13 queries |
+//! | `kernels` | scan kernels: scalar vs word-parallel per encoding × selectivity (emits `BENCH_kernels.json`) |
 //! | `all` | the full evaluation in one run |
 //!
 //! ## Threads
@@ -58,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+pub mod kernel_bench;
 pub mod paper;
 
 use cvr_core::morsel::Parallelism;

@@ -36,6 +36,11 @@ pub fn gather_ints(col: &StoredColumn, pos: &PosList, io: &IoSession) -> Vec<i64
                 out.push(runs[run].value);
             }
         }
+        IntColumn::Packed { reference, packed } => {
+            for p in pos.iter() {
+                out.push(reference + packed.get(p) as i64);
+            }
+        }
     }
     out
 }
@@ -47,8 +52,8 @@ pub fn gather_strs(col: &StoredColumn, pos: &PosList, io: &IoSession) -> Vec<Val
         StrColumn::Plain { values, .. } => {
             pos.iter().map(|p| Value::Str(values[p as usize].clone())).collect()
         }
-        StrColumn::Dict { dict, codes, .. } => {
-            pos.iter().map(|p| Value::Str(dict[codes[p as usize] as usize].clone())).collect()
+        StrColumn::Dict { dict, codes } => {
+            pos.iter().map(|p| Value::Str(dict[codes.get(p) as usize].clone())).collect()
         }
     }
 }
@@ -80,6 +85,11 @@ pub fn extract_at(col: &StoredColumn, positions: &[u32], io: &IoSession) -> Vec<
                     out.push(Value::Int(int.value_at(p)));
                 }
             }
+            IntColumn::Packed { reference, packed } => {
+                for &p in positions {
+                    out.push(Value::Int(reference + packed.get(p) as i64));
+                }
+            }
         },
         Column::Str(s) => match s {
             StrColumn::Plain { values, .. } => {
@@ -87,9 +97,9 @@ pub fn extract_at(col: &StoredColumn, positions: &[u32], io: &IoSession) -> Vec<
                     out.push(Value::Str(values[p as usize].clone()));
                 }
             }
-            StrColumn::Dict { dict, codes, .. } => {
+            StrColumn::Dict { dict, codes } => {
                 for &p in positions {
-                    out.push(Value::Str(dict[codes[p as usize] as usize].clone()));
+                    out.push(Value::Str(dict[codes.get(p) as usize].clone()));
                 }
             }
         },

@@ -25,7 +25,7 @@ use crate::extract::{extract_at, gather_ints};
 use crate::morsel::{intersect_ascending, run_morsels, Parallelism};
 use crate::poslist::PosList;
 use crate::projection::CStoreDb;
-use crate::scan::{scan_int_where, scan_int_where_range, scan_pred, scan_pred_range};
+use crate::scan::{scan_int, scan_int_range, scan_pred, scan_pred_range, IntScanPred};
 use cvr_data::queries::SsbQuery;
 use cvr_data::result::QueryOutput;
 use cvr_data::schema::Dim;
@@ -47,6 +47,20 @@ impl FactKeyPred {
         match self {
             FactKeyPred::Between(..) => "between",
             FactKeyPred::KeySet(..) => "hash-set",
+        }
+    }
+
+    /// Run `f` with the scan-layer form of this key predicate:
+    /// between-rewritten joins become interval predicates
+    /// (SWAR-kernel-eligible on packed FK columns); hash sets stay opaque
+    /// per-value tests.
+    fn with_scan_pred<R>(&self, f: impl FnOnce(&IntScanPred<'_>) -> R) -> R {
+        match self {
+            FactKeyPred::Between(lo, hi) => f(&IntScanPred::Range { lo: *lo, hi: *hi }),
+            FactKeyPred::KeySet(set) => {
+                let test = |v: i64| set.contains(v);
+                f(&IntScanPred::Test(&test))
+            }
         }
     }
 }
@@ -147,15 +161,7 @@ pub fn phase2_probe(
     io: &IoSession,
 ) -> PosList {
     let col = db.fact.column(dim.fact_fk_column());
-    match key_pred {
-        FactKeyPred::Between(lo, hi) => {
-            let (lo, hi) = (*lo, *hi);
-            scan_int_where(col, move |v| v >= lo && v <= hi, cfg.block_iteration, io)
-        }
-        FactKeyPred::KeySet(set) => {
-            scan_int_where(col, |v| set.contains(v), cfg.block_iteration, io)
-        }
-    }
+    key_pred.with_scan_pred(|pred| scan_int(col, pred, cfg.block_iteration, io))
 }
 
 /// Execute `q` with the invisible join (default options).
@@ -313,27 +319,9 @@ pub fn execute_par(
         let mut pos: Option<Vec<u32>> = None;
         for (dim, key_pred) in &key_preds {
             let col = db.fact.column(dim.fact_fk_column());
-            let frag = match key_pred {
-                FactKeyPred::Between(lo, hi) => {
-                    let (lo, hi) = (*lo, *hi);
-                    scan_int_where_range(
-                        col,
-                        range.start,
-                        range.end,
-                        move |v| v >= lo && v <= hi,
-                        cfg.block_iteration,
-                        &rio,
-                    )
-                }
-                FactKeyPred::KeySet(set) => scan_int_where_range(
-                    col,
-                    range.start,
-                    range.end,
-                    |v| set.contains(v),
-                    cfg.block_iteration,
-                    &rio,
-                ),
-            };
+            let frag = key_pred.with_scan_pred(|pred| {
+                scan_int_range(col, range.start, range.end, pred, cfg.block_iteration, &rio)
+            });
             pos = Some(match pos {
                 None => frag,
                 Some(acc) => intersect_ascending(&acc, &frag),

@@ -5,8 +5,10 @@
 //! * [`projection`] — sorted projections with dictionary key reassignment
 //!   (dense dimension keys; `yyyymmdd` DATE keys kept non-dense on purpose);
 //! * [`scan`] / [`extract`] — predicate application and positional
-//!   extraction over compressed columns, each with `as_array` (block) and
-//!   `get_next` (tuple-at-a-time) interfaces;
+//!   extraction over compressed columns, each with block (word-parallel
+//!   kernels) and `get_next` (tuple-at-a-time) interfaces;
+//! * [`kernels`] — branchless SWAR comparison kernels over truly
+//!   bit-packed columns, emitting 64-bit selection masks;
 //! * [`poslist`] — range / bitmap / explicit position lists with
 //!   representation-preserving intersection;
 //! * [`invisible`] — the **invisible join** with runtime between-predicate
@@ -48,6 +50,7 @@ pub mod em;
 pub mod engine;
 pub mod extract;
 pub mod invisible;
+pub mod kernels;
 pub mod lmjoin;
 pub mod morsel;
 pub mod poslist;

@@ -80,27 +80,26 @@ fn dim_hash(
     IntHashMap::from_pairs(keys.into_iter().zip(dpos.iter()))
 }
 
-/// Morsel-range counterpart of [`probe_full_scan`]: probe fact positions
-/// `[start, end)` of the FK column against `map`.
-fn probe_range(
-    db: &CStoreDb,
-    dim: Dim,
-    map: &IntHashMap,
-    cfg: EngineConfig,
+/// The shared probe loop of [`probe_full_scan`] and [`probe_range`]: fact
+/// positions `[start, end)` of `col` probed against `map`, per encoding ×
+/// iteration interface. Hash probes are inherently per-value, but RLE still
+/// probes once per run and packed columns unpack one word at a time.
+fn probe_span(
+    col: &IntColumn,
     start: u32,
     end: u32,
-    io: &IoSession,
+    map: &IntHashMap,
+    block: bool,
 ) -> (Vec<u32>, Vec<u32>) {
-    let col = db.fact.column(dim.fact_fk_column());
-    col.charge_scan_range(start, end, io);
     let mut fact_pos = Vec::new();
     let mut dim_pos = Vec::new();
     if start >= end {
         return (fact_pos, dim_pos);
     }
-    match col.column.as_int() {
+    match col {
         IntColumn::Rle { runs, .. } => {
-            let mut idx = col.column.as_int().run_containing(start);
+            // Direct operation on compressed data: one probe per run.
+            let mut idx = if start == 0 { 0 } else { col.run_containing(start) };
             while idx < runs.len() && runs[idx].start < end {
                 let r = &runs[idx];
                 if let Some(d) = map.get(r.value) {
@@ -114,7 +113,7 @@ fn probe_range(
         }
         IntColumn::Plain { values, .. } => {
             let slice = &values[start as usize..end as usize];
-            if cfg.block_iteration {
+            if block {
                 for (off, &v) in slice.iter().enumerate() {
                     if let Some(d) = map.get(v) {
                         fact_pos.push(start + off as u32);
@@ -133,8 +132,48 @@ fn probe_range(
                 }
             }
         }
+        IntColumn::Packed { reference, packed } => {
+            let r = *reference;
+            if block {
+                let mut i = start;
+                packed.for_each_in(start, end, |c| {
+                    if let Some(d) = map.get(r + c as i64) {
+                        fact_pos.push(i);
+                        dim_pos.push(d);
+                    }
+                    i += 1;
+                });
+            } else {
+                let mut src: Box<dyn Iterator<Item = u64>> =
+                    Box::new(packed.iter_range(start, end));
+                let mut i = start;
+                while let Some(c) = std::hint::black_box(&mut src).next() {
+                    if let Some(d) = map.get(r + c as i64) {
+                        fact_pos.push(i);
+                        dim_pos.push(d);
+                    }
+                    i += 1;
+                }
+            }
+        }
     }
     (fact_pos, dim_pos)
+}
+
+/// Morsel-range counterpart of [`probe_full_scan`]: probe fact positions
+/// `[start, end)` of the FK column against `map`.
+fn probe_range(
+    db: &CStoreDb,
+    dim: Dim,
+    map: &IntHashMap,
+    cfg: EngineConfig,
+    start: u32,
+    end: u32,
+    io: &IoSession,
+) -> (Vec<u32>, Vec<u32>) {
+    let col = db.fact.column(dim.fact_fk_column());
+    col.charge_scan_range(start, end, io);
+    probe_span(col.column.as_int(), start, end, map, cfg.block_iteration)
 }
 
 /// Probe an entire fact FK column against `map`: returns matched fact
@@ -148,42 +187,8 @@ fn probe_full_scan(
 ) -> (Vec<u32>, Vec<u32>) {
     let col = db.fact.column(dim.fact_fk_column());
     col.charge_scan(io);
-    let mut fact_pos = Vec::new();
-    let mut dim_pos = Vec::new();
-    match col.column.as_int() {
-        IntColumn::Rle { runs, .. } => {
-            // Direct operation on compressed data: one probe per run.
-            for r in runs {
-                if let Some(d) = map.get(r.value) {
-                    for p in r.start..r.start + r.len {
-                        fact_pos.push(p);
-                        dim_pos.push(d);
-                    }
-                }
-            }
-        }
-        IntColumn::Plain { values, .. } => {
-            if cfg.block_iteration {
-                for (i, &v) in values.iter().enumerate() {
-                    if let Some(d) = map.get(v) {
-                        fact_pos.push(i as u32);
-                        dim_pos.push(d);
-                    }
-                }
-            } else {
-                let mut src: Box<dyn Iterator<Item = i64>> = Box::new(values.iter().copied());
-                let mut i = 0u32;
-                while let Some(v) = std::hint::black_box(&mut src).next() {
-                    if let Some(d) = map.get(v) {
-                        fact_pos.push(i);
-                        dim_pos.push(d);
-                    }
-                    i += 1;
-                }
-            }
-        }
-    }
-    (fact_pos, dim_pos)
+    let n = col.column.len() as u32;
+    probe_span(col.column.as_int(), 0, n, map, cfg.block_iteration)
 }
 
 /// Execute `q` with late-materialized hash joins (invisible join disabled).

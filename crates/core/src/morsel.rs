@@ -94,9 +94,11 @@ pub fn run_morsels<T: Send>(
     task: impl Fn(usize, Range<u32>) -> T + Sync,
 ) -> Vec<T> {
     // Aim for a few morsels per worker so claiming self-balances, without
-    // dropping below the minimum useful size.
+    // dropping below the minimum useful size. Morsel boundaries align to
+    // whole 64-position mask words so the scan kernels' selection masks
+    // never straddle a morsel edge.
     let aim = n.div_ceil((par.threads * 4).max(1) as u32).max(MIN_MORSEL_ROWS);
-    let morsel = par.morsel_rows.min(aim).max(1);
+    let morsel = par.morsel_rows.min(aim).max(1).div_ceil(64) * 64;
     let count = (n.div_ceil(morsel) as usize).max(1);
     let range_of = |i: usize| {
         let start = i as u32 * morsel;

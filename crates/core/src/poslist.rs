@@ -172,9 +172,49 @@ impl PosList {
             }
             (Range { start, end, universe }, Bitmap(b))
             | (Bitmap(b), Range { start, end, universe }) => {
-                let positions: Vec<u32> =
-                    b.iter().skip_while(|p| p < start).take_while(|p| p < end).collect();
-                PosList::from_ascending(positions, *universe)
+                // Word-parallel: AND the bitmap's words against the range
+                // mask instead of iterating set bits. Representation choice
+                // matches `from_ascending`: range if contiguous, bitmap if
+                // dense, explicit otherwise.
+                let (start, end) = (*start, *end);
+                if start >= end {
+                    return PosList::empty(*universe);
+                }
+                let (fw, lw) = ((start / 64) as usize, ((end - 1) / 64) as usize);
+                let mut masked: Vec<u64> = b.words()[fw..=lw].to_vec();
+                masked[0] &= u64::MAX << (start % 64);
+                let tail_keep = (end - 1) % 64;
+                if tail_keep < 63 {
+                    let li = masked.len() - 1;
+                    masked[li] &= (1u64 << (tail_keep + 1)) - 1;
+                }
+                let count: u32 = masked.iter().map(|w| w.count_ones()).sum();
+                if count == 0 {
+                    return PosList::empty(*universe);
+                }
+                let (fi, fword) = masked.iter().enumerate().find(|(_, &w)| w != 0).unwrap();
+                let first = (fw + fi) as u32 * 64 + fword.trailing_zeros();
+                let (li, lword) = masked.iter().enumerate().rfind(|(_, &w)| w != 0).unwrap();
+                let last = (fw + li) as u32 * 64 + 63 - lword.leading_zeros();
+                if last - first + 1 == count {
+                    return PosList::Range { start: first, end: last + 1, universe: *universe };
+                }
+                if count > *universe / EXPLICIT_LIMIT_DIVISOR {
+                    let mut bm = RidBitmap::new(*universe);
+                    bm.extend_from_words(fw, &masked);
+                    return PosList::Bitmap(bm);
+                }
+                // Sparse: read the positions straight out of the masked
+                // window — no full-universe bitmap needed.
+                let mut positions = Vec::with_capacity(count as usize);
+                for (i, &w) in masked.iter().enumerate() {
+                    let mut m = w;
+                    while m != 0 {
+                        positions.push((fw + i) as u32 * 64 + m.trailing_zeros());
+                        m &= m - 1;
+                    }
+                }
+                PosList::Explicit { positions, universe: *universe }
             }
             (Range { start, end, universe }, Explicit { positions, .. })
             | (Explicit { positions, .. }, Range { start, end, universe }) => {

@@ -3,29 +3,44 @@
 //! This is where three of the paper's four optimizations physically live:
 //!
 //! * **Block iteration vs tuple iteration** (Section 5.3): every scan has
-//!   two code paths — `as_array` (tight loops over native slices) and
-//!   `get_next` (one virtual call per value through a boxed iterator). The
-//!   paper notes it "only noticed a significant difference in the
-//!   performance of selection operations" when switching interfaces, which
-//!   is why the dual path lives here, in selection.
+//!   two code paths — a block path (word-parallel kernels over native
+//!   slices and packed words, see [`crate::kernels`]) and `get_next` (one
+//!   virtual call per value through a boxed iterator). The paper notes it
+//!   "only noticed a significant difference in the performance of selection
+//!   operations" when switching interfaces, which is why the dual path
+//!   lives here, in selection. The tuple path is deliberately left
+//!   value-at-a-time — it *is* the paper's contrast.
 //! * **Direct operation on compressed data** (Section 5.1): RLE columns
 //!   evaluate each predicate once per *run* and emit position ranges;
-//!   dictionary columns translate a string predicate into a code predicate
-//!   evaluated once against the (tiny) sorted dictionary, then scan codes
-//!   as integers.
+//!   frame-of-reference packed columns are compared 64 bits of packed image
+//!   at a time without unpacking; dictionary columns translate a string
+//!   predicate into a code predicate evaluated once against the (tiny)
+//!   sorted dictionary, then scan the packed codes as integers — with
+//!   contiguous matching code ranges (the common hierarchy-predicate case)
+//!   collapsing to a single SWAR range kernel.
 //! * **Position-list representations** (Section 5.2): results accumulate
 //!   into ranges, explicit arrays, or bitmaps depending on selectivity and
-//!   run structure.
+//!   run structure — and kernel results land as whole 64-bit mask words
+//!   ([`PosAccumulator::push_mask`]), never through a per-bit path.
+//!
+//! Every (encoding × interface) combination funnels through one pair of
+//! drivers — [`scan_int_into`] and [`scan_str_into`] — parameterized by a
+//! [`PosSink`], so whole-column scans (into a [`PosAccumulator`]) and
+//! morsel-range scans (into a plain `Vec<u32>`) share the same loops.
 
+use crate::kernels::{self, CmpOp};
 use crate::poslist::{PosList, EXPLICIT_LIMIT_DIVISOR};
 use cvr_data::queries::Pred;
+use cvr_data::value::Value;
 use cvr_index::bitmap::RidBitmap;
 use cvr_storage::column::StoredColumn;
 use cvr_storage::encode::{Column, IntColumn, StrColumn};
 use cvr_storage::io::IoSession;
 
 /// Accumulates ascending positions, upgrading from an explicit list to a
-/// bitmap when the result grows dense.
+/// bitmap when the result grows dense. Accepts single positions, whole
+/// ranges, and 64-value selection masks; the bulk paths touch `O(words)`
+/// state, not `O(positions)`.
 pub struct PosAccumulator {
     universe: u32,
     limit: usize,
@@ -51,6 +66,15 @@ impl PosAccumulator {
         }
     }
 
+    fn upgrade_to_bitmap(&mut self) {
+        let mut bm = RidBitmap::new(self.universe);
+        for &p in &self.explicit {
+            bm.set(p);
+        }
+        self.explicit.clear();
+        self.bitmap = Some(bm);
+    }
+
     /// Append one position (must be ascending).
     #[inline]
     pub fn push(&mut self, pos: u32) {
@@ -66,19 +90,66 @@ impl PosAccumulator {
         }
         self.explicit.push(pos);
         if self.explicit.len() > self.limit {
-            let mut bm = RidBitmap::new(self.universe);
-            for &p in &self.explicit {
-                bm.set(p);
-            }
-            self.explicit.clear();
-            self.bitmap = Some(bm);
+            self.upgrade_to_bitmap();
         }
     }
 
-    /// Append the contiguous positions `[start, end)`.
+    /// Append the contiguous positions `[start, end)` in `O(words)`: once
+    /// the accumulator has upgraded to a bitmap, whole 64-bit words are
+    /// filled at a time (the RLE run-scan fast path).
     pub fn push_range(&mut self, start: u32, end: u32) {
-        for p in start..end {
-            self.push(p);
+        if start >= end {
+            return;
+        }
+        match self.next_expected {
+            None => self.run_start = start,
+            Some(e) if e != start => self.contiguous = false,
+            _ => {}
+        }
+        self.next_expected = Some(end);
+        let count = (end - start) as usize;
+        if self.bitmap.is_none() && self.explicit.len() + count > self.limit {
+            self.upgrade_to_bitmap();
+        }
+        match &mut self.bitmap {
+            Some(bm) => bm.set_range(start, end),
+            None => self.explicit.extend(start..end),
+        }
+    }
+
+    /// Append a 64-value selection mask: bit `j` selects position
+    /// `base + j`. Masks must arrive in ascending position order (like the
+    /// kernels emit them); dense results are ORed into the bitmap word-wise.
+    pub fn push_mask(&mut self, base: u32, mask: u64) {
+        if mask == 0 {
+            return;
+        }
+        let first = base + mask.trailing_zeros();
+        let last = base + 63 - mask.leading_zeros();
+        match self.next_expected {
+            None => self.run_start = first,
+            Some(e) if e != first => self.contiguous = false,
+            _ => {}
+        }
+        // The mask's own bits must also form one unbroken run.
+        let norm = mask >> mask.trailing_zeros();
+        if norm & norm.wrapping_add(1) != 0 {
+            self.contiguous = false;
+        }
+        self.next_expected = Some(last + 1);
+        let count = mask.count_ones() as usize;
+        if self.bitmap.is_none() && self.explicit.len() + count > self.limit {
+            self.upgrade_to_bitmap();
+        }
+        match &mut self.bitmap {
+            Some(bm) => bm.or_mask_at(base, mask),
+            None => {
+                let mut m = mask;
+                while m != 0 {
+                    self.explicit.push(base + m.trailing_zeros());
+                    m &= m - 1;
+                }
+            }
         }
     }
 
@@ -97,127 +168,390 @@ impl PosAccumulator {
     }
 }
 
-/// Scan `col` for positions where `test(value)` holds — integer columns.
-///
-/// `block` selects the `as_array` (true) or `get_next` (false) interface.
-/// RLE columns operate run-at-a-time regardless (that *is* direct operation
-/// on compressed data; there is no per-value interface to strip without
-/// decompressing, which is what the `c` configurations do by storing plain).
-pub fn scan_int_where(
-    col: &StoredColumn,
-    test: impl Fn(i64) -> bool,
-    block: bool,
-    io: &IoSession,
-) -> PosList {
-    col.charge_scan(io);
-    let int = col.column.as_int();
-    let mut acc = PosAccumulator::new(int.len() as u32);
-    match int {
-        IntColumn::Rle { runs, .. } => {
-            for r in runs {
-                if test(r.value) {
-                    acc.push_range(r.start, r.start + r.len);
+/// Destination of a scan: either a [`PosAccumulator`] (whole-column scans)
+/// or a plain ascending `Vec<u32>` (morsel fragments). Implementations must
+/// tolerate all-zero masks.
+pub trait PosSink {
+    /// Append one position (ascending).
+    fn push(&mut self, pos: u32);
+    /// Append the contiguous positions `[start, end)`.
+    fn push_range(&mut self, start: u32, end: u32);
+    /// Append a 64-value selection mask anchored at `base`.
+    fn push_mask(&mut self, base: u32, mask: u64);
+}
+
+impl PosSink for PosAccumulator {
+    #[inline]
+    fn push(&mut self, pos: u32) {
+        PosAccumulator::push(self, pos)
+    }
+
+    fn push_range(&mut self, start: u32, end: u32) {
+        PosAccumulator::push_range(self, start, end)
+    }
+
+    fn push_mask(&mut self, base: u32, mask: u64) {
+        PosAccumulator::push_mask(self, base, mask)
+    }
+}
+
+impl PosSink for Vec<u32> {
+    #[inline]
+    fn push(&mut self, pos: u32) {
+        Vec::push(self, pos)
+    }
+
+    fn push_range(&mut self, start: u32, end: u32) {
+        self.extend(start..end)
+    }
+
+    fn push_mask(&mut self, base: u32, mut mask: u64) {
+        while mask != 0 {
+            Vec::push(self, base + mask.trailing_zeros());
+            mask &= mask - 1;
+        }
+    }
+}
+
+/// An integer predicate as the scan layer sees it: either a contiguous
+/// interval (SWAR-eligible — equality, comparisons, between, and rewritten
+/// join predicates all land here) or an opaque test (hash-set membership,
+/// non-contiguous IN-lists).
+pub enum IntScanPred<'a> {
+    /// `lo <= v <= hi`, inclusive. `lo > hi` matches nothing.
+    Range {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Arbitrary per-value test.
+    Test(&'a (dyn Fn(i64) -> bool + 'a)),
+}
+
+impl IntScanPred<'_> {
+    /// Evaluate against one value (the tuple-at-a-time and RLE-run path).
+    #[inline]
+    pub fn matches(&self, v: i64) -> bool {
+        match self {
+            IntScanPred::Range { lo, hi } => v >= *lo && v <= *hi,
+            IntScanPred::Test(f) => f(v),
+        }
+    }
+
+    /// The inclusive interval equivalent to `pred` over integers, when one
+    /// exists: `Eq`/`Between`/`Lt` always, `InSet` when its members are
+    /// contiguous. `None` means the predicate needs the opaque-test path.
+    pub fn range_of(pred: &Pred) -> Option<(i64, i64)> {
+        let int = |v: &Value| match v {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        };
+        match pred {
+            Pred::Eq(v) => int(v).map(|i| (i, i)),
+            Pred::Between(lo, hi) => Some((int(lo)?, int(hi)?)),
+            Pred::Lt(v) => {
+                let x = int(v)?;
+                // `v < i64::MIN` is empty; encode as an empty interval.
+                Some(if x == i64::MIN { (1, 0) } else { (i64::MIN, x - 1) })
+            }
+            Pred::InSet(vs) => {
+                let mut members: Vec<i64> = Vec::with_capacity(vs.len());
+                for v in vs {
+                    members.push(int(v)?);
                 }
+                members.sort_unstable();
+                members.dedup();
+                let (&lo, &hi) = (members.first()?, members.last()?);
+                // Span in i128: `hi - lo` overflows i64 for wide-spread sets.
+                let span = hi as i128 - lo as i128 + 1;
+                (span == members.len() as i128).then_some((lo, hi))
+            }
+        }
+    }
+}
+
+/// Map a value-space interval to code space for a packed column with frame
+/// of reference `reference`; `None` when nothing can match.
+fn code_bounds(reference: i64, max_code: u64, lo: i64, hi: i64) -> Option<(u64, u64)> {
+    let lo = (lo as i128 - reference as i128).max(0);
+    let hi = hi as i128 - reference as i128;
+    if lo > hi || lo > max_code as i128 || hi < 0 {
+        return None;
+    }
+    Some((lo as u64, (hi as u128).min(max_code as u128) as u64))
+}
+
+/// The unified integer scan driver: every encoding × interface combination
+/// for positions `[start, end)` of `col`, emitting into `sink`. Block mode
+/// routes through the word-parallel kernels; tuple mode keeps the paper's
+/// one-virtual-call-per-value `get_next` loop.
+pub fn scan_int_into(
+    col: &IntColumn,
+    start: u32,
+    end: u32,
+    pred: &IntScanPred<'_>,
+    block: bool,
+    sink: &mut impl PosSink,
+) {
+    if start >= end {
+        return;
+    }
+    match col {
+        IntColumn::Rle { runs, .. } => {
+            // Run kernel: one predicate test per run, one O(words) range
+            // push per match — direct operation on compressed data
+            // regardless of the iteration interface (there is no per-value
+            // interface to strip without decompressing, which is what the
+            // `c` configurations do by storing plain).
+            let mut idx = if start == 0 { 0 } else { col.run_containing(start) };
+            while idx < runs.len() && runs[idx].start < end {
+                let r = &runs[idx];
+                if pred.matches(r.value) {
+                    sink.push_range(r.start.max(start), (r.start + r.len).min(end));
+                }
+                idx += 1;
             }
         }
         IntColumn::Plain { values, .. } => {
+            let slice = &values[start as usize..end as usize];
             if block {
-                for (i, &v) in values.iter().enumerate() {
-                    if test(v) {
-                        acc.push(i as u32);
+                match pred {
+                    IntScanPred::Range { lo, hi } => {
+                        kernels::slice_cmp_masks(slice, start, *lo, *hi, |b, m| {
+                            sink.push_mask(b, m)
+                        });
+                    }
+                    IntScanPred::Test(f) => {
+                        kernels::slice_test_masks(slice, start, f, |b, m| sink.push_mask(b, m));
                     }
                 }
             } else {
                 // Tuple-at-a-time: one opaque virtual call per value
                 // (black_box prevents devirtualization, so the call cost is
                 // real, like C-Store's getNext interface).
-                let mut src: Box<dyn Iterator<Item = i64>> = Box::new(values.iter().copied());
-                let mut i = 0u32;
+                let mut src: Box<dyn Iterator<Item = i64>> = Box::new(slice.iter().copied());
+                let mut i = start;
                 while let Some(v) = std::hint::black_box(&mut src).next() {
-                    if test(v) {
-                        acc.push(i);
+                    if pred.matches(v) {
+                        sink.push(i);
                     }
                     i += 1;
                 }
             }
         }
-    }
-    acc.finish()
-}
-
-/// Scan a string column under `pred`.
-///
-/// Dictionary columns evaluate `pred` once per distinct value, then scan the
-/// integer codes; plain string columns evaluate `pred` per value — the cost
-/// difference Figure 8 exposes ("a predicate on the integer foreign key can
-/// be performed faster than a predicate on a string attribute").
-pub fn scan_str_pred(col: &StoredColumn, pred: &Pred, block: bool, io: &IoSession) -> PosList {
-    col.charge_scan(io);
-    let s = col.column.as_str();
-    let mut acc = PosAccumulator::new(s.len() as u32);
-    match s {
-        StrColumn::Dict { dict, codes, .. } => {
-            // Translate to code space (sorted dict ⇒ order-preserving).
-            let matches: Vec<bool> = dict.iter().map(|d| pred.matches_str(d)).collect();
-            // Contiguous code ranges are the common case for hierarchy
-            // predicates; a boolean table covers the rest at the same cost.
+        IntColumn::Packed { reference, packed } => {
             if block {
-                for (i, &c) in codes.iter().enumerate() {
-                    if matches[c as usize] {
-                        acc.push(i as u32);
+                match pred {
+                    IntScanPred::Range { lo, hi } => {
+                        // SWAR compare on the packed image, 64 bits at a
+                        // time, without unpacking a single value.
+                        if let Some((lo_c, hi_c)) =
+                            code_bounds(*reference, packed.max_code(), *lo, *hi)
+                        {
+                            kernels::packed_cmp_masks(
+                                packed,
+                                start,
+                                end,
+                                CmpOp::Range(lo_c, hi_c),
+                                |b, m| sink.push_mask(b, m),
+                            );
+                        }
+                    }
+                    IntScanPred::Test(f) => {
+                        let r = *reference;
+                        kernels::packed_test_masks(
+                            packed,
+                            start,
+                            end,
+                            |c| f(r + c as i64),
+                            |b, m| sink.push_mask(b, m),
+                        );
                     }
                 }
             } else {
-                let mut src: Box<dyn Iterator<Item = u32>> = Box::new(codes.iter().copied());
-                let mut i = 0u32;
+                let r = *reference;
+                let mut src: Box<dyn Iterator<Item = u64>> =
+                    Box::new(packed.iter_range(start, end));
+                let mut i = start;
                 while let Some(c) = std::hint::black_box(&mut src).next() {
-                    if matches[c as usize] {
-                        acc.push(i);
+                    if pred.matches(r + c as i64) {
+                        sink.push(i);
                     }
                     i += 1;
                 }
             }
         }
+    }
+}
+
+/// How a string predicate maps onto dictionary code space.
+enum CodePred {
+    /// No dictionary entry matches.
+    Empty,
+    /// The matching codes form one contiguous range (hierarchy predicates
+    /// over the sorted dictionary): a single SWAR range kernel suffices.
+    Range(u64, u64),
+    /// Non-contiguous matches: per-code boolean table.
+    Table(Vec<bool>),
+}
+
+impl CodePred {
+    /// Evaluate `pred` once per distinct dictionary value and classify the
+    /// matching code set. The sorted dictionary makes codes
+    /// order-preserving, so hierarchy predicates (`=`, `BETWEEN`, prefix
+    /// ranges) produce contiguous code runs — detected here and scanned
+    /// with a single range kernel instead of a per-code table lookup.
+    fn compile(dict: &[Box<str>], pred: &Pred) -> CodePred {
+        let matches: Vec<bool> = dict.iter().map(|d| pred.matches_str(d)).collect();
+        let Some(first) = matches.iter().position(|&b| b) else {
+            return CodePred::Empty;
+        };
+        let last = matches.iter().rposition(|&b| b).expect("a match exists");
+        if matches[first..=last].iter().all(|&b| b) {
+            return CodePred::Range(first as u64, last as u64);
+        }
+        CodePred::Table(matches)
+    }
+}
+
+/// The unified string scan driver, mirroring [`scan_int_into`]: dictionary
+/// columns scan their packed codes through the integer kernels; plain
+/// string columns evaluate the predicate per value — the cost difference
+/// Figure 8 exposes ("a predicate on the integer foreign key can be
+/// performed faster than a predicate on a string attribute").
+pub fn scan_str_into(
+    col: &StrColumn,
+    start: u32,
+    end: u32,
+    pred: &Pred,
+    block: bool,
+    sink: &mut impl PosSink,
+) {
+    if start >= end {
+        return;
+    }
+    match col {
+        StrColumn::Dict { dict, codes } => match CodePred::compile(dict, pred) {
+            CodePred::Empty => {}
+            CodePred::Range(lo, hi) => {
+                if block {
+                    kernels::packed_cmp_masks(codes, start, end, CmpOp::Range(lo, hi), |b, m| {
+                        sink.push_mask(b, m)
+                    });
+                } else {
+                    let mut src: Box<dyn Iterator<Item = u64>> =
+                        Box::new(codes.iter_range(start, end));
+                    let mut i = start;
+                    while let Some(c) = std::hint::black_box(&mut src).next() {
+                        if c >= lo && c <= hi {
+                            sink.push(i);
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            CodePred::Table(matches) => {
+                if block {
+                    kernels::packed_test_masks(
+                        codes,
+                        start,
+                        end,
+                        |c| matches[c as usize],
+                        |b, m| sink.push_mask(b, m),
+                    );
+                } else {
+                    let mut src: Box<dyn Iterator<Item = u64>> =
+                        Box::new(codes.iter_range(start, end));
+                    let mut i = start;
+                    while let Some(c) = std::hint::black_box(&mut src).next() {
+                        if matches[c as usize] {
+                            sink.push(i);
+                        }
+                        i += 1;
+                    }
+                }
+            }
+        },
         StrColumn::Plain { values, .. } => {
+            let slice = &values[start as usize..end as usize];
             if block {
-                for (i, v) in values.iter().enumerate() {
+                for (off, v) in slice.iter().enumerate() {
                     if pred.matches_str(v) {
-                        acc.push(i as u32);
+                        sink.push(start + off as u32);
                     }
                 }
             } else {
-                let mut src: Box<dyn Iterator<Item = &Box<str>>> = Box::new(values.iter());
-                let mut i = 0u32;
+                let mut src: Box<dyn Iterator<Item = &Box<str>>> = Box::new(slice.iter());
+                let mut i = start;
                 while let Some(v) = std::hint::black_box(&mut src).next() {
                     if pred.matches_str(v) {
-                        acc.push(i);
+                        sink.push(i);
                     }
                     i += 1;
                 }
             }
         }
     }
+}
+
+/// Scan `col` under an [`IntScanPred`] — the kernel-aware entry point the
+/// join pipelines use (between-rewritten join predicates arrive as
+/// [`IntScanPred::Range`] and hit the SWAR path).
+pub fn scan_int(
+    col: &StoredColumn,
+    pred: &IntScanPred<'_>,
+    block: bool,
+    io: &IoSession,
+) -> PosList {
+    col.charge_scan(io);
+    let int = col.column.as_int();
+    let n = int.len() as u32;
+    let mut acc = PosAccumulator::new(n);
+    scan_int_into(int, 0, n, pred, block, &mut acc);
     acc.finish()
 }
 
-/// Scan any column under a logical [`Pred`].
-pub fn scan_pred(col: &StoredColumn, pred: &Pred, block: bool, io: &IoSession) -> PosList {
-    match &col.column {
-        Column::Int(_) => scan_int_where(col, |v| pred.matches_int(v), block, io),
-        Column::Str(_) => scan_str_pred(col, pred, block, io),
-    }
+/// Morsel-range counterpart of [`scan_int`]: positions `[start, end)` only,
+/// charging the proportional slice of the column's pages
+/// (`charge_scan_range`) and returning ascending positions as a plain
+/// vector — morsel fragments are small, short-lived, and merged in morsel
+/// order by the parallel executors.
+pub fn scan_int_range(
+    col: &StoredColumn,
+    start: u32,
+    end: u32,
+    pred: &IntScanPred<'_>,
+    block: bool,
+    io: &IoSession,
+) -> Vec<u32> {
+    col.charge_scan_range(start, end, io);
+    let mut out = Vec::new();
+    scan_int_into(
+        col.column.as_int(),
+        start,
+        end.min(col.column.len() as u32),
+        pred,
+        block,
+        &mut out,
+    );
+    out
 }
 
-// ---------------------------------------------------------------------------
-// Morsel-range kernels: the per-morsel halves of the scans above. Each scans
-// positions `[start, end)` only, charges the proportional slice of the
-// column's pages (`charge_scan_range`), and returns ascending positions as a
-// plain vector — morsel fragments are small, short-lived, and merged in
-// morsel order by the parallel executors.
-// ---------------------------------------------------------------------------
+/// Scan `col` for positions where `test(value)` holds — integer columns
+/// under an opaque predicate. (`block` selects the kernel or `get_next`
+/// interface; structured predicates should use [`scan_int`] so the SWAR
+/// kernels apply.)
+pub fn scan_int_where(
+    col: &StoredColumn,
+    test: impl Fn(i64) -> bool,
+    block: bool,
+    io: &IoSession,
+) -> PosList {
+    scan_int(col, &IntScanPred::Test(&test), block, io)
+}
 
-/// Morsel-range counterpart of [`scan_int_where`]: positions in
-/// `[start, end)` where `test(value)` holds.
+/// Morsel-range counterpart of [`scan_int_where`].
 pub fn scan_int_where_range(
     col: &StoredColumn,
     start: u32,
@@ -226,44 +560,21 @@ pub fn scan_int_where_range(
     block: bool,
     io: &IoSession,
 ) -> Vec<u32> {
-    col.charge_scan_range(start, end, io);
-    let mut out = Vec::new();
-    if start >= end {
-        return out;
-    }
-    match col.column.as_int() {
-        IntColumn::Rle { runs, .. } => {
-            // Direct operation on compressed data, clamped to the morsel.
-            let mut idx = col.column.as_int().run_containing(start);
-            while idx < runs.len() && runs[idx].start < end {
-                let r = &runs[idx];
-                if test(r.value) {
-                    out.extend(r.start.max(start)..(r.start + r.len).min(end));
-                }
-                idx += 1;
-            }
-        }
-        IntColumn::Plain { values, .. } => {
-            let slice = &values[start as usize..end as usize];
-            if block {
-                for (off, &v) in slice.iter().enumerate() {
-                    if test(v) {
-                        out.push(start + off as u32);
-                    }
-                }
-            } else {
-                let mut src: Box<dyn Iterator<Item = i64>> = Box::new(slice.iter().copied());
-                let mut i = start;
-                while let Some(v) = std::hint::black_box(&mut src).next() {
-                    if test(v) {
-                        out.push(i);
-                    }
-                    i += 1;
-                }
-            }
-        }
-    }
-    out
+    scan_int_range(col, start, end, &IntScanPred::Test(&test), block, io)
+}
+
+/// Scan a string column under `pred`.
+///
+/// Dictionary columns evaluate `pred` once per distinct value, then scan
+/// the packed integer codes — through a single range kernel when the
+/// matching codes are contiguous.
+pub fn scan_str_pred(col: &StoredColumn, pred: &Pred, block: bool, io: &IoSession) -> PosList {
+    col.charge_scan(io);
+    let s = col.column.as_str();
+    let n = s.len() as u32;
+    let mut acc = PosAccumulator::new(n);
+    scan_str_into(s, 0, n, pred, block, &mut acc);
+    acc.finish()
 }
 
 /// Morsel-range counterpart of [`scan_str_pred`].
@@ -277,51 +588,27 @@ pub fn scan_str_pred_range(
 ) -> Vec<u32> {
     col.charge_scan_range(start, end, io);
     let mut out = Vec::new();
-    if start >= end {
-        return out;
-    }
-    match col.column.as_str() {
-        StrColumn::Dict { dict, codes, .. } => {
-            let matches: Vec<bool> = dict.iter().map(|d| pred.matches_str(d)).collect();
-            let slice = &codes[start as usize..end as usize];
-            if block {
-                for (off, &c) in slice.iter().enumerate() {
-                    if matches[c as usize] {
-                        out.push(start + off as u32);
-                    }
-                }
-            } else {
-                let mut src: Box<dyn Iterator<Item = u32>> = Box::new(slice.iter().copied());
-                let mut i = start;
-                while let Some(c) = std::hint::black_box(&mut src).next() {
-                    if matches[c as usize] {
-                        out.push(i);
-                    }
-                    i += 1;
-                }
-            }
-        }
-        StrColumn::Plain { values, .. } => {
-            let slice = &values[start as usize..end as usize];
-            if block {
-                for (off, v) in slice.iter().enumerate() {
-                    if pred.matches_str(v) {
-                        out.push(start + off as u32);
-                    }
-                }
-            } else {
-                let mut src: Box<dyn Iterator<Item = &Box<str>>> = Box::new(slice.iter());
-                let mut i = start;
-                while let Some(v) = std::hint::black_box(&mut src).next() {
-                    if pred.matches_str(v) {
-                        out.push(i);
-                    }
-                    i += 1;
-                }
-            }
-        }
-    }
+    scan_str_into(
+        col.column.as_str(),
+        start,
+        end.min(col.column.len() as u32),
+        pred,
+        block,
+        &mut out,
+    );
     out
+}
+
+/// Scan any column under a logical [`Pred`], compiling integer predicates
+/// to their interval form (SWAR-eligible) when possible.
+pub fn scan_pred(col: &StoredColumn, pred: &Pred, block: bool, io: &IoSession) -> PosList {
+    match &col.column {
+        Column::Int(_) => match IntScanPred::range_of(pred) {
+            Some((lo, hi)) => scan_int(col, &IntScanPred::Range { lo, hi }, block, io),
+            None => scan_int_where(col, |v| pred.matches_int(v), block, io),
+        },
+        Column::Str(_) => scan_str_pred(col, pred, block, io),
+    }
 }
 
 /// Morsel-range counterpart of [`scan_pred`].
@@ -334,7 +621,12 @@ pub fn scan_pred_range(
     io: &IoSession,
 ) -> Vec<u32> {
     match &col.column {
-        Column::Int(_) => scan_int_where_range(col, start, end, |v| pred.matches_int(v), block, io),
+        Column::Int(_) => match IntScanPred::range_of(pred) {
+            Some((lo, hi)) => {
+                scan_int_range(col, start, end, &IntScanPred::Range { lo, hi }, block, io)
+            }
+            None => scan_int_where_range(col, start, end, |v| pred.matches_int(v), block, io),
+        },
         Column::Str(_) => scan_str_pred_range(col, start, end, pred, block, io),
     }
 }
@@ -347,6 +639,11 @@ mod tests {
 
     fn int_col(values: Vec<i64>, compress: bool) -> StoredColumn {
         let c = if compress { IntColumn::auto(values) } else { IntColumn::plain(values) };
+        StoredColumn::new("c", Column::Int(c))
+    }
+
+    fn packed_col(values: Vec<i64>) -> StoredColumn {
+        let c = IntColumn::packed(&values).expect("values must pack");
         StoredColumn::new("c", Column::Int(c))
     }
 
@@ -369,6 +666,22 @@ mod tests {
         let b = scan_int_where(&col, |v| (10..=20).contains(&v), false, &io);
         assert_eq!(a.to_vec(), expected);
         assert_eq!(b.to_vec(), expected);
+    }
+
+    #[test]
+    fn packed_scan_all_interfaces_agree_with_plain() {
+        let values: Vec<i64> = (0..10_000).map(|i| (i * 37) % 100).collect();
+        let packed = packed_col(values.clone());
+        assert!(packed.column.as_int().is_packed());
+        let plain = int_col(values, false);
+        let io = IoSession::unmetered();
+        let range = IntScanPred::Range { lo: 10, hi: 20 };
+        let test = |v: i64| (10..=20).contains(&v);
+        for block in [true, false] {
+            let want = scan_int_where(&plain, test, block, &io).to_vec();
+            assert_eq!(scan_int(&packed, &range, block, &io).to_vec(), want, "range b={block}");
+            assert_eq!(scan_int_where(&packed, test, block, &io).to_vec(), want, "test b={block}");
+        }
     }
 
     #[test]
@@ -413,6 +726,28 @@ mod tests {
             assert_eq!(a.to_vec(), b.to_vec());
             let expected = (0..5000).filter(|i| matches!(i % 7, 2 | 5)).count() as u32;
             assert_eq!(a.count(), expected);
+        }
+    }
+
+    #[test]
+    fn dict_contiguous_predicate_uses_range_and_agrees() {
+        // "R2".."R4" is contiguous in the sorted dictionary — the range
+        // kernel path; a disjoint IN-set exercises the table path. Both
+        // must agree with plain strings.
+        let values: Vec<String> = (0..3000).map(|i| format!("R{}", i % 9)).collect();
+        let io = IoSession::unmetered();
+        let d = str_col(values.clone(), true);
+        let p = str_col(values, false);
+        let contiguous = Pred::Between(Value::str("R2"), Value::str("R4"));
+        let disjoint = Pred::InSet(vec![Value::str("R0"), Value::str("R8")]);
+        for pred in [contiguous, disjoint] {
+            for block in [true, false] {
+                assert_eq!(
+                    scan_str_pred(&d, &pred, block, &io).to_vec(),
+                    scan_str_pred(&p, &pred, block, &io).to_vec(),
+                    "{pred:?} block={block}"
+                );
+            }
         }
     }
 
@@ -467,7 +802,11 @@ mod tests {
         let io = IoSession::unmetered();
         let pred = Pred::InSet(vec![Value::str("R2"), Value::str("R5")]);
         for block in [true, false] {
-            for col in [int_col(ints.clone(), false), int_col(runs.clone(), true)] {
+            for col in [
+                int_col(ints.clone(), false),
+                int_col(runs.clone(), true),
+                packed_col(ints.clone()),
+            ] {
                 let full = scan_int_where(&col, |v| (3..=40).contains(&v), block, &io).to_vec();
                 let mut tiled = Vec::new();
                 for w in bounds.windows(2) {
@@ -479,6 +818,15 @@ mod tests {
                         block,
                         &io,
                     ));
+                }
+                assert_eq!(tiled, full);
+                // The interval form must tile identically through the SWAR
+                // kernels.
+                let range = IntScanPred::Range { lo: 3, hi: 40 };
+                let full = scan_int(&col, &range, block, &io).to_vec();
+                let mut tiled = Vec::new();
+                for w in bounds.windows(2) {
+                    tiled.extend(scan_int_range(&col, w[0], w[1], &range, block, &io));
                 }
                 assert_eq!(tiled, full);
             }
@@ -501,6 +849,31 @@ mod tests {
     }
 
     #[test]
+    fn range_of_compiles_preds_without_overflow() {
+        assert_eq!(IntScanPred::range_of(&Pred::Eq(Value::Int(7))), Some((7, 7)));
+        assert_eq!(
+            IntScanPred::range_of(&Pred::Lt(Value::Int(i64::MIN))),
+            Some((1, 0)),
+            "v < i64::MIN is the empty interval"
+        );
+        assert_eq!(
+            IntScanPred::range_of(&Pred::InSet(vec![Value::Int(4), Value::Int(3), Value::Int(5)])),
+            Some((3, 5))
+        );
+        assert_eq!(
+            IntScanPred::range_of(&Pred::InSet(vec![Value::Int(3), Value::Int(5)])),
+            None,
+            "disjoint sets take the opaque path"
+        );
+        // Wide-spread members: hi - lo overflows i64; must not panic.
+        assert_eq!(
+            IntScanPred::range_of(&Pred::InSet(vec![Value::Int(i64::MIN), Value::Int(i64::MAX)])),
+            None
+        );
+        assert_eq!(IntScanPred::range_of(&Pred::Eq(Value::str("x"))), None);
+    }
+
+    #[test]
     fn accumulator_contiguity() {
         let mut acc = PosAccumulator::new(100);
         acc.push_range(5, 10);
@@ -511,5 +884,47 @@ mod tests {
         assert!(matches!(acc.finish(), PosList::Explicit { .. }));
         let acc = PosAccumulator::new(100);
         assert!(acc.finish().is_empty());
+    }
+
+    #[test]
+    fn accumulator_bulk_paths_match_per_push() {
+        // Any interleaving of push/push_range/push_mask must finish to the
+        // same positions as the equivalent per-position pushes — including
+        // the contiguity verdict.
+        let cases: Vec<Vec<(u32, u64)>> = vec![
+            vec![(0, u64::MAX), (64, u64::MAX)], // solid, aligned
+            vec![(0, 0b1011)],                   // broken mask
+            vec![(10, 0b1111)],                  // unaligned solid
+            vec![(60, u64::MAX), (124, 0b1)],    // straddles words, solid
+            vec![(0, 1 << 63), (64, 0b1)],       // solid across masks
+            vec![(0, 1 << 63), (64, 0b10)],      // gap across masks
+        ];
+        for masks in cases {
+            let mut bulk = PosAccumulator::new(256);
+            let mut bits = PosAccumulator::new(256);
+            for &(base, mask) in &masks {
+                bulk.push_mask(base, mask);
+                for j in 0..64u32 {
+                    if mask & (1 << j) != 0 {
+                        bits.push(base + j);
+                    }
+                }
+            }
+            let (a, b) = (bulk.finish(), bits.finish());
+            assert_eq!(a.to_vec(), b.to_vec(), "{masks:?}");
+            assert_eq!(a.is_contiguous(), b.is_contiguous(), "contiguity for {masks:?}");
+        }
+        // Ranges big enough to upgrade to a bitmap mid-stream.
+        let mut bulk = PosAccumulator::new(1000);
+        let mut bits = PosAccumulator::new(1000);
+        for (s, e) in [(0u32, 400u32), (500, 900)] {
+            bulk.push_range(s, e);
+            for p in s..e {
+                bits.push(p);
+            }
+        }
+        let (a, b) = (bulk.finish(), bits.finish());
+        assert_eq!(a.to_vec(), b.to_vec());
+        assert!(matches!(a, PosList::Bitmap(_)));
     }
 }

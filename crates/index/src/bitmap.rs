@@ -58,6 +58,74 @@ impl RidBitmap {
         self.words[(rid / 64) as usize] & (1u64 << (rid % 64)) != 0
     }
 
+    /// OR a whole 64-rid word into the bitmap — the bulk path scan kernels
+    /// use to land 64 predicate results at once. `word` indexes rids
+    /// `[word·64, word·64 + 64)`; bits beyond the universe must be zero.
+    #[inline]
+    pub fn or_word(&mut self, word: usize, bits: u64) {
+        debug_assert!(
+            bits == 0 || word as u64 * 64 + (64 - bits.leading_zeros() as u64) <= self.len as u64,
+            "mask bits beyond the rid universe"
+        );
+        self.words[word] |= bits;
+    }
+
+    /// OR a 64-bit mask anchored at an arbitrary rid `base`: bit `j` of
+    /// `mask` sets rid `base + j`. Splits across at most two words; aligned
+    /// bases take the single-word fast path.
+    #[inline]
+    pub fn or_mask_at(&mut self, base: u32, mask: u64) {
+        if mask == 0 {
+            return;
+        }
+        let word = (base / 64) as usize;
+        let off = base % 64;
+        if off == 0 {
+            self.or_word(word, mask);
+        } else {
+            self.or_word(word, mask << off);
+            let hi = mask >> (64 - off);
+            if hi != 0 {
+                self.or_word(word + 1, hi);
+            }
+        }
+    }
+
+    /// Set every rid in `[start, end)`, whole words at a time.
+    pub fn set_range(&mut self, start: u32, end: u32) {
+        debug_assert!(end <= self.len);
+        if start >= end {
+            return;
+        }
+        let (first, last) = ((start / 64) as usize, ((end - 1) / 64) as usize);
+        let lo_bits = u64::MAX << (start % 64);
+        let hi_bits = u64::MAX >> (63 - (end - 1) % 64);
+        if first == last {
+            self.words[first] |= lo_bits & hi_bits;
+            return;
+        }
+        self.words[first] |= lo_bits;
+        for w in &mut self.words[first + 1..last] {
+            *w = u64::MAX;
+        }
+        self.words[last] |= hi_bits;
+    }
+
+    /// OR a span of mask words starting at word index `start_word` — the
+    /// bulk ingestion path for kernel-produced selection masks.
+    pub fn extend_from_words(&mut self, start_word: usize, masks: &[u64]) {
+        for (i, &m) in masks.iter().enumerate() {
+            if m != 0 {
+                self.or_word(start_word + i, m);
+            }
+        }
+    }
+
+    /// The backing words, 64 rids each (LSB first).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of set bits.
     pub fn count(&self) -> u32 {
         self.words.iter().map(|w| w.count_ones()).sum()
@@ -202,6 +270,40 @@ mod tests {
         assert!(!b.get(1) && !b.get(100));
         assert_eq!(b.count(), 4);
         assert_eq!(b.to_vec(), vec![0, 63, 64, 199]);
+    }
+
+    #[test]
+    fn bulk_word_paths_match_per_bit_sets() {
+        // set_range vs per-bit set, across word boundaries.
+        for (start, end) in [(0u32, 0u32), (3, 3), (0, 64), (5, 64), (63, 65), (10, 200), (64, 128)]
+        {
+            let mut bulk = RidBitmap::new(200);
+            bulk.set_range(start, end);
+            let mut bits = RidBitmap::new(200);
+            for p in start..end {
+                bits.set(p);
+            }
+            assert_eq!(bulk, bits, "set_range({start}, {end})");
+        }
+        // or_mask_at at aligned and unaligned bases.
+        for base in [0u32, 64, 7, 63] {
+            let mask = 0b1011u64 | (1 << 40);
+            let mut bulk = RidBitmap::new(200);
+            bulk.or_mask_at(base, mask);
+            let mut bits = RidBitmap::new(200);
+            for j in 0..64u32 {
+                if mask & (1 << j) != 0 {
+                    bits.set(base + j);
+                }
+            }
+            assert_eq!(bulk, bits, "or_mask_at({base})");
+        }
+        // extend_from_words lands whole mask words.
+        let mut bulk = RidBitmap::new(256);
+        bulk.extend_from_words(1, &[u64::MAX, 0, 1]);
+        assert_eq!(bulk.count(), 65);
+        assert!(bulk.get(64) && bulk.get(127) && bulk.get(192));
+        assert_eq!(bulk.words()[0], 0);
     }
 
     #[test]

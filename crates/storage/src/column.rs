@@ -89,6 +89,37 @@ impl StoredColumn {
                 let hi = (rle.run_containing(end - 1) as u64 + 1) * RLE_RUN_BYTES;
                 (lo, hi.min(total))
             }
+            // Packed: charge whole 8-byte words, matching charge_gather's
+            // word offsets; a word shared by two morsels dedups to a hit.
+            Column::Int(IntColumn::Packed { packed, .. }) => {
+                let k = packed.lanes_per_word() as u64;
+                let lo = start as u64 / k * 8;
+                let hi = ((end - 1) as u64 / k + 1) * 8;
+                (lo, hi.min(total))
+            }
+            // Dict: the dictionary prefix (needed to decode anything) plus
+            // the word-aligned slice of the packed codes — the same offsets
+            // charge_gather touches, so a gather within a scanned morsel
+            // never reaches a page the morsel's scan missed. Every fragment
+            // charges the dictionary; repeated pages dedup to pool hits.
+            Column::Str(StrColumn::Dict { dict, codes }) => {
+                let dict_bytes: u64 = dict.iter().map(|s| 1 + s.len() as u64).sum();
+                let k = codes.lanes_per_word() as u64;
+                let hi = dict_bytes + ((end - 1) as u64 / k + 1) * 8;
+                if start == 0 {
+                    // The code slice is contiguous with the dictionary.
+                    (0, hi.min(total))
+                } else {
+                    if dict_bytes > 0 {
+                        let last = ((dict_bytes - 1) / PAGE_SIZE) as u32;
+                        for page in 0..=last {
+                            let bytes = (total - page as u64 * PAGE_SIZE).min(PAGE_SIZE);
+                            io.read_page(PageId { file: self.file, page }, bytes);
+                        }
+                    }
+                    (dict_bytes + start as u64 / k * 8, hi.min(total))
+                }
+            }
             _ => (start as u64 * total / n, (end as u64 * total / n).min(total)),
         };
         if byte_hi <= byte_lo {
@@ -138,7 +169,13 @@ impl StoredColumn {
                     touch(run * RLE_RUN_BYTES);
                 }
             }
-            Column::Str(StrColumn::Dict { dict, codes, code_bits }) => {
+            Column::Int(IntColumn::Packed { packed, .. }) => {
+                let k = packed.lanes_per_word() as u64;
+                for p in positions {
+                    touch(p as u64 / k * 8);
+                }
+            }
+            Column::Str(StrColumn::Dict { dict, codes }) => {
                 let dict_bytes: u64 = dict.iter().map(|s| 1 + s.len() as u64).sum();
                 // Dictionary read once, at the front of the file.
                 let dict_pages = pages_for(dict_bytes);
@@ -146,11 +183,9 @@ impl StoredColumn {
                     let bytes = (dict_bytes - p as u64 * PAGE_SIZE).min(PAGE_SIZE);
                     io.read_page(PageId { file: self.file, page: p }, bytes);
                 }
-                let bits = *code_bits as u64;
-                let n = codes.len(); // silence unused in case of empty
-                let _ = n;
+                let k = codes.lanes_per_word() as u64;
                 for p in positions {
-                    touch(dict_bytes + p as u64 * bits / 8);
+                    touch(dict_bytes + p as u64 / k * 8);
                 }
             }
             Column::Str(StrColumn::Plain { values, bytes }) => {

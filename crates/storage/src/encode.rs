@@ -15,10 +15,19 @@
 //!    SF 10 is the paper's "just 240 MB"), 12-byte RLE runs, bit-packed
 //!    dictionary codes.
 //!
-//! In-memory representations favor hot-loop simplicity (native `i64`/`u32`
-//! vectors) over bit-exact disk images; the disk image exists only as a byte
-//! count. This is a simulator design choice documented in DESIGN.md §4.
+//! Two representation regimes coexist:
+//!
+//! * **Plain** columns favor hot-loop simplicity (native `i64` vectors);
+//!   their disk image exists only as a byte count (DESIGN.md §4).
+//! * **Truly bit-packed** columns — [`IntColumn::Packed`]
+//!   (frame-of-reference deltas in lane-aligned [`PackedInts`] words, chosen
+//!   by [`IntColumn::auto`] whenever the packed image beats byte-minimized
+//!   plain) and [`StrColumn::Dict`] codes — store the *actual packed word
+//!   image*, and `encoded_bytes` is derived from it rather than from a
+//!   formula. These are the columns the word-parallel scan kernels in
+//!   `cvr-core::kernels` evaluate 64 values per step.
 
+use crate::packed::{max_code_for, PackedInts, MAX_VALUE_BITS};
 use cvr_data::table::ColumnData;
 
 /// A maximal run of equal values in an RLE column.
@@ -51,6 +60,15 @@ pub enum IntColumn {
         runs: Vec<Run>,
         /// Total logical values.
         num_values: u32,
+    },
+    /// Frame-of-reference + bit-packing: each value stored as the unsigned
+    /// delta `value - reference` in a lane-aligned [`PackedInts`] image.
+    /// This is the layout the SWAR scan kernels compare 64 bits at a time.
+    Packed {
+        /// Frame of reference (the column minimum).
+        reference: i64,
+        /// Bit-packed deltas; the word image is the on-disk bytes.
+        packed: PackedInts,
     },
 }
 
@@ -87,17 +105,43 @@ impl IntColumn {
         IntColumn::Rle { runs, num_values: values.len() as u32 }
     }
 
-    /// Pick RLE when the average run length pays for the run overhead,
-    /// otherwise plain. (`RLE` wins once runs average ≳ 3 values at 4-byte
-    /// width.)
+    /// Frame-of-reference bit-packing, when the value range permits it:
+    /// `None` for empty columns and for ranges needing more than
+    /// [`MAX_VALUE_BITS`] delta bits.
+    pub fn packed(values: &[i64]) -> Option<IntColumn> {
+        let (&first, rest) = values.split_first()?;
+        let (mut min, mut max) = (first, first);
+        for &v in rest {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let delta = max as i128 - min as i128;
+        if delta > max_code_for(MAX_VALUE_BITS) as i128 {
+            return None;
+        }
+        let bits = bits_for(delta as u64 + 1);
+        let packed =
+            PackedInts::pack(bits, values.iter().map(|&v| (v as i128 - min as i128) as u64));
+        Some(IntColumn::Packed { reference: min, packed })
+    }
+
+    /// Pick the smallest encoding: RLE when run structure pays for the run
+    /// overhead, frame-of-reference bit-packing when the packed word image
+    /// beats byte-minimized plain, plain otherwise.
     pub fn auto(values: Vec<i64>) -> IntColumn {
         let rle = IntColumn::rle(&values);
+        let packed = IntColumn::packed(&values);
         let plain = IntColumn::plain(values);
-        if rle.encoded_bytes() < plain.encoded_bytes() {
-            rle
-        } else {
-            plain
+        let mut best = plain;
+        if let Some(p) = packed {
+            if p.encoded_bytes() < best.encoded_bytes() {
+                best = p;
+            }
         }
+        if rle.encoded_bytes() < best.encoded_bytes() {
+            best = rle;
+        }
+        best
     }
 
     /// Number of logical values.
@@ -105,6 +149,7 @@ impl IntColumn {
         match self {
             IntColumn::Plain { values, .. } => values.len(),
             IntColumn::Rle { num_values, .. } => *num_values as usize,
+            IntColumn::Packed { packed, .. } => packed.len() as usize,
         }
     }
 
@@ -113,11 +158,13 @@ impl IntColumn {
         self.len() == 0
     }
 
-    /// On-disk footprint in bytes.
+    /// On-disk footprint in bytes. For [`IntColumn::Packed`] this is the
+    /// size of the actual packed word image, not a formula.
     pub fn encoded_bytes(&self) -> u64 {
         match self {
             IntColumn::Plain { values, width } => values.len() as u64 * *width as u64,
             IntColumn::Rle { runs, .. } => runs.len() as u64 * RLE_RUN_BYTES,
+            IntColumn::Packed { packed, .. } => packed.bytes(),
         }
     }
 
@@ -129,6 +176,7 @@ impl IntColumn {
                 let idx = run_index(runs, pos);
                 runs[idx].value
             }
+            IntColumn::Packed { reference, packed } => reference + packed.get(pos) as i64,
         }
     }
 
@@ -136,7 +184,7 @@ impl IntColumn {
     pub fn run_containing(&self, pos: u32) -> usize {
         match self {
             IntColumn::Rle { runs, .. } => run_index(runs, pos),
-            IntColumn::Plain { .. } => panic!("run_containing on plain column"),
+            _ => panic!("run_containing on non-RLE column"),
         }
     }
 
@@ -144,15 +192,15 @@ impl IntColumn {
     pub fn runs(&self) -> &[Run] {
         match self {
             IntColumn::Rle { runs, .. } => runs,
-            IntColumn::Plain { .. } => panic!("runs() on plain column"),
+            _ => panic!("runs() on non-RLE column"),
         }
     }
 
-    /// Plain values (panics on RLE) — the block-iteration interface.
+    /// Plain values (panics on RLE/packed) — the block-iteration interface.
     pub fn plain_values(&self) -> &[i64] {
         match self {
             IntColumn::Plain { values, .. } => values,
-            IntColumn::Rle { .. } => panic!("plain_values() on RLE column"),
+            _ => panic!("plain_values() on non-plain column"),
         }
     }
 
@@ -168,12 +216,23 @@ impl IntColumn {
                 }
                 out
             }
+            IntColumn::Packed { reference, packed } => {
+                let r = *reference;
+                let mut out = Vec::with_capacity(packed.len() as usize);
+                packed.for_each_in(0, packed.len(), |c| out.push(r + c as i64));
+                out
+            }
         }
     }
 
     /// True for the RLE variant.
     pub fn is_rle(&self) -> bool {
         matches!(self, IntColumn::Rle { .. })
+    }
+
+    /// True for the frame-of-reference bit-packed variant.
+    pub fn is_packed(&self) -> bool {
+        matches!(self, IntColumn::Packed { .. })
     }
 }
 
@@ -222,16 +281,16 @@ pub enum StrColumn {
         /// Total on-disk bytes (1-byte length prefix per value + payloads).
         bytes: u64,
     },
-    /// Sorted dictionary + bit-packed codes. Because the dictionary is
-    /// sorted, code order equals value order, so range predicates work on
-    /// codes — the "operate directly on compressed data" property.
+    /// Sorted dictionary + truly bit-packed codes. Because the dictionary
+    /// is sorted, code order equals value order, so range predicates work on
+    /// codes — the "operate directly on compressed data" property. The
+    /// codes live in a lane-aligned [`PackedInts`] image, which is both what
+    /// the word-parallel kernels scan and what the I/O model charges.
     Dict {
         /// Sorted distinct values.
         dict: Vec<Box<str>>,
-        /// Per-position dictionary codes.
-        codes: Vec<u32>,
-        /// On-disk bits per code.
-        code_bits: u8,
+        /// Per-position dictionary codes, bit-packed.
+        codes: PackedInts,
     },
 }
 
@@ -247,12 +306,13 @@ impl StrColumn {
         let mut dict: Vec<Box<str>> = values.iter().map(|s| s.clone().into()).collect();
         dict.sort_unstable();
         dict.dedup();
-        let codes = values
-            .iter()
-            .map(|s| dict.binary_search_by(|d| (**d).cmp(s)).unwrap() as u32)
-            .collect();
         let code_bits = bits_for(dict.len() as u64);
-        StrColumn::Dict { dict, codes, code_bits }
+        assert!(code_bits <= MAX_VALUE_BITS, "dictionary too large to bit-pack");
+        let codes = PackedInts::pack(
+            code_bits,
+            values.iter().map(|s| dict.binary_search_by(|d| (**d).cmp(s)).unwrap() as u64),
+        );
+        StrColumn::Dict { dict, codes }
     }
 
     /// Pick dictionary encoding when it shrinks the column, otherwise plain.
@@ -270,7 +330,7 @@ impl StrColumn {
     pub fn len(&self) -> usize {
         match self {
             StrColumn::Plain { values, .. } => values.len(),
-            StrColumn::Dict { codes, .. } => codes.len(),
+            StrColumn::Dict { codes, .. } => codes.len() as usize,
         }
     }
 
@@ -279,13 +339,14 @@ impl StrColumn {
         self.len() == 0
     }
 
-    /// On-disk footprint in bytes.
+    /// On-disk footprint in bytes: for the dictionary variant, the
+    /// length-prefixed dictionary plus the actual packed code image.
     pub fn encoded_bytes(&self) -> u64 {
         match self {
             StrColumn::Plain { bytes, .. } => *bytes,
-            StrColumn::Dict { dict, codes, code_bits } => {
+            StrColumn::Dict { dict, codes } => {
                 let dict_bytes: u64 = dict.iter().map(|s| 1 + s.len() as u64).sum();
-                dict_bytes + (codes.len() as u64 * *code_bits as u64).div_ceil(8)
+                dict_bytes + codes.bytes()
             }
         }
     }
@@ -294,7 +355,7 @@ impl StrColumn {
     pub fn value_at(&self, pos: u32) -> &str {
         match self {
             StrColumn::Plain { values, .. } => &values[pos as usize],
-            StrColumn::Dict { dict, codes, .. } => &dict[codes[pos as usize] as usize],
+            StrColumn::Dict { dict, codes } => &dict[codes.get(pos) as usize],
         }
     }
 
@@ -303,10 +364,10 @@ impl StrColumn {
         matches!(self, StrColumn::Dict { .. })
     }
 
-    /// Dictionary + codes accessors (panics on plain).
-    pub fn dict_parts(&self) -> (&[Box<str>], &[u32]) {
+    /// Dictionary + packed codes accessors (panics on plain).
+    pub fn dict_parts(&self) -> (&[Box<str>], &PackedInts) {
         match self {
-            StrColumn::Dict { dict, codes, .. } => (dict, codes),
+            StrColumn::Dict { dict, codes } => (dict, codes),
             StrColumn::Plain { .. } => panic!("dict_parts() on plain column"),
         }
     }
@@ -323,8 +384,8 @@ impl StrColumn {
     pub fn decode(&self) -> Vec<Box<str>> {
         match self {
             StrColumn::Plain { values, .. } => values.clone(),
-            StrColumn::Dict { dict, codes, .. } => {
-                codes.iter().map(|&c| dict[c as usize].clone()).collect()
+            StrColumn::Dict { dict, codes } => {
+                codes.iter().map(|c| dict[c as usize].clone()).collect()
             }
         }
     }
@@ -441,9 +502,48 @@ mod tests {
     }
 
     #[test]
-    fn auto_picks_plain_for_random_data() {
+    fn auto_picks_packed_for_random_small_range_data() {
+        // Random 17-bit values: no runs, but 18-bit lanes (3 per word) beat
+        // the 4-byte plain width.
         let vals: Vec<i64> = (0..1000).map(|i| (i * 2_654_435_761u64 as i64) % 100_000).collect();
-        assert!(!IntColumn::auto(vals).is_rle());
+        let col = IntColumn::auto(vals.clone());
+        assert!(!col.is_rle());
+        assert!(col.is_packed());
+        assert!(col.encoded_bytes() < IntColumn::plain(vals).encoded_bytes());
+    }
+
+    #[test]
+    fn auto_keeps_plain_when_packing_cannot_win() {
+        // 31-bit deltas need 32-bit lanes — exactly the 4-byte plain width,
+        // so packing never strictly beats plain and plain is kept.
+        let vals: Vec<i64> = (0..100).map(|i| (i * 40_503_481) % ((1 << 31) - 1)).collect();
+        let col = IntColumn::auto(vals);
+        assert!(!col.is_rle() && !col.is_packed());
+    }
+
+    #[test]
+    fn packed_round_trips_with_negative_reference() {
+        let vals: Vec<i64> = (-500..500).map(|i| i * 3).collect();
+        let col = IntColumn::packed(&vals).expect("small delta must pack");
+        assert_eq!(col.decode(), vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(col.value_at(i as u32), v);
+        }
+        match &col {
+            IntColumn::Packed { reference, packed } => {
+                assert_eq!(*reference, -1500);
+                assert_eq!(col.encoded_bytes(), packed.bytes());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn packed_rejects_oversized_ranges_and_empty() {
+        assert!(IntColumn::packed(&[]).is_none());
+        assert!(IntColumn::packed(&[0, 1 << 40]).is_none());
+        assert!(IntColumn::packed(&[i64::MIN, i64::MAX]).is_none());
+        assert!(IntColumn::packed(&[7]).is_some());
     }
 
     #[test]
@@ -471,7 +571,7 @@ mod tests {
         assert_eq!(dict.len(), 3);
         assert!(dict.windows(2).all(|w| w[0] < w[1]));
         for (i, v) in vals.iter().enumerate() {
-            assert_eq!(&*dict[codes[i] as usize], v.as_str());
+            assert_eq!(&*dict[codes.get(i as u32) as usize], v.as_str());
             assert_eq!(col.value_at(i as u32), v.as_str());
         }
         // Order preservation: code comparison == string comparison.

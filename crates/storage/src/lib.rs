@@ -12,9 +12,12 @@
 //!   headers in slotted heap pages, optionally horizontally partitioned
 //!   (System X's `orderdate` partitioning).
 //! * [`encode`] / [`column`](mod@column) — the column-store side: per-column files with
-//!   plain / RLE / dictionary encodings that support *direct operation on
-//!   compressed data*, plus positional-gather charging for late
-//!   materialization.
+//!   plain / RLE / frame-of-reference-packed / dictionary encodings that
+//!   support *direct operation on compressed data*, plus positional-gather
+//!   charging for late materialization.
+//! * [`packed`] — lane-aligned bit-packed integer arrays ([`packed::PackedInts`]),
+//!   the real word image behind the packed encodings and the input format of
+//!   `cvr-core`'s word-parallel scan kernels.
 //!
 //! The crate is engine-agnostic: `cvr-row` and `cvr-core` build their
 //! physical designs out of these parts.
@@ -25,9 +28,11 @@ pub mod column;
 pub mod encode;
 pub mod heap;
 pub mod io;
+pub mod packed;
 pub mod rowcodec;
 
 pub use column::{ColumnStore, EncodingChoice, StoredColumn};
 pub use encode::{Column, IntColumn, Run, StrColumn};
 pub use heap::{HeapFile, PartitionedHeap};
 pub use io::{BufferPool, DiskModel, FileId, IoSession, IoStats, PageId, PAGE_SIZE};
+pub use packed::PackedInts;

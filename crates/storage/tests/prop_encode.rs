@@ -3,6 +3,7 @@
 
 use cvr_data::value::{DataType, Value};
 use cvr_storage::encode::{byte_width, IntColumn, StrColumn, RLE_RUN_BYTES};
+use cvr_storage::packed::PackedInts;
 use cvr_storage::rowcodec::{encode_row, encoded_size, record_len, RecordView};
 use proptest::prelude::*;
 
@@ -114,6 +115,42 @@ proptest! {
     }
 
     #[test]
+    fn packed_ints_round_trip(
+        value_bits in 1u8..32,
+        // Lengths straddle the 64-value mask-word boundary on purpose.
+        len in (0usize..9).prop_map(|i| [0usize, 1, 63, 64, 65, 127, 128, 129, 300][i]),
+        seed in any::<u64>(),
+    ) {
+        let max = (1u64 << value_bits) - 1;
+        let codes: Vec<u64> = (0..len as u64)
+            .map(|i| (seed.wrapping_mul(i.wrapping_add(1)).wrapping_mul(2_654_435_761)) % (max + 1))
+            .collect();
+        let p = PackedInts::pack(value_bits, codes.iter().copied());
+        prop_assert_eq!(p.len() as usize, codes.len());
+        prop_assert_eq!(p.decode(), codes.clone());
+        for (i, &c) in codes.iter().enumerate() {
+            prop_assert_eq!(p.get(i as u32), c);
+        }
+        // The byte count is the literal word image.
+        let lanes = (64 / (value_bits as u32 + 1)) as usize;
+        prop_assert_eq!(p.bytes(), (codes.len().div_ceil(lanes) * 8) as u64);
+    }
+
+    #[test]
+    fn packed_column_round_trips(
+        base in -1_000_000i64..1_000_000,
+        deltas in prop::collection::vec(0i64..2_000_000, 1..200),
+    ) {
+        let values: Vec<i64> = deltas.iter().map(|&d| base + d).collect();
+        let col = IntColumn::packed(&values).expect("21-bit deltas must pack");
+        prop_assert!(col.is_packed());
+        prop_assert_eq!(col.decode(), values.clone());
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(col.value_at(i as u32), v);
+        }
+    }
+
+    #[test]
     fn byte_width_is_sufficient(values in prop::collection::vec(any::<i64>(), 0..50)) {
         let w = byte_width(&values);
         for &v in &values {
@@ -138,7 +175,7 @@ proptest! {
         for (i, a) in values.iter().enumerate() {
             for (j, b) in values.iter().enumerate() {
                 prop_assert_eq!(
-                    codes[i].cmp(&codes[j]),
+                    codes.get(i as u32).cmp(&codes.get(j as u32)),
                     a.cmp(b),
                     "order must be preserved through codes"
                 );

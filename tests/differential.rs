@@ -157,6 +157,40 @@ fn bounded_pool_io_matches_serial() {
 }
 
 #[test]
+fn packed_encodings_run_through_the_grid() {
+    // The grid above only proves the word-parallel kernels correct if the
+    // compressed stores actually contain truly bit-packed columns. Pin the
+    // encoding choices: at every grid dataset, the compressed fact
+    // projection must hold frame-of-reference packed integers (the FK and
+    // measure-predicate columns the invisible join scans) and bit-packed
+    // dictionary codes, and those columns must answer queries identically
+    // at every thread count — so a regression in the auto-chooser can't
+    // silently take the packed paths out of the differential.
+    for tables in datasets() {
+        let engine = ColumnEngine::new(tables.clone());
+        let db = engine.db(EngineConfig::FULL);
+        for fk in ["lo_custkey", "lo_suppkey", "lo_quantity", "lo_discount"] {
+            assert!(
+                db.fact.column(fk).column.as_int().is_packed(),
+                "{fk} must be frame-of-reference bit-packed under compression"
+            );
+        }
+        let (dict, codes) = db.fact.column("lo_shipmode").column.as_str().dict_parts();
+        assert!(!dict.is_empty());
+        assert_eq!(codes.len() as usize, tables.lineorder.num_rows());
+        // And the packed image really is the charged footprint.
+        assert_eq!(
+            db.fact.column("lo_quantity").bytes(),
+            match &db.fact.column("lo_quantity").column {
+                cvr::storage::Column::Int(cvr::storage::IntColumn::Packed { packed, .. }) =>
+                    packed.bytes(),
+                _ => unreachable!(),
+            }
+        );
+    }
+}
+
+#[test]
 fn parallel_engine_matches_reference_directly() {
     for tables in datasets().into_iter().take(2) {
         let exp = expected(&tables);
