@@ -33,6 +33,9 @@ fn main() {
     let rs_mv = RowDb::build(harness.tables.clone(), RowDesign::MaterializedViews);
     let cs = ColumnEngine::new(harness.tables.clone());
     let cs_row_mv = RowMvDb::build(harness.tables.clone());
+
+    // ---- Planner explains (--explain) ----
+    cvr_bench::maybe_explain(&args, &cs);
     let fig5: Vec<(String, Vec<Measurement>)> = vec![
         ("RS".into(), harness.measure_series(|q, io| rs.execute(q, io))),
         ("RS (MV)".into(), harness.measure_series(|q, io| rs_mv.execute(q, io))),

@@ -16,6 +16,7 @@ fn main() {
     let rs = RowDb::build(harness.tables.clone(), RowDesign::Traditional);
     let rs_mv = RowDb::build(harness.tables.clone(), RowDesign::MaterializedViews);
     let cs = ColumnEngine::new(harness.tables.clone());
+    cvr_bench::maybe_explain(&args, &cs);
     let cs_row_mv = RowMvDb::build(harness.tables.clone());
 
     let mut ours: Vec<(String, Vec<Measurement>)> = Vec::new();

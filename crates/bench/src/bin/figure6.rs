@@ -11,6 +11,13 @@ fn main() {
     let args = HarnessArgs::parse();
     let harness = Harness::new(args.clone());
 
+    if args.explain {
+        // The planner's catalog is built from the column engine's storage;
+        // only needed when explain output was requested.
+        let engine = cvr_core::ColumnEngine::new(harness.tables.clone());
+        cvr_bench::maybe_explain(&args, &engine);
+    }
+
     let mut ours: Vec<(String, Vec<Measurement>)> = Vec::new();
     for design in RowDesign::ALL {
         eprintln!("# building + running {} (sf {})", design.label(), args.sf);

@@ -13,6 +13,7 @@ fn main() {
     let harness = Harness::new(args.clone());
     eprintln!("# building column store (sf {}) ...", args.sf);
     let engine = ColumnEngine::new(harness.tables.clone());
+    cvr_bench::maybe_explain(&args, &engine);
 
     let mut ours: Vec<(String, Vec<Measurement>)> = Vec::new();
     let par = args.parallelism();

@@ -12,6 +12,7 @@ fn main() {
     let harness = Harness::new(args.clone());
     eprintln!("# building baseline + 3 denormalized variants (sf {}) ...", args.sf);
     let engine = ColumnEngine::new(harness.tables.clone());
+    cvr_bench::maybe_explain(&args, &engine);
 
     let mut ours: Vec<(String, Vec<Measurement>)> = Vec::new();
     eprintln!("# Base (invisible join, {} thread(s))", args.threads);

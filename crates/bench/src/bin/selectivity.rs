@@ -1,25 +1,34 @@
-//! Section 3's per-query LINEORDER selectivity table: paper vs measured.
+//! Section 3's per-query LINEORDER selectivity table: paper vs measured vs
+//! the planner's histogram-driven estimate.
 //!
 //! ```text
 //! cargo run --release -p cvr-bench --bin selectivity -- --sf 0.1
 //! ```
 
-use cvr_bench::{paper, HarnessArgs};
+use cvr_bench::{build_planner, paper, HarnessArgs};
+use cvr_core::ColumnEngine;
 use cvr_data::queries::all_queries;
 use cvr_data::reference::measured_selectivity;
 
 fn main() {
     let args = HarnessArgs::parse();
     let tables = args.tables();
+    eprintln!("# building catalog statistics ...");
+    let engine = ColumnEngine::new(tables.clone());
+    let planner = build_planner(&args, &engine);
     println!("\nSection 3: LINEORDER selectivities (sf {})", args.sf);
     println!("==========================================\n");
-    println!("{:<8}{:>14}{:>14}{:>10}", "query", "paper", "measured", "ratio");
+    println!("{:<8}{:>14}{:>14}{:>14}{:>10}", "query", "paper", "measured", "estimate", "ratio");
     let rows = tables.lineorder.num_rows() as f64;
     for (q, label) in all_queries().iter().zip(paper::QUERY_LABELS) {
         let measured = measured_selectivity(&tables, q);
+        let estimate = planner.estimate_selectivity(q);
         let ratio = if measured > 0.0 { measured / q.paper_selectivity } else { 0.0 };
         let note =
             if q.paper_selectivity * rows < 20.0 { "  (few expected rows at this sf)" } else { "" };
-        println!("Q{label:<7}{:>14.2e}{measured:>14.2e}{ratio:>10.2}{note}", q.paper_selectivity);
+        println!(
+            "Q{label:<7}{:>14.2e}{measured:>14.2e}{estimate:>14.2e}{ratio:>10.2}{note}",
+            q.paper_selectivity
+        );
     }
 }

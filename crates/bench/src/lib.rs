@@ -39,6 +39,7 @@
 //! | `super_tuples` | §7's row-store prescription (Halverson et al.), implemented |
 //! | `scaling` | morsel-driven parallelism: threads-vs-speedup over the 13 queries |
 //! | `kernels` | scan kernels: scalar vs word-parallel per encoding × selectivity (emits `BENCH_kernels.json`) |
+//! | `planner` | cost-based planner regret vs the measured best-of-grid, paper + generated queries (emits `BENCH_planner.json`) |
 //! | `all` | the full evaluation in one run |
 //!
 //! ## Threads
@@ -92,6 +93,16 @@ pub struct HarnessArgs {
     /// `max(threads, 4)` — it never sweeps below 4, so the scaling table
     /// stays meaningful even where the default resolves to 1.
     pub threads: usize,
+    /// Print the cost-based planner's chosen plan and estimate breakdown
+    /// per query alongside the measured numbers (`--explain`).
+    pub explain: bool,
+    /// Number of generated ad-hoc queries the `planner` binary adds to the
+    /// 13 paper queries (`--queries`, default 30).
+    pub queries: usize,
+    /// Regret gate for the `planner` binary: fail when the planner's
+    /// measured cost exceeds this multiple of the best-of-grid measured
+    /// cost on any paper query (`--max-regret`, default 1.5).
+    pub max_regret: f64,
 }
 
 impl Default for HarnessArgs {
@@ -103,6 +114,9 @@ impl Default for HarnessArgs {
             pool_fraction: 0.08,
             cpu_scale: 5.0,
             threads: Parallelism::from_env().threads,
+            explain: false,
+            queries: 30,
+            max_regret: 1.5,
         }
     }
 }
@@ -133,10 +147,17 @@ impl HarnessArgs {
                     args.threads =
                         take(&mut i).parse::<usize>().expect("--threads takes an int").max(1)
                 }
+                "--explain" => args.explain = true,
+                "--queries" => args.queries = take(&mut i).parse().expect("--queries takes an int"),
+                "--max-regret" => {
+                    args.max_regret = take(&mut i).parse().expect("--max-regret takes a float")
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--sf F] [--seed N] [--runs N] [--pool-fraction F] [--cpu-scale F] [--threads N]\n\
-                         defaults: --sf 0.02 --runs 3 --pool-fraction 0.08 --cpu-scale 5.0 --threads CVR_THREADS|auto"
+                         \x20      [--explain] [--queries N] [--max-regret F]\n\
+                         defaults: --sf 0.02 --runs 3 --pool-fraction 0.08 --cpu-scale 5.0 --threads CVR_THREADS|auto\n\
+                         \x20         --queries 30 --max-regret 1.5"
                     );
                     std::process::exit(0);
                 }
@@ -235,6 +256,49 @@ impl Harness {
         exec: impl Fn(&SsbQuery, &IoSession) -> QueryOutput,
     ) -> Vec<Measurement> {
         all_queries().iter().map(|q| self.measure(|io| exec(q, io)).0).collect()
+    }
+}
+
+/// Build a cost-based planner over `engine`, weighing CPU against modeled
+/// I/O exactly the way this harness weighs measurements (`--cpu-scale`),
+/// and recalibrating the kernel CPU rates from a `BENCH_kernels.json` in
+/// the working directory when one exists (the `kernels` binary's output on
+/// *this* machine beats the built-in defaults).
+pub fn build_planner(args: &HarnessArgs, engine: &cvr_core::ColumnEngine) -> cvr_plan::Planner {
+    let rates = std::fs::read_to_string("BENCH_kernels.json")
+        .ok()
+        .and_then(|s| cvr_plan::CpuRates::from_kernel_bench_json(&s))
+        .unwrap_or_default();
+    // Plan for *cold* (first-touch) I/O: the planner binary measures every
+    // cell against a fresh pool precisely so that costs are reproducible,
+    // and near the capacity cliff of a small warm pool the measured cost is
+    // decided by CLOCK eviction history — bimodal and unmodelable. (Set
+    // `pool_bytes` on `CostParams` to plan for a warm harness instead.)
+    let params = cvr_plan::CostParams {
+        disk: DiskModel::default(),
+        cpu_scale: args.cpu_scale,
+        rates,
+        pool_bytes: None,
+    };
+    cvr_plan::Planner::with_params(cvr_plan::Catalog::build(engine), params)
+}
+
+/// Print the planner's explain output for every query in `queries` (the
+/// figure binaries call this under `--explain`).
+pub fn print_explains(planner: &cvr_plan::Planner, queries: &[SsbQuery]) {
+    println!("\nPlanner explain (estimated costs; see BENCH_planner.json for measured regret)");
+    println!("----------------------------------------------------------------------------");
+    for q in queries {
+        print!("{}", planner.plan(q).render());
+    }
+}
+
+/// The one-line `--explain` hook every figure binary calls after building
+/// (or being handed) a column engine: under `--explain`, build the planner
+/// and print each paper query's chosen plan and cost breakdown.
+pub fn maybe_explain(args: &HarnessArgs, engine: &cvr_core::ColumnEngine) {
+    if args.explain {
+        print_explains(&build_planner(args, engine), &all_queries());
     }
 }
 

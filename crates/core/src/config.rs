@@ -12,6 +12,7 @@
 //! columns off disk".
 
 use std::fmt;
+use std::str::FromStr;
 
 /// One engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,21 +79,12 @@ impl EngineConfig {
         out
     }
 
-    /// Parse a four-letter code such as `"tICL"`.
+    /// Parse a four-letter code such as `"tICL"`, panicking on malformed
+    /// input — the right behavior for the hardcoded codes in tests and
+    /// figure tables. Fallible parsing (command lines, explain output) goes
+    /// through the [`FromStr`] impl instead.
     pub fn parse(code: &str) -> EngineConfig {
-        let bytes = code.as_bytes();
-        assert_eq!(bytes.len(), 4, "config code must be 4 letters, got {code:?}");
-        let letter = |i: usize, on: u8, off: u8| match bytes[i] {
-            b if b == on => true,
-            b if b == off => false,
-            b => panic!("bad config letter {:?} at {i} in {code:?}", b as char),
-        };
-        EngineConfig {
-            block_iteration: letter(0, b't', b'T'),
-            invisible_join: letter(1, b'I', b'i'),
-            compression: letter(2, b'C', b'c'),
-            late_materialization: letter(3, b'L', b'l'),
-        }
+        code.parse().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The four-letter code for this configuration.
@@ -118,6 +110,47 @@ impl fmt::Display for EngineConfig {
     }
 }
 
+/// Error from parsing an ablation-letter code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseConfigError(String);
+
+impl fmt::Display for ParseConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ParseConfigError {}
+
+impl FromStr for EngineConfig {
+    type Err = ParseConfigError;
+
+    /// Parse the paper's four-letter ablation syntax: position 1 is
+    /// `t`/`T` (block vs tuple iteration), then `I`/`i` (invisible join),
+    /// `C`/`c` (compression), `L`/`l` (late materialization). Exactly the
+    /// strings [`EngineConfig::code`] produces round-trip.
+    fn from_str(code: &str) -> Result<EngineConfig, ParseConfigError> {
+        let bytes = code.as_bytes();
+        if bytes.len() != 4 {
+            return Err(ParseConfigError(format!("config code must be 4 letters, got {code:?}")));
+        }
+        let letter = |i: usize, on: u8, off: u8| match bytes[i] {
+            b if b == on => Ok(true),
+            b if b == off => Ok(false),
+            b => Err(ParseConfigError(format!(
+                "bad config letter {:?} at {i} in {code:?} (expected {:?} or {:?})",
+                b as char, on as char, off as char
+            ))),
+        };
+        Ok(EngineConfig {
+            block_iteration: letter(0, b't', b'T')?,
+            invisible_join: letter(1, b'I', b'i')?,
+            compression: letter(2, b'C', b'c')?,
+            late_materialization: letter(3, b'L', b'l')?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +160,25 @@ mod tests {
         for code in ["tICL", "TICL", "tiCL", "TiCL", "ticL", "TicL", "Ticl", "TIcl"] {
             assert_eq!(EngineConfig::parse(code).code(), code);
         }
+    }
+
+    #[test]
+    fn display_fromstr_round_trips_all_sixteen() {
+        for cfg in EngineConfig::all() {
+            let rendered = cfg.to_string();
+            let parsed: EngineConfig = rendered.parse().expect("Display output must parse");
+            assert_eq!(parsed, cfg, "{rendered}");
+            assert_eq!(parsed.to_string(), rendered);
+        }
+    }
+
+    #[test]
+    fn fromstr_reports_errors_instead_of_panicking() {
+        assert!("xICL".parse::<EngineConfig>().is_err());
+        assert!("tIC".parse::<EngineConfig>().is_err());
+        assert!("tICLL".parse::<EngineConfig>().is_err());
+        let err = "tXCL".parse::<EngineConfig>().unwrap_err().to_string();
+        assert!(err.contains("'X'"), "{err}");
     }
 
     #[test]

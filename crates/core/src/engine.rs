@@ -76,6 +76,24 @@ impl ColumnEngine {
             lmjoin::execute_par(db, q, config, par, io)
         }
     }
+
+    /// Execute a *planner-chosen* plan: `config` plus an explicit fact-
+    /// predicate evaluation order (see `SsbQuery::with_fact_order`).
+    ///
+    /// This is deliberately just "permute, then [`ColumnEngine::execute_with`]":
+    /// a planned execution is byte-identical — outputs *and* I/O accounting —
+    /// to handing the engine the same configuration and predicate order
+    /// directly, which is what the differential harness pins.
+    pub fn execute_planned(
+        &self,
+        q: &SsbQuery,
+        config: EngineConfig,
+        fact_order: &[usize],
+        par: Parallelism,
+        io: &IoSession,
+    ) -> QueryOutput {
+        self.execute_with(&q.with_fact_order(fact_order), config, par, io)
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,10 @@ pub mod rng {
 
 use rng::SplitMix64;
 
+// The seeded ad-hoc query generator rides alongside the data generator: both
+// are deterministic draws from the same SSB value domains.
+pub use crate::workload::{generate_queries, WorkloadConfig, GENERATED_FLIGHT};
+
 /// The five SSB regions.
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 

@@ -36,6 +36,7 @@ pub mod result;
 pub mod schema;
 pub mod table;
 pub mod value;
+pub mod workload;
 
 pub use gen::{SsbConfig, SsbTables};
 pub use queries::{all_queries, QueryId, SsbQuery};
@@ -43,3 +44,4 @@ pub use result::{QueryOutput, ResultRow};
 pub use schema::{star_schema, ColumnDef, StarSchema, TableSchema};
 pub use table::{ColumnData, TableData};
 pub use value::{DataType, Value};
+pub use workload::{generate_queries, WorkloadConfig};

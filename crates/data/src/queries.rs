@@ -201,6 +201,27 @@ impl SsbQuery {
     pub fn dim_predicates_on(&self, d: Dim) -> Vec<&DimPredicate> {
         self.dim_predicates.iter().filter(|p| p.dim == d).collect()
     }
+
+    /// A copy of this query with its fact predicates permuted by `order`
+    /// (`order[k]` is the index of the predicate to evaluate `k`-th).
+    ///
+    /// Predicate conjunctions commute, so the result set is unchanged; only
+    /// the *evaluation order* the engines follow differs. This is the hook
+    /// the cost-based planner uses to apply its chosen fact-predicate order
+    /// through the unchanged engine entry points.
+    pub fn with_fact_order(&self, order: &[usize]) -> SsbQuery {
+        assert_eq!(order.len(), self.fact_predicates.len(), "order must be a permutation");
+        let mut seen = vec![false; order.len()];
+        let mut q = self.clone();
+        q.fact_predicates = order
+            .iter()
+            .map(|&i| {
+                assert!(!std::mem::replace(&mut seen[i], true), "order must be a permutation");
+                self.fact_predicates[i].clone()
+            })
+            .collect();
+        q
+    }
 }
 
 fn int(v: i64) -> Value {
@@ -486,6 +507,24 @@ mod tests {
         assert_eq!(AggExpr::SumRevenue.term(&[10]), 10);
         assert_eq!(AggExpr::SumExtendedPriceTimesDiscount.term(&[10, 3]), 30);
         assert_eq!(AggExpr::SumRevenueMinusSupplyCost.term(&[10, 4]), 6);
+    }
+
+    #[test]
+    fn with_fact_order_permutes_only_fact_predicates() {
+        let q = query(1, 1);
+        let r = q.with_fact_order(&[1, 0]);
+        assert_eq!(r.fact_predicates[0], q.fact_predicates[1]);
+        assert_eq!(r.fact_predicates[1], q.fact_predicates[0]);
+        assert_eq!(r.dim_predicates, q.dim_predicates);
+        assert_eq!(r.id, q.id);
+        // Identity order round-trips.
+        assert_eq!(q.with_fact_order(&[0, 1]).fact_predicates, q.fact_predicates);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn with_fact_order_rejects_duplicates() {
+        query(1, 1).with_fact_order(&[0, 0]);
     }
 
     #[test]

@@ -43,6 +43,11 @@ pub enum RowDesign {
     VerticalPartitioning,
     /// `AI` — index-only plans.
     IndexOnly,
+    /// `VP(S)` — vertical partitioning over super-tuple (packed, headerless)
+    /// column files: the Section 7 row-store prescription. Not part of
+    /// Figure 6 (hence absent from [`RowDesign::ALL`]), but part of the
+    /// physical-design space the cost-based planner searches.
+    SuperVp,
 }
 
 impl RowDesign {
@@ -55,7 +60,18 @@ impl RowDesign {
         RowDesign::IndexOnly,
     ];
 
-    /// The label used in Figure 6.
+    /// The full searchable design space: Figure 6 plus the super-tuple VP
+    /// extension. This is what the planner enumerates.
+    pub const EXTENDED: [RowDesign; 6] = [
+        RowDesign::Traditional,
+        RowDesign::TraditionalBitmap,
+        RowDesign::MaterializedViews,
+        RowDesign::VerticalPartitioning,
+        RowDesign::IndexOnly,
+        RowDesign::SuperVp,
+    ];
+
+    /// The label used in Figure 6 (and `VP(S)` for the extension).
     pub fn label(self) -> &'static str {
         match self {
             RowDesign::Traditional => "T",
@@ -63,6 +79,7 @@ impl RowDesign {
             RowDesign::MaterializedViews => "MV",
             RowDesign::VerticalPartitioning => "VP",
             RowDesign::IndexOnly => "AI",
+            RowDesign::SuperVp => "VP(S)",
         }
     }
 }
@@ -80,6 +97,8 @@ pub enum RowDb {
     Vp(VpDb),
     /// Index-only.
     Ai(AiDb),
+    /// Super-tuple vertical partitioning.
+    SuperVp(SuperVpDb),
 }
 
 impl RowDb {
@@ -97,6 +116,19 @@ impl RowDb {
             RowDesign::MaterializedViews => RowDb::Mv(MvDb::build(tables)),
             RowDesign::VerticalPartitioning => RowDb::Vp(VpDb::build(tables)),
             RowDesign::IndexOnly => RowDb::Ai(AiDb::build(tables, AiColumns::QueryNeeded)),
+            RowDesign::SuperVp => RowDb::SuperVp(SuperVpDb::build(tables)),
+        }
+    }
+
+    /// The design this database was built as.
+    pub fn design(&self) -> RowDesign {
+        match self {
+            RowDb::Traditional(_) => RowDesign::Traditional,
+            RowDb::TraditionalBitmap(_) => RowDesign::TraditionalBitmap,
+            RowDb::Mv(_) => RowDesign::MaterializedViews,
+            RowDb::Vp(_) => RowDesign::VerticalPartitioning,
+            RowDb::Ai(_) => RowDesign::IndexOnly,
+            RowDb::SuperVp(_) => RowDesign::SuperVp,
         }
     }
 
@@ -108,6 +140,22 @@ impl RowDb {
             RowDb::Mv(db) => db.execute(q, io),
             RowDb::Vp(db) => db.execute(q, io),
             RowDb::Ai(db) => db.execute(q, io),
+            RowDb::SuperVp(db) => db.execute(q, io),
         }
+    }
+
+    /// Execute a *planner-chosen* plan: this design plus an explicit fact-
+    /// predicate evaluation order (see `SsbQuery::with_fact_order`).
+    ///
+    /// Like the column engine's `execute_planned`, this is exactly
+    /// "permute, then [`RowDb::execute`]", so a planned execution is
+    /// byte-identical to running the hand-permuted query directly.
+    pub fn execute_planned(
+        &self,
+        q: &SsbQuery,
+        fact_order: &[usize],
+        io: &IoSession,
+    ) -> QueryOutput {
+        self.execute(&q.with_fact_order(fact_order), io)
     }
 }

@@ -17,7 +17,9 @@
 //!   index;
 //! * [`row`] (`cvr-row`) — the row engine: T, T(B), MV, VP, AI designs;
 //! * [`core`] (`cvr-core`) — the column engine: invisible join, late
-//!   materialization, compressed execution, Row-MV, denormalization.
+//!   materialization, compressed execution, Row-MV, denormalization;
+//! * [`plan`] (`cvr-plan`) — the statistics-driven cost-based planner over
+//!   both engines' physical-design space.
 //!
 //! ```
 //! use cvr::core::{ColumnEngine, EngineConfig};
@@ -40,5 +42,6 @@
 pub use cvr_core as core;
 pub use cvr_data as data;
 pub use cvr_index as index;
+pub use cvr_plan as plan;
 pub use cvr_row as row;
 pub use cvr_storage as storage;

@@ -24,9 +24,11 @@
 use cvr::core::morsel::Parallelism;
 use cvr::core::{ColumnEngine, EngineConfig};
 use cvr::data::gen::{SsbConfig, SsbTables};
-use cvr::data::queries::all_queries;
+use cvr::data::queries::{all_queries, SsbQuery};
 use cvr::data::reference;
 use cvr::data::result::QueryOutput;
+use cvr::data::workload::WorkloadConfig;
+use cvr::plan::{Catalog, PhysicalChoice, Planner};
 use cvr::row::designs::{RowDb, RowDesign};
 use cvr::storage::io::IoSession;
 use std::sync::Arc;
@@ -186,6 +188,61 @@ fn packed_encodings_run_through_the_grid() {
                     packed.bytes(),
                 _ => unreachable!(),
             }
+        );
+    }
+}
+
+#[test]
+fn planner_picked_plans_are_byte_identical_to_hand_picked() {
+    // The cost-based planner's `execute_planned` entry points must be
+    // *transparent*: whatever configuration and fact-predicate order the
+    // planner picks, executing through the planner produces byte-identical
+    // outputs AND byte-identical I/O accounting to handing the engines the
+    // same configuration with the same (hand-permuted) query directly —
+    // over the 13 paper queries and a generated ad-hoc workload of ≥ 30.
+    let tables = Arc::new(SsbConfig { sf: 0.0015, seed: 77 }.generate());
+    let engine = ColumnEngine::new(tables.clone());
+    let planner = Planner::new(Catalog::build(&engine));
+    let mut row_dbs: std::collections::HashMap<RowDesign, RowDb> = std::collections::HashMap::new();
+
+    let mut queries: Vec<SsbQuery> = all_queries();
+    queries.extend(WorkloadConfig { seed: 2026, count: 30 }.generate());
+    assert!(queries.len() >= 43);
+
+    for q in &queries {
+        let plan = planner.plan(q);
+        let expected = reference::evaluate(&tables, q);
+        let hand_q = q.with_fact_order(&plan.fact_order);
+        let (planned_io, hand_io) = (IoSession::unmetered(), IoSession::unmetered());
+        let (planned, hand) = match plan.choice {
+            PhysicalChoice::Column(cfg) => (
+                engine.execute_planned(
+                    q,
+                    cfg,
+                    &plan.fact_order,
+                    Parallelism::from_env(),
+                    &planned_io,
+                ),
+                engine.execute_with(&hand_q, cfg, Parallelism::from_env(), &hand_io),
+            ),
+            PhysicalChoice::Row(design) => {
+                let db =
+                    row_dbs.entry(design).or_insert_with(|| RowDb::build(tables.clone(), design));
+                (
+                    db.execute_planned(q, &plan.fact_order, &planned_io),
+                    db.execute(&hand_q, &hand_io),
+                )
+            }
+        };
+        assert_eq!(planned, expected, "{}: planned execution disagrees with reference", q.id);
+        assert_eq!(planned, hand, "{}: planned vs hand-picked outputs differ", q.id);
+        let (a, b) = (planned_io.stats(), hand_io.stats());
+        assert_eq!(
+            (a.bytes_read, a.pages_read, a.seeks),
+            (b.bytes_read, b.pages_read, b.seeks),
+            "{}: planned vs hand-picked IoStats differ ({})",
+            q.id,
+            plan.choice.label()
         );
     }
 }
