@@ -1,0 +1,462 @@
+//! Aggregation-tail benchmark: the code-level aggregator (group-id
+//! composition over dictionary/FoR codes, direct or `u64`-hash
+//! accumulation, decode-once-per-group finish) vs the Value-keyed reference
+//! grouper (per-row key vector allocation + clones + `Vec<Value>` hashing),
+//! printed as a table and emitted as `BENCH_agg.json` — the file
+//! `cvr_plan::CpuRates::from_agg_bench_json` recalibrates the planner's
+//! aggregation cost term from.
+//!
+//! ```text
+//! cargo run --release -p cvr-bench --bin agg -- \
+//!     [--sf F] [--runs R] [--queries N] [--n N] [--min-speedup X] [--out PATH]
+//! ```
+//!
+//! Two cell families:
+//!
+//! * **Query cells** — phase-3-shaped inputs from the real sf-scaled store:
+//!   sampled fact positions, FK-derived dimension positions, then each tail
+//!   timed end to end (value: `extract_at` + key-clone grouper; code:
+//!   `extract_codes_at` + id composition). Q2.1/Q3.1 run at three sampled
+//!   selectivities; every other grouped paper query at one.
+//! * **Synthetic cells** — pure accumulation across group-count regimes
+//!   (single group, direct two/three-column radix, hash fallback).
+//!
+//! Before timing, every paper query plus `--queries` generated ones execute
+//! through the full engine twice — code-level and `CVR_AGG=value` — and
+//! must be byte-identical (outputs *and* IoStats) to each other and to the
+//! reference evaluator. The binary exits non-zero when identity fails or
+//! when the best flight-2/3 query-cell speedup falls below `--min-speedup`
+//! (default 3).
+
+use cvr_core::agg::{CodeGrouper, GroupLayout, Grouper};
+use cvr_core::extract::{extract_at, extract_codes_at, gather_ints, CodeSpace};
+use cvr_core::morsel::Parallelism;
+use cvr_core::poslist::PosList;
+use cvr_core::{CStoreDb, ColumnEngine, DenormDb, DenormVariant, EngineConfig};
+use cvr_data::gen::SsbConfig;
+use cvr_data::queries::{all_queries, SsbQuery};
+use cvr_data::reference;
+use cvr_data::schema::Dim;
+use cvr_data::value::Value;
+use cvr_data::workload::WorkloadConfig;
+use cvr_index::hashidx::IntHashMap;
+use cvr_storage::io::IoSession;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    sf: f64,
+    runs: usize,
+    queries: usize,
+    n: u32,
+    min_speedup: f64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sf: 0.02,
+        runs: 5,
+        queries: 30,
+        n: 1 << 18,
+        min_speedup: 3.0,
+        out: "BENCH_agg.json".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).unwrap_or_else(|| panic!("missing value for {}", argv[*i - 1])).clone()
+        };
+        match argv[i].as_str() {
+            "--sf" => args.sf = take(&mut i).parse().expect("--sf takes a float"),
+            "--runs" => args.runs = take(&mut i).parse().expect("--runs takes an int"),
+            "--queries" => args.queries = take(&mut i).parse().expect("--queries takes an int"),
+            "--n" => args.n = take(&mut i).parse().expect("--n takes an int"),
+            "--min-speedup" => {
+                args.min_speedup = take(&mut i).parse().expect("--min-speedup takes a float")
+            }
+            "--out" => args.out = take(&mut i),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: agg [--sf F] [--runs R] [--queries N] [--n N] \
+                     [--min-speedup X] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+        i += 1;
+    }
+    args
+}
+
+/// One measured cell: both tails over the same rows.
+struct Cell {
+    cell: String,
+    rows: usize,
+    groups: usize,
+    value_ns_per_row: f64,
+    code_ns_per_row: f64,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.value_ns_per_row / self.code_ns_per_row.max(1e-12)
+    }
+}
+
+/// Best-of-`runs` wall time of `f`, in ns per row.
+fn time_per_row(rows: usize, runs: usize, mut f: impl FnMut() -> usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let t = Instant::now();
+        let groups = f();
+        let dt = t.elapsed().as_secs_f64();
+        black_box(groups);
+        best = best.min(dt);
+    }
+    best * 1e9 / rows.max(1) as f64
+}
+
+/// Run `f` under the `CVR_AGG=value` ablation, restoring the (cleared)
+/// default afterwards. The binary clears any preset `CVR_AGG` at startup,
+/// so outside this window the engine always takes the code-level path.
+fn with_value_ablation<R>(f: impl FnOnce() -> R) -> R {
+    std::env::set_var("CVR_AGG", "value");
+    let r = f();
+    std::env::remove_var("CVR_AGG");
+    r
+}
+
+/// Byte-identity gate: every query through the full engine — and the paper
+/// queries additionally through all three denormalized variants —
+/// code-level vs the `CVR_AGG=value` ablation vs the reference evaluator.
+fn verify_byte_identity(engine: &ColumnEngine, queries: &[SsbQuery]) -> usize {
+    let tables = engine.db(EngineConfig::FULL).tables.clone();
+    let mut ok = 0usize;
+    for q in queries {
+        let expected = reference::evaluate(&tables, q);
+        let code_io = IoSession::unmetered();
+        let code = engine.execute_with(q, EngineConfig::FULL, Parallelism::serial(), &code_io);
+        let value_io = IoSession::unmetered();
+        let value = with_value_ablation(|| {
+            engine.execute_with(q, EngineConfig::FULL, Parallelism::serial(), &value_io)
+        });
+        assert_eq!(code, expected, "{}: code-level output diverges from reference", q.id);
+        assert_eq!(code, value, "{}: code-level vs Value-keyed outputs differ", q.id);
+        let (a, b) = (code_io.stats(), value_io.stats());
+        assert_eq!(
+            (a.bytes_read, a.pages_read, a.seeks),
+            (b.bytes_read, b.pages_read, b.seeks),
+            "{}: aggregation strategy must not move a single I/O charge",
+            q.id
+        );
+        ok += 1;
+    }
+    // Denormalized tables only inline the columns the paper workload
+    // touches, so only the paper queries run here.
+    for variant in
+        [DenormVariant::NoCompression, DenormVariant::IntCompression, DenormVariant::MaxCompression]
+    {
+        let db = DenormDb::build(tables.clone(), variant);
+        for q in all_queries() {
+            let expected = reference::evaluate(&tables, &q);
+            let code_io = IoSession::unmetered();
+            let code = db.execute(&q, EngineConfig::FULL, &code_io);
+            let value_io = IoSession::unmetered();
+            let value = with_value_ablation(|| db.execute(&q, EngineConfig::FULL, &value_io));
+            assert_eq!(code, expected, "{} {}: diverges from reference", variant.label(), q.id);
+            assert_eq!(code, value, "{} {}: code vs Value-keyed differ", variant.label(), q.id);
+            let (a, b) = (code_io.stats(), value_io.stats());
+            assert_eq!(
+                (a.bytes_read, a.pages_read, a.seeks),
+                (b.bytes_read, b.pages_read, b.seeks),
+                "{} {}: ablation moved an I/O charge",
+                variant.label(),
+                q.id
+            );
+        }
+    }
+    ok
+}
+
+/// Phase-3-shaped inputs for one grouped query at one sampling stride:
+/// sampled fact positions, FK-derived dimension positions per group column,
+/// and the per-row aggregate terms (shared by both tails).
+struct QueryInputs {
+    /// Per group column: arbitrary-order dimension positions.
+    dim_positions: Vec<Vec<u32>>,
+    terms: Vec<i64>,
+}
+
+fn query_inputs(db: &CStoreDb, q: &SsbQuery, stride: usize, io: &IoSession) -> QueryInputs {
+    let n = db.fact_rows() as u32;
+    let positions: Vec<u32> = (0..n).step_by(stride.max(1)).collect();
+    let pos = PosList::explicit(positions, n);
+    let mut fk_cache: std::collections::HashMap<Dim, Vec<u32>> = std::collections::HashMap::new();
+    let mut dim_positions = Vec::with_capacity(q.group_by.len());
+    for g in &q.group_by {
+        let dim = g.dim;
+        let cached = fk_cache.entry(dim).or_insert_with(|| {
+            let fks = gather_ints(db.fact.column(dim.fact_fk_column()), &pos, io);
+            if db.dim(dim).dense_keys {
+                fks.into_iter().map(|k| k as u32).collect()
+            } else {
+                let keys = db.dim(dim).store.column(dim.key_column()).column.as_int().decode();
+                let map =
+                    IntHashMap::from_pairs(keys.iter().enumerate().map(|(p, &k)| (k, p as u32)));
+                fks.into_iter().map(|k| map.get(k).expect("FK joins dim")).collect()
+            }
+        });
+        dim_positions.push(cached.clone());
+    }
+    let measures: Vec<Vec<i64>> = q
+        .aggregate
+        .fact_columns()
+        .iter()
+        .map(|c| gather_ints(db.fact.column(c), &pos, io))
+        .collect();
+    let rows = pos.count() as usize;
+    let mut inputs = vec![0i64; measures.len()];
+    let terms: Vec<i64> = (0..rows)
+        .map(|i| {
+            for (j, m) in measures.iter().enumerate() {
+                inputs[j] = m[i];
+            }
+            q.aggregate.term(&inputs)
+        })
+        .collect();
+    QueryInputs { dim_positions, terms }
+}
+
+/// Time both aggregation tails for one grouped query at one stride.
+fn measure_query(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    stride: usize,
+    runs: usize,
+    io: &IoSession,
+) -> Option<Cell> {
+    if q.group_by.is_empty() {
+        return None;
+    }
+    let cols: Vec<_> = q.group_by.iter().map(|g| db.dim(g.dim).store.column(g.column)).collect();
+    let spaces: Vec<CodeSpace> = cols.iter().map(|c| CodeSpace::of(c)).collect::<Option<_>>()?;
+    let layout = GroupLayout::try_new(
+        spaces.iter().zip(&cols).map(|(s, c)| (s.domain(), s.decoder(c))).collect(),
+    )?;
+    let inp = query_inputs(db, q, stride, io);
+    let rows = inp.terms.len();
+
+    // The pre-refactor tail: materialize Values per group column, then
+    // clone a key vector per row into the Value-keyed grouper.
+    let value_ns = time_per_row(rows, runs, || {
+        let group_cols: Vec<Vec<Value>> = cols
+            .iter()
+            .zip(&inp.dim_positions)
+            .map(|(col, dp)| extract_at(col, black_box(dp), io))
+            .collect();
+        let mut g = Grouper::new();
+        for (i, &term) in inp.terms.iter().enumerate() {
+            let key: Vec<Value> = group_cols.iter().map(|gc| gc[i].clone()).collect();
+            g.add(key, term);
+        }
+        g.len()
+    });
+    // The code-level tail: extract codes, compose ids, accumulate.
+    let mut groups = 0usize;
+    let code_ns = time_per_row(rows, runs, || {
+        let code_cols: Vec<Vec<u32>> = spaces
+            .iter()
+            .zip(&cols)
+            .zip(&inp.dim_positions)
+            .map(|((space, col), dp)| extract_codes_at(space, col, black_box(dp), io))
+            .collect();
+        let mut g = CodeGrouper::for_layout(&layout);
+        for (i, &term) in inp.terms.iter().enumerate() {
+            let mut id = 0u64;
+            for (c, codes) in code_cols.iter().enumerate() {
+                id = id * g.radix(c) + codes[i] as u64;
+            }
+            g.add(id, term);
+        }
+        groups = g.len();
+        groups
+    });
+    Some(Cell {
+        cell: format!("{}/s{stride}", q.id),
+        rows,
+        groups,
+        value_ns_per_row: value_ns,
+        code_ns_per_row: code_ns,
+    })
+}
+
+/// Synthetic accumulation cells across group-count regimes: NDV 1, the
+/// direct radix composites, and the `u64`-hash fallback.
+fn measure_synthetic(n: u32, runs: usize, out: &mut Vec<Cell>) {
+    use cvr_core::agg::CodeDecoder;
+    let regimes: &[(&str, &[u64])] = &[
+        ("syn/ndv1", &[1]),
+        ("syn/direct-7x1000", &[7, 1000]),
+        ("syn/direct-25x25x7", &[25, 25, 7]),
+        ("syn/hash-250x250x7", &[250, 250, 7]),
+    ];
+    for (name, domains) in regimes {
+        let layout =
+            GroupLayout::try_new(domains.iter().map(|&d| (d, CodeDecoder::IntOffset(0))).collect())
+                .expect("synthetic layout");
+        // Seeded LCG codes + terms; Values pre-materialized for the
+        // reference tail (its per-row clone cost is what we measure).
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let rows = n as usize;
+        let mut code_cols: Vec<Vec<u32>> =
+            domains.iter().map(|_| Vec::with_capacity(rows)).collect();
+        let mut terms = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            for (c, &d) in domains.iter().enumerate() {
+                code_cols[c].push((next() % d) as u32);
+            }
+            terms.push((next() % 2000) as i64 - 1000);
+        }
+        let value_cols: Vec<Vec<Value>> = code_cols
+            .iter()
+            .map(|codes| codes.iter().map(|&c| Value::Int(c as i64)).collect())
+            .collect();
+
+        let value_ns = time_per_row(rows, runs, || {
+            let mut g = Grouper::new();
+            for (i, &term) in terms.iter().enumerate() {
+                let key: Vec<Value> = value_cols.iter().map(|vc| vc[i].clone()).collect();
+                g.add(key, term);
+            }
+            g.len()
+        });
+        let mut groups = 0usize;
+        let code_ns = time_per_row(rows, runs, || {
+            let mut g = CodeGrouper::for_layout(&layout);
+            for (i, &term) in terms.iter().enumerate() {
+                let mut id = 0u64;
+                for (c, codes) in code_cols.iter().enumerate() {
+                    id = id * g.radix(c) + codes[i] as u64;
+                }
+                g.add(id, term);
+            }
+            groups = g.len();
+            groups
+        });
+        out.push(Cell {
+            cell: name.to_string(),
+            rows,
+            groups,
+            value_ns_per_row: value_ns,
+            code_ns_per_row: code_ns,
+        });
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    // This binary drives the CVR_AGG ablation itself; a preset value would
+    // make the "code-level" runs silently value-keyed and the identity
+    // gate vacuous.
+    if std::env::var_os("CVR_AGG").is_some() {
+        eprintln!("# clearing preset CVR_AGG: the agg bench toggles the ablation itself");
+        std::env::remove_var("CVR_AGG");
+    }
+    let tables = Arc::new(SsbConfig { sf: args.sf, seed: 7 }.generate());
+    eprintln!(
+        "# agg bench over sf {} ({} fact rows), best of {} runs",
+        args.sf,
+        tables.lineorder.num_rows(),
+        args.runs
+    );
+    let engine = ColumnEngine::new(tables.clone());
+    let db = engine.db(EngineConfig::FULL);
+    let io = IoSession::unmetered();
+
+    // Byte-identity first: the speedup claim is only worth making if the
+    // two tails are interchangeable.
+    let mut queries = all_queries();
+    queries.extend(WorkloadConfig { seed: 2026, count: args.queries }.generate());
+    let verified = verify_byte_identity(&engine, &queries);
+    eprintln!("# {verified} queries byte-identical (outputs + IoStats) across both tails");
+
+    let mut cells = Vec::new();
+    for q in all_queries() {
+        if q.group_by.is_empty() {
+            continue;
+        }
+        let strides: &[usize] = if (q.id.flight == 2 || q.id.flight == 3) && q.id.number == 1 {
+            &[2, 8, 64]
+        } else {
+            &[8]
+        };
+        for &stride in strides {
+            if let Some(cell) = measure_query(db, &q, stride, args.runs, &io) {
+                cells.push(cell);
+            } else {
+                eprintln!("# skipping {}: a group column has no code space at this sf", q.id);
+            }
+        }
+    }
+    measure_synthetic(args.n, args.runs, &mut cells);
+
+    println!("\nAggregation: Value-keyed grouper vs code-level group ids\n");
+    println!(
+        "{:<22} {:>9} {:>8} {:>13} {:>13} {:>9}",
+        "cell", "rows", "groups", "value ns/row", "code ns/row", "speedup"
+    );
+    let mut json = String::from("{\n  \"bench\": \"agg\",\n");
+    let _ = writeln!(json, "  \"sf\": {},", args.sf);
+    let _ = writeln!(json, "  \"runs\": {},", args.runs);
+    let _ = writeln!(json, "  \"byte_identical_queries\": {verified},");
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        println!(
+            "{:<22} {:>9} {:>8} {:>13.2} {:>13.2} {:>8.2}x",
+            c.cell,
+            c.rows,
+            c.groups,
+            c.value_ns_per_row,
+            c.code_ns_per_row,
+            c.speedup()
+        );
+        let _ = write!(
+            json,
+            "    {{\"cell\": \"{}\", \"rows\": {}, \"groups\": {}, \
+             \"value_ns_per_row\": {:.4}, \"code_ns_per_row\": {:.4}, \"speedup\": {:.3}}}",
+            c.cell,
+            c.rows,
+            c.groups,
+            c.value_ns_per_row,
+            c.code_ns_per_row,
+            c.speedup()
+        );
+        json.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    let flight23_best = cells
+        .iter()
+        .filter(|c| c.cell.starts_with("Q2.") || c.cell.starts_with("Q3."))
+        .map(Cell::speedup)
+        .fold(f64::NEG_INFINITY, f64::max);
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"flight23_best_speedup\": {flight23_best:.3}");
+    json.push_str("}\n");
+    std::fs::write(&args.out, &json).expect("write BENCH_agg.json");
+    eprintln!("\n# wrote {}", args.out);
+
+    println!("\nbest flight-2/3 speedup: {flight23_best:.2}x (gate: >= {:.1}x)", args.min_speedup);
+    if !flight23_best.is_finite() || flight23_best < args.min_speedup {
+        eprintln!("FAIL: code-level aggregation below the {:.1}x gate", args.min_speedup);
+        std::process::exit(1);
+    }
+}

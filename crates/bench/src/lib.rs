@@ -261,14 +261,24 @@ impl Harness {
 
 /// Build a cost-based planner over `engine`, weighing CPU against modeled
 /// I/O exactly the way this harness weighs measurements (`--cpu-scale`),
-/// and recalibrating the kernel CPU rates from a `BENCH_kernels.json` in
-/// the working directory when one exists (the `kernels` binary's output on
+/// and recalibrating the kernel CPU rates from a `BENCH_kernels.json` and
+/// the aggregation-tail rates from a `BENCH_agg.json` in the working
+/// directory when they exist (the `kernels`/`agg` binaries' output on
 /// *this* machine beats the built-in defaults).
 pub fn build_planner(args: &HarnessArgs, engine: &cvr_core::ColumnEngine) -> cvr_plan::Planner {
-    let rates = std::fs::read_to_string("BENCH_kernels.json")
+    let mut rates = std::fs::read_to_string("BENCH_kernels.json")
         .ok()
         .and_then(|s| cvr_plan::CpuRates::from_kernel_bench_json(&s))
         .unwrap_or_default();
+    // Compose the aggregation-tail calibration on top: each report file
+    // moves only the rates it measures.
+    if let Some(agg) = std::fs::read_to_string("BENCH_agg.json")
+        .ok()
+        .and_then(|s| cvr_plan::CpuRates::from_agg_bench_json(&s))
+    {
+        rates.agg_row = agg.agg_row;
+        rates.agg_code_row = agg.agg_code_row;
+    }
     // Plan for *cold* (first-touch) I/O: the planner binary measures every
     // cell against a fresh pool precisely so that costs are reproducible,
     // and near the capacity cliff of a small warm pool the measured cost is

@@ -18,9 +18,9 @@
 //! denormalization to win, and the baseline invisible join mostly still
 //! beats it.
 
-use crate::agg::Grouper;
+use crate::agg::{aggregate_columns, AggPartial, CodeDecoder, CodeGrouper, GroupData, GroupLayout};
 use crate::config::EngineConfig;
-use crate::extract::{gather_ints, gather_values};
+use crate::extract::{gather_codes, gather_ints, gather_values, CodeSpace};
 use crate::poslist::PosList;
 use crate::projection::{sort_permutation, FACT_SORT};
 use crate::scan::{scan_int_where, scan_pred};
@@ -244,40 +244,104 @@ impl DenormDb {
         }
         let pos = pos.unwrap_or_else(|| PosList::all(n));
 
-        // Group columns + measures straight off the fact table.
-        let group_cols: Vec<Vec<Value>> = q
-            .group_by
-            .iter()
-            .map(|g| {
-                let col = self.store.column(g.column);
-                let vals = gather_values(col, &pos, io);
-                if self.variant == DenormVariant::IntCompression {
-                    if let Some(dict) = self.dicts.get(g.column) {
-                        return vals
-                            .into_iter()
-                            .map(|v| Value::Str(dict[v.as_int() as usize].clone()))
-                            .collect();
-                    }
+        // Group columns + measures straight off the fact table. Dictionary
+        // and integer-code columns aggregate at the code level (decoding
+        // through the denormalization dictionaries once per group at
+        // finish); plain inlined strings (PJ, No C) fall back to the
+        // interned-dictionary path inside [`aggregate_columns`].
+        let mut code_plan: Option<Vec<(CodeSpace, CodeDecoder)>> =
+            (!crate::agg::value_keyed_forced()).then(Vec::new);
+        for g in &q.group_by {
+            let col = self.store.column(g.column);
+            match (CodeSpace::of(col), code_plan.as_mut()) {
+                (Some(space), Some(plan)) => {
+                    let decoder = match self.dicts.get(g.column) {
+                        // "PJ, Int C": the column stores dictionary codes as
+                        // plain integers; codes decode through the dict.
+                        Some(dict) => {
+                            let CodeSpace::Int { reference, domain } = space else {
+                                unreachable!("dict-translated columns are integers")
+                            };
+                            CodeDecoder::Values(
+                                (reference..reference + domain as i64)
+                                    .map(|c| Value::Str(dict[c as usize].clone()))
+                                    .collect(),
+                            )
+                        }
+                        None => space.decoder(col),
+                    };
+                    plan.push((space, decoder));
                 }
-                vals
-            })
-            .collect();
-        let measures: Vec<Vec<i64>> = q
-            .aggregate
-            .fact_columns()
-            .iter()
-            .map(|c| gather_ints(self.store.column(c), &pos, io))
-            .collect();
-        let mut grouper = Grouper::new();
-        let mut inputs = vec![0i64; measures.len()];
-        for i in 0..pos.count() as usize {
-            for (j, m) in measures.iter().enumerate() {
-                inputs[j] = m[i];
+                _ => code_plan = None,
             }
-            let key: Vec<Value> = group_cols.iter().map(|gc| gc[i].clone()).collect();
-            grouper.add(key, q.aggregate.term(&inputs));
         }
-        grouper.finish(q)
+        // Compose the layout *before* charging any gathers, so an overflow
+        // fallback never double-reads the group columns.
+        let layout = code_plan.and_then(|plan| {
+            let (spaces, cols): (Vec<CodeSpace>, Vec<(u64, CodeDecoder)>) =
+                plan.into_iter().map(|(s, d)| (s, (s.domain(), d))).unzip();
+            GroupLayout::try_new(cols).map(|layout| (layout, spaces))
+        });
+        match layout {
+            Some((layout, spaces)) => {
+                let group: Vec<GroupData> = spaces
+                    .iter()
+                    .zip(&q.group_by)
+                    .map(|(space, g)| {
+                        GroupData::Codes(gather_codes(space, self.store.column(g.column), &pos, io))
+                    })
+                    .collect();
+                let measures: Vec<Vec<i64>> = q
+                    .aggregate
+                    .fact_columns()
+                    .iter()
+                    .map(|c| gather_ints(self.store.column(c), &pos, io))
+                    .collect();
+                let mut partial = AggPartial::Code(CodeGrouper::for_layout(&layout));
+                partial.add_rows(q, &group, &measures, pos.count() as usize);
+                match partial {
+                    AggPartial::Code(g) => g.finish(&layout, q),
+                    AggPartial::Value(_) => unreachable!("partial built as code-level"),
+                }
+            }
+            None => {
+                let group_cols: Vec<Vec<Value>> = q
+                    .group_by
+                    .iter()
+                    .map(|g| {
+                        let vals = gather_values(self.store.column(g.column), &pos, io);
+                        // "PJ, Int C" group columns hold dictionary codes;
+                        // translate back to strings here too, so the
+                        // CVR_AGG=value ablation stays byte-identical.
+                        if self.variant == DenormVariant::IntCompression {
+                            if let Some(dict) = self.dicts.get(g.column) {
+                                return vals
+                                    .into_iter()
+                                    .map(|v| Value::Str(dict[v.as_int() as usize].clone()))
+                                    .collect();
+                            }
+                        }
+                        vals
+                    })
+                    .collect();
+                let measures: Vec<Vec<i64>> = q
+                    .aggregate
+                    .fact_columns()
+                    .iter()
+                    .map(|c| gather_ints(self.store.column(c), &pos, io))
+                    .collect();
+                let mut inputs = vec![0i64; measures.len()];
+                let terms: Vec<i64> = (0..pos.count() as usize)
+                    .map(|i| {
+                        for (j, m) in measures.iter().enumerate() {
+                            inputs[j] = m[i];
+                        }
+                        q.aggregate.term(&inputs)
+                    })
+                    .collect();
+                aggregate_columns(q, &group_cols, &terms)
+            }
+        }
     }
 }
 

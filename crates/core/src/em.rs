@@ -10,7 +10,7 @@
 //! row engine. "Once all of these optimizations are removed, the
 //! column-store acts like a row-store."
 
-use crate::agg::Grouper;
+use crate::agg::{AggPartial, CodeDecoder, CodeGrouper, GroupLayout, Grouper};
 use crate::config::EngineConfig;
 use crate::extract::decode_all;
 use crate::morsel::{run_morsels, Parallelism};
@@ -72,6 +72,16 @@ struct RowPlan<'q> {
     agg_idx: Vec<usize>,
     group_dim_order: Vec<Dim>,
     dims: HashMap<Dim, DimTable>,
+    /// Code-level aggregation layout: each group column's values over the
+    /// filtered dimension rows are interned into a local dictionary
+    /// (`group_row_codes[gi][dim_row]` is the code), so even the row-style
+    /// pipeline aggregates on composed integer ids and decodes each group
+    /// once at finish. `None` only when the composed domain overflows
+    /// `u64`.
+    layout: Option<GroupLayout>,
+    /// Per group column: filtered-dimension-row → code (aligned with the
+    /// layout's decoders).
+    group_row_codes: Vec<Vec<u32>>,
 }
 
 fn build_plan<'q>(db: &CStoreDb, q: &'q SsbQuery, io: &IoSession) -> RowPlan<'q> {
@@ -80,24 +90,64 @@ fn build_plan<'q>(db: &CStoreDb, q: &'q SsbQuery, io: &IoSession) -> RowPlan<'q>
         fact_columns.iter().map(|c| decode_all(db.fact.column(c), io)).collect();
     let col_of: HashMap<&str, usize> =
         fact_columns.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let dims: HashMap<Dim, DimTable> =
+        q.touched_dims().into_iter().map(|d| (d, build_dim_table(db, q, d, io))).collect();
+    let mut cols = Vec::with_capacity(q.group_by.len());
+    let mut group_row_codes = Vec::with_capacity(q.group_by.len());
+    for (gi, g) in q.group_by.iter().enumerate() {
+        let table = &dims[&g.dim];
+        let offset = q.group_by.iter().take(gi).filter(|g2| g2.dim == g.dim).count();
+        // Intern the column's distinct values across the filtered dimension
+        // rows: many rows share one group value (every Chinese customer is
+        // one "CHINA" group), so codes must be value-level, not row-level.
+        let (codes, values) =
+            crate::agg::intern_values(table.group_rows.iter().map(|r| &r[offset]));
+        cols.push((values.len().max(1) as u64, CodeDecoder::Values(values)));
+        group_row_codes.push(codes);
+    }
+    let layout = if crate::agg::value_keyed_forced() { None } else { GroupLayout::try_new(cols) };
     RowPlan {
         decoded,
         pred_idx: q.fact_predicates.iter().map(|p| (col_of[p.column], &p.pred)).collect(),
         fk_idx: q.touched_dims().into_iter().map(|d| (d, col_of[d.fact_fk_column()])).collect(),
         agg_idx: q.aggregate.fact_columns().iter().map(|c| col_of[c]).collect(),
         group_dim_order: q.group_by.iter().map(|g| g.dim).collect(),
-        dims: q.touched_dims().into_iter().map(|d| (d, build_dim_table(db, q, d, io))).collect(),
+        dims,
+        layout,
+        group_row_codes,
+    }
+}
+
+impl RowPlan<'_> {
+    fn new_partial(&self) -> AggPartial {
+        match &self.layout {
+            Some(layout) => AggPartial::Code(CodeGrouper::for_layout(layout)),
+            None => AggPartial::Value(Grouper::new()),
+        }
+    }
+
+    fn finish(&self, partial: AggPartial, q: &SsbQuery) -> QueryOutput {
+        match (partial, &self.layout) {
+            (AggPartial::Code(g), Some(layout)) => g.finish(layout, q),
+            (AggPartial::Value(g), None) => g.finish(q),
+            _ => unreachable!("partial matches the plan's layout"),
+        }
     }
 }
 
 /// The row pipeline over fact rows `[start, end)`: construct a tuple per
-/// row, then filter/join/aggregate into a (partial) [`Grouper`]. Pure CPU —
+/// row, then filter/join/aggregate into a partial [`AggPartial`]. Pure CPU —
 /// serial execution runs it once over `[0, n)`, parallel execution once per
 /// morsel. In tuple-at-a-time mode every value access goes through a boxed
 /// per-column iterator (the `getNext` interface); in block mode tuples are
 /// stitched by direct indexing.
-fn run_rows(plan: &RowPlan<'_>, q: &SsbQuery, cfg: EngineConfig, range: Range<usize>) -> Grouper {
-    let mut grouper = Grouper::new();
+fn run_rows(
+    plan: &RowPlan<'_>,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    range: Range<usize>,
+) -> AggPartial {
+    let mut partial = plan.new_partial();
     let mut inputs = vec![0i64; plan.agg_idx.len()];
     if cfg.block_iteration {
         'rows: for i in range {
@@ -105,16 +155,7 @@ fn run_rows(plan: &RowPlan<'_>, q: &SsbQuery, cfg: EngineConfig, range: Range<us
             if !process_tuple(&tuple, &plan.pred_idx, &plan.fk_idx, &plan.dims) {
                 continue 'rows;
             }
-            accumulate(
-                &tuple,
-                q,
-                &plan.fk_idx,
-                &plan.dims,
-                &plan.group_dim_order,
-                &plan.agg_idx,
-                &mut inputs,
-                &mut grouper,
-            );
+            accumulate(&tuple, q, plan, &mut inputs, &mut partial);
         }
     } else {
         let mut sources: Vec<Box<dyn Iterator<Item = &Value>>> = plan
@@ -130,25 +171,17 @@ fn run_rows(plan: &RowPlan<'_>, q: &SsbQuery, cfg: EngineConfig, range: Range<us
             if !process_tuple(&tuple, &plan.pred_idx, &plan.fk_idx, &plan.dims) {
                 continue 'rows2;
             }
-            accumulate(
-                &tuple,
-                q,
-                &plan.fk_idx,
-                &plan.dims,
-                &plan.group_dim_order,
-                &plan.agg_idx,
-                &mut inputs,
-                &mut grouper,
-            );
+            accumulate(&tuple, q, plan, &mut inputs, &mut partial);
         }
     }
-    grouper
+    partial
 }
 
 /// Execute `q` with early materialization.
 pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -> QueryOutput {
     let plan = build_plan(db, q, io);
-    run_rows(&plan, q, cfg, 0..db.fact_rows()).finish(q)
+    let partial = run_rows(&plan, q, cfg, 0..db.fact_rows());
+    plan.finish(partial, q)
 }
 
 /// Execute `q` with early materialization across `par.threads` morsel
@@ -174,11 +207,11 @@ pub fn execute_par(
     let partials = run_morsels(db.fact_rows() as u32, par, |_, range| {
         run_rows(&plan, q, cfg, range.start as usize..range.end as usize)
     });
-    let mut grouper = Grouper::new();
+    let mut merged = plan.new_partial();
     for partial in partials {
-        grouper.merge(partial);
+        merged.merge(partial);
     }
-    grouper.finish(q)
+    plan.finish(merged, q)
 }
 
 /// Predicate + join filtering for one constructed tuple.
@@ -202,30 +235,42 @@ fn process_tuple(
     true
 }
 
-#[allow(clippy::too_many_arguments)]
 fn accumulate(
     tuple: &[Value],
     q: &SsbQuery,
-    fk_idx: &[(Dim, usize)],
-    dims: &HashMap<Dim, DimTable>,
-    group_dim_order: &[Dim],
-    agg_idx: &[usize],
+    plan: &RowPlan<'_>,
     inputs: &mut [i64],
-    grouper: &mut Grouper,
+    partial: &mut AggPartial,
 ) {
-    let mut key = Vec::with_capacity(q.group_by.len());
-    for (gi, &dim) in group_dim_order.iter().enumerate() {
-        let (_, fk_col) = fk_idx.iter().find(|(d, _)| *d == dim).expect("dim touched");
-        let table = &dims[&dim];
-        let row = table.map.get(tuple[*fk_col].as_int()).expect("join checked");
-        // Offset of this group column within the dim's stored group row.
-        let offset = q.group_by.iter().take(gi).filter(|g2| g2.dim == dim).count();
-        key.push(table.group_rows[row as usize][offset].clone());
-    }
-    for (j, idx) in agg_idx.iter().enumerate() {
+    for (j, idx) in plan.agg_idx.iter().enumerate() {
         inputs[j] = tuple[*idx].as_int();
     }
-    grouper.add(key, q.aggregate.term(inputs));
+    match partial {
+        AggPartial::Code(g) => {
+            // Group columns code through the interned per-dimension-row
+            // tables; no value clones, no per-row key vector.
+            let mut id = 0u64;
+            for (gi, &dim) in plan.group_dim_order.iter().enumerate() {
+                let (_, fk_col) = plan.fk_idx.iter().find(|(d, _)| *d == dim).expect("dim touched");
+                let row = plan.dims[&dim].map.get(tuple[*fk_col].as_int()).expect("join checked");
+                id = id * g.radix(gi) + plan.group_row_codes[gi][row as usize] as u64;
+            }
+            g.add(id, q.aggregate.term(inputs));
+        }
+        AggPartial::Value(grouper) => {
+            let mut key = Vec::with_capacity(q.group_by.len());
+            for (gi, &dim) in plan.group_dim_order.iter().enumerate() {
+                let (_, fk_col) = plan.fk_idx.iter().find(|(d, _)| *d == dim).expect("dim touched");
+                let table = &plan.dims[&dim];
+                let row = table.map.get(tuple[*fk_col].as_int()).expect("join checked");
+                // Offset of this group column within the dim's stored group
+                // row.
+                let offset = q.group_by.iter().take(gi).filter(|g2| g2.dim == dim).count();
+                key.push(table.group_rows[row as usize][offset].clone());
+            }
+            grouper.add(key, q.aggregate.term(inputs));
+        }
+    }
 }
 
 #[cfg(test)]

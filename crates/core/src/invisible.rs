@@ -19,9 +19,9 @@
 //!    look-up"); DATE's non-dense `yyyymmdd` keys take the hash-join
 //!    fallback the paper describes.
 
-use crate::agg::Grouper;
+use crate::agg::{AggStrategy, GroupData};
 use crate::config::EngineConfig;
-use crate::extract::{extract_at, gather_ints};
+use crate::extract::gather_ints;
 use crate::morsel::{intersect_ascending, run_morsels, Parallelism};
 use crate::poslist::PosList;
 use crate::projection::CStoreDb;
@@ -29,7 +29,6 @@ use crate::scan::{scan_int, scan_int_range, scan_pred, scan_pred_range, IntScanP
 use cvr_data::queries::SsbQuery;
 use cvr_data::result::QueryOutput;
 use cvr_data::schema::Dim;
-use cvr_data::value::Value;
 use cvr_index::hashidx::{IntHashMap, IntHashSet};
 use cvr_storage::io::IoSession;
 
@@ -202,10 +201,13 @@ pub fn execute_opts(
     }
     let pos = pos.unwrap_or_else(|| PosList::all(n));
 
-    // Phase 3: dimension attribute extraction at the final position list.
-    let mut group_cols: Vec<Vec<Value>> = Vec::with_capacity(q.group_by.len());
+    // Phase 3: dimension attribute extraction at the final position list —
+    // as codes when every group column has a code space (see
+    // [`AggStrategy`]), so no strings are materialized per row.
+    let strat = AggStrategy::for_query(db, q);
+    let mut group_cols: Vec<GroupData> = Vec::with_capacity(q.group_by.len());
     let mut fk_cache: std::collections::HashMap<Dim, Vec<u32>> = std::collections::HashMap::new();
-    for g in &q.group_by {
+    for (gi, g) in q.group_by.iter().enumerate() {
         let dim = g.dim;
         fk_cache.entry(dim).or_insert_with(|| {
             let fk_col = db.fact.column(dim.fact_fk_column());
@@ -227,27 +229,19 @@ pub fn execute_opts(
         });
         let dim_positions = &fk_cache[&dim];
         let col = db.dim(dim).store.column(g.column);
-        group_cols.push(extract_at(col, dim_positions, io));
+        group_cols.push(strat.extract_group_at(gi, col, dim_positions, io));
     }
 
-    // Measures at the final positions; aggregate.
+    // Measures at the final positions; aggregate on group ids.
     let measure_cols: Vec<Vec<i64>> = q
         .aggregate
         .fact_columns()
         .iter()
         .map(|c| gather_ints(db.fact.column(c), &pos, io))
         .collect();
-    let count = pos.count() as usize;
-    let mut grouper = Grouper::new();
-    let mut inputs = vec![0i64; measure_cols.len()];
-    for i in 0..count {
-        for (j, m) in measure_cols.iter().enumerate() {
-            inputs[j] = m[i];
-        }
-        let key: Vec<Value> = group_cols.iter().map(|gc| gc[i].clone()).collect();
-        grouper.add(key, q.aggregate.term(&inputs));
-    }
-    grouper.finish(q)
+    let mut partial = strat.new_partial();
+    partial.add_rows(q, &group_cols, &measure_cols, pos.count() as usize);
+    strat.finish(partial, q)
 }
 
 /// Execute `q` with the invisible join across `par.threads` morsel workers.
@@ -310,6 +304,11 @@ pub fn execute_par(
         }
     }
 
+    // The aggregation strategy is derived from column-header metadata only
+    // (no charges) and shared read-only, so every morsel extracts codes in
+    // the same global code spaces.
+    let strat = AggStrategy::for_query(db, q);
+
     let pool = io.pool().clone();
     let results = run_morsels(n, par, |_, range| {
         let rio = IoSession::recording(pool.clone());
@@ -339,11 +338,11 @@ pub fn execute_par(
         let pos = PosList::explicit(pos.unwrap_or_else(|| range.collect()), n);
 
         // Phase 3 over this morsel: minimal out-of-order extraction at the
-        // surviving positions, then partial aggregation.
-        let mut group_cols: Vec<Vec<Value>> = Vec::with_capacity(q.group_by.len());
+        // surviving positions, then partial aggregation on group ids.
+        let mut group_cols: Vec<GroupData> = Vec::with_capacity(q.group_by.len());
         let mut fk_cache: std::collections::HashMap<Dim, Vec<u32>> =
             std::collections::HashMap::new();
-        for g in &q.group_by {
+        for (gi, g) in q.group_by.iter().enumerate() {
             let dim = g.dim;
             fk_cache.entry(dim).or_insert_with(|| {
                 let fk_col = db.fact.column(dim.fact_fk_column());
@@ -357,7 +356,7 @@ pub fn execute_par(
             });
             let dim_positions = &fk_cache[&dim];
             let col = db.dim(dim).store.column(g.column);
-            group_cols.push(extract_at(col, dim_positions, &rio));
+            group_cols.push(strat.extract_group_at(gi, col, dim_positions, &rio));
         }
 
         let measure_cols: Vec<Vec<i64>> = q
@@ -366,29 +365,22 @@ pub fn execute_par(
             .iter()
             .map(|c| gather_ints(db.fact.column(c), &pos, &rio))
             .collect();
-        let mut grouper = Grouper::new();
-        let mut inputs = vec![0i64; measure_cols.len()];
-        for i in 0..pos.count() as usize {
-            for (j, m) in measure_cols.iter().enumerate() {
-                inputs[j] = m[i];
-            }
-            let key: Vec<Value> = group_cols.iter().map(|gc| gc[i].clone()).collect();
-            grouper.add(key, q.aggregate.term(&inputs));
-        }
-        (rio.take_log(), grouper)
+        let mut partial = strat.new_partial();
+        partial.add_rows(q, &group_cols, &measure_cols, pos.count() as usize);
+        (rio.take_log(), partial)
     });
 
     // Deterministic merge: partial aggregates fold in morsel order, and the
     // per-morsel I/O logs replay op-major, reconstructing the serial plan's
     // charge order (see `IoSession::replay_interleaved`).
-    let mut grouper = Grouper::new();
+    let mut merged = strat.new_partial();
     let mut logs = Vec::with_capacity(results.len());
     for (log, partial) in results {
         logs.push(log);
-        grouper.merge(partial);
+        merged.merge(partial);
     }
     io.replay_interleaved(&logs);
-    grouper.finish(q)
+    strat.finish(merged, q)
 }
 
 #[cfg(test)]

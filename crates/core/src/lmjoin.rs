@@ -18,9 +18,9 @@
 //!   so far"), and the extraction order is whatever the join produced,
 //!   "which can have significant cost".
 
-use crate::agg::Grouper;
+use crate::agg::{AggStrategy, GroupData};
 use crate::config::EngineConfig;
-use crate::extract::{extract_at, gather_ints};
+use crate::extract::gather_ints;
 use crate::morsel::{intersect_ascending, run_morsels, Parallelism};
 use crate::poslist::PosList;
 use crate::projection::CStoreDb;
@@ -28,7 +28,6 @@ use crate::scan::{scan_pred, scan_pred_range};
 use cvr_data::queries::SsbQuery;
 use cvr_data::result::QueryOutput;
 use cvr_data::schema::Dim;
-use cvr_data::value::Value;
 use cvr_index::hashidx::IntHashMap;
 use cvr_storage::encode::IntColumn;
 use cvr_storage::io::IoSession;
@@ -193,6 +192,8 @@ fn probe_full_scan(
 
 /// Execute `q` with late-materialized hash joins (invisible join disabled).
 pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -> QueryOutput {
+    let strat = AggStrategy::for_query(db, q);
+
     // Fact-column predicates first (flight 1): ordinary column scans.
     let mut pos: Option<Vec<u32>> = None;
     for p in &q.fact_predicates {
@@ -206,8 +207,10 @@ pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -
         });
     }
 
-    // Aligned group-value arrays, filled as each dimension joins.
-    let mut group_vals: Vec<Option<Vec<Value>>> = vec![None; q.group_by.len()];
+    // Aligned group arrays (codes or values), filled as each dimension
+    // joins.
+    let mut group_vals: Vec<Option<GroupData>> = Vec::new();
+    group_vals.resize_with(q.group_by.len(), || None);
 
     // Restricted dimensions, most selective first.
     for dim in restricted_in_order(db, q) {
@@ -233,12 +236,7 @@ pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -
                 }
                 // Compact previously-extracted arrays to stay aligned.
                 for slot in group_vals.iter_mut().flatten() {
-                    let mut j = 0;
-                    slot.retain(|_| {
-                        let k = keep[j];
-                        j += 1;
-                        k
-                    });
+                    slot.retain_marked(&keep);
                 }
                 (new_pos, dim_positions)
             }
@@ -247,7 +245,7 @@ pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -
         for (gi, g) in q.group_by.iter().enumerate() {
             if g.dim == dim {
                 let col = db.dim(dim).store.column(g.column);
-                group_vals[gi] = Some(extract_at(col, &dim_positions, io));
+                group_vals[gi] = Some(strat.extract_group_at(gi, col, &dim_positions, io));
             }
         }
         pos = Some(new_pos);
@@ -274,30 +272,22 @@ pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -
             fks.into_iter().map(|k| map.get(k).expect("FK joins dimension")).collect();
         for gi in missing {
             let col = db.dim(dim).store.column(q.group_by[gi].column);
-            group_vals[gi] = Some(extract_at(col, &dim_positions, io));
+            group_vals[gi] = Some(strat.extract_group_at(gi, col, &dim_positions, io));
         }
     }
 
-    // Measures + aggregation.
+    // Measures + aggregation on group ids.
     let measure_cols: Vec<Vec<i64>> = q
         .aggregate
         .fact_columns()
         .iter()
         .map(|c| gather_ints(db.fact.column(c), &pl, io))
         .collect();
-    let mut grouper = Grouper::new();
-    let mut inputs = vec![0i64; measure_cols.len()];
-    for i in 0..pos.len() {
-        for (j, m) in measure_cols.iter().enumerate() {
-            inputs[j] = m[i];
-        }
-        let key: Vec<Value> = group_vals
-            .iter()
-            .map(|v| v.as_ref().expect("all group columns extracted")[i].clone())
-            .collect();
-        grouper.add(key, q.aggregate.term(&inputs));
-    }
-    grouper.finish(q)
+    let group_cols: Vec<GroupData> =
+        group_vals.into_iter().map(|v| v.expect("all group columns extracted")).collect();
+    let mut partial = strat.new_partial();
+    partial.add_rows(q, &group_cols, &measure_cols, pos.len());
+    strat.finish(partial, q)
 }
 
 /// Execute `q` with late-materialized hash joins across `par.threads`
@@ -337,6 +327,9 @@ pub fn execute_par(
         }
     }
 
+    // Shared read-only aggregation strategy: metadata only, no charges.
+    let strat = AggStrategy::for_query(db, q);
+
     let pool = io.pool().clone();
     let results = run_morsels(n, par, |_, range| {
         let rio = IoSession::recording(pool.clone());
@@ -356,7 +349,8 @@ pub fn execute_par(
         // Restricted dimensions, most selective first, with eager
         // out-of-order extraction — the morsel-local copy of the serial
         // pipeline.
-        let mut group_vals: Vec<Option<Vec<Value>>> = vec![None; q.group_by.len()];
+        let mut group_vals: Vec<Option<GroupData>> = Vec::new();
+        group_vals.resize_with(q.group_by.len(), || None);
         for dim in &order {
             let map = &maps[dim];
             let (new_pos, dim_positions) = match pos {
@@ -379,12 +373,7 @@ pub fn execute_par(
                         }
                     }
                     for slot in group_vals.iter_mut().flatten() {
-                        let mut j = 0;
-                        slot.retain(|_| {
-                            let k = keep[j];
-                            j += 1;
-                            k
-                        });
+                        slot.retain_marked(&keep);
                     }
                     (new_pos, dim_positions)
                 }
@@ -392,7 +381,7 @@ pub fn execute_par(
             for (gi, g) in q.group_by.iter().enumerate() {
                 if g.dim == *dim {
                     let col = db.dim(*dim).store.column(g.column);
-                    group_vals[gi] = Some(extract_at(col, &dim_positions, &rio));
+                    group_vals[gi] = Some(strat.extract_group_at(gi, col, &dim_positions, &rio));
                 }
             }
             pos = Some(new_pos);
@@ -419,43 +408,35 @@ pub fn execute_par(
                 fks.into_iter().map(|k| map.get(k).expect("FK joins dimension")).collect();
             for gi in missing {
                 let col = db.dim(dim).store.column(q.group_by[gi].column);
-                group_vals[gi] = Some(extract_at(col, &dim_positions, &rio));
+                group_vals[gi] = Some(strat.extract_group_at(gi, col, &dim_positions, &rio));
             }
         }
 
-        // Measures + partial aggregation.
+        // Measures + partial aggregation on group ids.
         let measure_cols: Vec<Vec<i64>> = q
             .aggregate
             .fact_columns()
             .iter()
             .map(|c| gather_ints(db.fact.column(c), &pl, &rio))
             .collect();
-        let mut grouper = Grouper::new();
-        let mut inputs = vec![0i64; measure_cols.len()];
-        for i in 0..pos.len() {
-            for (j, m) in measure_cols.iter().enumerate() {
-                inputs[j] = m[i];
-            }
-            let key: Vec<Value> = group_vals
-                .iter()
-                .map(|v| v.as_ref().expect("all group columns extracted")[i].clone())
-                .collect();
-            grouper.add(key, q.aggregate.term(&inputs));
-        }
-        (rio.take_log(), grouper)
+        let group_cols: Vec<GroupData> =
+            group_vals.into_iter().map(|v| v.expect("all group columns extracted")).collect();
+        let mut partial = strat.new_partial();
+        partial.add_rows(q, &group_cols, &measure_cols, pos.len());
+        (rio.take_log(), partial)
     });
 
     // Partial aggregates fold in morsel order; I/O logs replay op-major,
     // reconstructing the serial plan's charge order (see
     // `IoSession::replay_interleaved`).
-    let mut grouper = Grouper::new();
+    let mut merged = strat.new_partial();
     let mut logs = Vec::with_capacity(results.len());
     for (log, partial) in results {
         logs.push(log);
-        grouper.merge(partial);
+        merged.merge(partial);
     }
     io.replay_interleaved(&logs);
-    grouper.finish(q)
+    strat.finish(merged, q)
 }
 
 #[cfg(test)]

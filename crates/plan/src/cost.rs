@@ -45,8 +45,16 @@ pub struct CpuRates {
     pub row_tuple: f64,
     /// One row-engine hash-join probe (tuple clone + table lookup).
     pub row_join_probe: f64,
-    /// One aggregated row (group-key clone + hash update).
+    /// One aggregated row through the Value-keyed reference grouper
+    /// (group-key vector allocation + clones + hash update) — the row
+    /// engine's tail, and the column engines' only when a group column has
+    /// no code space.
     pub agg_row: f64,
+    /// One aggregated row through the code-level aggregator (compose a
+    /// `u64` group id from extracted codes, bump a direct slot or `u64`
+    /// hash entry) — the column engines' tail. Recalibratable from
+    /// `BENCH_agg.json`.
+    pub agg_code_row: f64,
     /// One `Value` clone during early-materialization tuple stitching.
     pub value_clone: f64,
     /// One B+Tree leaf entry scanned (index-only plans).
@@ -76,6 +84,7 @@ impl Default for CpuRates {
             row_tuple: 1.5e-7,
             row_join_probe: 1.2e-7,
             agg_row: 6.0e-8,
+            agg_code_row: 4.0e-9,
             value_clone: 1.5e-8,
             index_entry: 1.5e-7,
             poslist_touch: 1.5e-8,
@@ -130,6 +139,42 @@ impl CpuRates {
         })
     }
 
+    /// Recalibrate the aggregation-tail rates from a `BENCH_agg.json`
+    /// emitted by `cvr-bench --bin agg` on this machine: `agg_row` from the
+    /// measured Value-keyed grouper, `agg_code_row` from the code-level
+    /// aggregator, each averaged across the report's cells. Returns `None`
+    /// when the string does not look like an agg report.
+    pub fn from_agg_bench_json(json: &str) -> Option<CpuRates> {
+        if !json.contains("\"bench\": \"agg\"") {
+            return None;
+        }
+        let mut value = Vec::new();
+        let mut code = Vec::new();
+        for line in json.lines() {
+            let grab = |key: &str| -> Option<f64> {
+                let at = line.find(key)? + key.len();
+                let rest = &line[at..];
+                let end = rest.find([',', '}'])?;
+                rest[..end].trim().parse().ok()
+            };
+            if let Some(v) = grab("\"value_ns_per_row\":") {
+                value.push(v);
+            }
+            if let Some(v) = grab("\"code_ns_per_row\":") {
+                code.push(v);
+            }
+        }
+        if value.is_empty() || code.is_empty() {
+            return None;
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        Some(CpuRates {
+            agg_row: mean(&value) * 1e-9,
+            agg_code_row: mean(&code) * 1e-9,
+            ..CpuRates::default()
+        })
+    }
+
     /// Quick in-process calibration of the two rates that vary most across
     /// machines: the scalar block kernel and the tuple-at-a-time interface.
     /// Deterministic work, wall-clock measured; everything else scales from
@@ -172,6 +217,7 @@ impl CpuRates {
             row_tuple: d.row_tuple * scale,
             row_join_probe: d.row_join_probe * scale,
             agg_row: d.agg_row * scale,
+            agg_code_row: d.agg_code_row * scale,
             value_clone: d.value_clone * scale,
             index_entry: d.index_entry * scale,
             poslist_touch: d.poslist_touch * scale,
@@ -366,5 +412,23 @@ mod tests {
         assert!(r.scalar_value > 0.0);
         assert!(r.tuple_value >= r.scalar_value);
         assert!(r.row_tuple > r.scalar_value);
+        assert!(r.agg_code_row < r.agg_row, "code-level tail must model cheaper");
+    }
+
+    #[test]
+    fn agg_json_recalibration() {
+        let json = r#"{
+  "bench": "agg",
+  "results": [
+    {"cell": "Q2.1", "rows": 1000, "groups": 70, "value_ns_per_row": 80.0, "code_ns_per_row": 5.0, "speedup": 16.0},
+    {"cell": "Q3.1", "rows": 1000, "groups": 150, "value_ns_per_row": 120.0, "code_ns_per_row": 7.0, "speedup": 17.1}
+  ]
+}"#;
+        let rates = CpuRates::from_agg_bench_json(json).expect("parses");
+        assert!((rates.agg_row - 100.0e-9).abs() < 1e-12);
+        assert!((rates.agg_code_row - 6.0e-9).abs() < 1e-12);
+        assert!(CpuRates::from_agg_bench_json("{}").is_none());
+        // The kernels parser must not eat agg reports and vice versa.
+        assert!(CpuRates::from_kernel_bench_json(json).is_none());
     }
 }

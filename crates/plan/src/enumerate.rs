@@ -475,16 +475,35 @@ impl Planner {
             let dstats = self.catalog.dim(g.dim);
             let col = dstats.column(g.column);
             let rows = dstats.rows;
+            // Group columns extract as dictionary/FoR *codes* (no value
+            // clones); the gather itself is priced inside gather_col.
             c.add(self.gather_col(col, compressed, k.min(rows), rows, 1.0, ws));
-            c.cpu_seconds += k as f64 * r.value_clone;
         }
         for m in q.aggregate.fact_columns() {
             let col = self.catalog.fact.column(m);
             c.add(self.gather_col(col, compressed, k, n, span, ws));
         }
-        c.cpu_seconds += k as f64 * (r.agg_row + q.group_by.len() as f64 * r.value_clone);
+        // The aggregation tail. Code-level (compose a u64 group id per
+        // row, bump a direct slot / u64 hash entry — recalibratable from
+        // BENCH_agg.json) whenever every group column has a code space:
+        // integer columns always, string columns only when dictionary-
+        // encoded. Plain-string group columns fall back to the Value-keyed
+        // grouper, which pays a key clone per row on top of the Value
+        // extraction clones. Group decoding happens once per group, which
+        // is noise next to the per-row terms.
+        let code_level = q.group_by.iter().all(|g| {
+            let cs = self.catalog.dim(g.dim).column(g.column);
+            let is_int = cs.histogram.is_some();
+            is_int || (compressed && cs.encoding == EncodingKind::Dict)
+        });
+        c.cpu_seconds += if code_level {
+            k as f64 * r.agg_code_row
+        } else {
+            k as f64 * (r.agg_row + 2.0 * q.group_by.len() as f64 * r.value_clone)
+        };
         explain.push(format!(
-            "extract+aggregate: {} group col(s), {} measure(s) at ~{k} positions",
+            "extract+aggregate ({}): {} group col(s), {} measure(s) at ~{k} positions",
+            if code_level { "code-level" } else { "value-keyed" },
             q.group_by.len(),
             q.aggregate.fact_columns().len()
         ));
@@ -645,8 +664,9 @@ impl Planner {
                     * (width * r.value_clone
                         + q.touched_dims().len() as f64 * r.hash_probe
                         + q.fact_predicates.len() as f64 * r.scalar_value);
-                c.cpu_seconds +=
-                    k_final as f64 * (r.agg_row + q.group_by.len() as f64 * r.value_clone);
+                // Even the row-style pipeline aggregates on composed group
+                // ids now (interned per-dimension-row codes).
+                c.cpu_seconds += k_final as f64 * r.agg_code_row;
                 explain.push(format!("row-style pipeline over {n} tuples → ~{k_final} aggregated"));
             }
         }

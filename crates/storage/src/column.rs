@@ -25,12 +25,32 @@ pub struct StoredColumn {
     /// The encoded payload.
     pub column: Column,
     file: FileId,
+    /// Lazily computed zone-map bounds (see
+    /// [`StoredColumn::int_code_bounds`]): the column is immutable, so the
+    /// value sweep for plain/RLE integers runs at most once per column, not
+    /// once per query.
+    code_bounds: std::sync::OnceLock<Option<(i64, u64)>>,
 }
 
 impl StoredColumn {
     /// Wrap an encoded column under `name`.
     pub fn new(name: impl Into<String>, column: Column) -> StoredColumn {
-        StoredColumn { name: name.into(), column, file: FileId::fresh() }
+        StoredColumn {
+            name: name.into(),
+            column,
+            file: FileId::fresh(),
+            code_bounds: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Cached [`IntColumn::code_bounds`] of an integer column (`None` for
+    /// string columns) — the zone-map header a real store keeps next to
+    /// the data, computed once per column.
+    pub fn int_code_bounds(&self) -> Option<(i64, u64)> {
+        *self.code_bounds.get_or_init(|| match &self.column {
+            Column::Int(int) => int.code_bounds(),
+            Column::Str(_) => None,
+        })
     }
 
     /// On-disk bytes.

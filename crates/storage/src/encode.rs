@@ -230,6 +230,33 @@ impl IntColumn {
         matches!(self, IntColumn::Rle { .. })
     }
 
+    /// Code-level access metadata: `(reference, domain)` such that every
+    /// stored value `v` satisfies `0 <= v - reference < domain`, and codes
+    /// `(v - reference) as u32` are dense enough to index. This is column
+    /// *header* metadata — `Packed` carries it by construction, `Rle` derives
+    /// it from its (in-memory) run directory, `Plain` from a value sweep —
+    /// the zone-map any real column store keeps next to the data. Returns
+    /// `None` for empty columns or value ranges wider than `u32`.
+    pub fn code_bounds(&self) -> Option<(i64, u64)> {
+        let (min, max) = match self {
+            IntColumn::Packed { reference, packed } => {
+                return Some((*reference, packed.max_code() + 1));
+            }
+            IntColumn::Plain { values, .. } => {
+                let (&first, rest) = values.split_first()?;
+                rest.iter().fold((first, first), |(lo, hi), &v| (lo.min(v), hi.max(v)))
+            }
+            IntColumn::Rle { runs, .. } => {
+                let (first, rest) = runs.split_first()?;
+                rest.iter().fold((first.value, first.value), |(lo, hi), r| {
+                    (lo.min(r.value), hi.max(r.value))
+                })
+            }
+        };
+        let domain = (max as i128 - min as i128) as u128 + 1;
+        (domain <= u32::MAX as u128 + 1).then_some((min, domain as u64))
+    }
+
     /// True for the frame-of-reference bit-packed variant.
     pub fn is_packed(&self) -> bool {
         matches!(self, IntColumn::Packed { .. })
@@ -362,6 +389,17 @@ impl StrColumn {
     /// True for the dictionary variant.
     pub fn is_dict(&self) -> bool {
         matches!(self, StrColumn::Dict { .. })
+    }
+
+    /// Dictionary code at `pos` (panics on plain columns) — the code-level
+    /// access path: group-by and join machinery can work on these `u32`
+    /// codes and decode through the dictionary once at the very end.
+    #[inline]
+    pub fn code_at(&self, pos: u32) -> u32 {
+        match self {
+            StrColumn::Dict { codes, .. } => codes.get(pos) as u32,
+            StrColumn::Plain { .. } => panic!("code_at() on plain column"),
+        }
     }
 
     /// Dictionary + packed codes accessors (panics on plain).
@@ -625,6 +663,38 @@ mod tests {
         let sdata = ColumnData::Str((0..1000).map(|i| format!("x{}", i % 3)).collect());
         assert!(Column::encode(&sdata, true).as_str().is_dict());
         assert!(!Column::encode(&sdata, false).as_str().is_dict());
+    }
+
+    #[test]
+    fn code_bounds_per_encoding() {
+        let vals = vec![1993i64, 1992, 1998, 1992];
+        assert_eq!(IntColumn::plain(vals.clone()).code_bounds(), Some((1992, 7)));
+        let rle = IntColumn::rle(&[5, 5, 5, 9, 9, 2]);
+        assert_eq!(rle.code_bounds(), Some((2, 8)));
+        let packed = IntColumn::packed(&vals).unwrap();
+        let (reference, domain) = packed.code_bounds().unwrap();
+        assert_eq!(reference, 1992);
+        assert!(domain >= 7, "packed domain must cover the delta range");
+        for (i, &v) in vals.iter().enumerate() {
+            let code = (packed.value_at(i as u32) - reference) as u64;
+            assert!(code < domain);
+            assert_eq!(reference + code as i64, v);
+        }
+        // Empty and over-wide ranges have no code space.
+        assert_eq!(IntColumn::plain(vec![]).code_bounds(), None);
+        assert_eq!(IntColumn::rle(&[]).code_bounds(), None);
+        assert_eq!(IntColumn::plain(vec![0, 1 << 40]).code_bounds(), None);
+        assert_eq!(IntColumn::plain(vec![i64::MIN, i64::MAX]).code_bounds(), None);
+    }
+
+    #[test]
+    fn str_code_at_matches_dict_lookup() {
+        let vals: Vec<String> = (0..40).map(|i| format!("v{}", i % 7)).collect();
+        let col = StrColumn::dict(&vals);
+        let (dict, _) = col.dict_parts();
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(&*dict[col.code_at(i as u32) as usize], v.as_str());
+        }
     }
 
     #[test]

@@ -193,6 +193,78 @@ fn packed_encodings_run_through_the_grid() {
 }
 
 #[test]
+fn code_level_aggregation_is_engaged_and_byte_identical() {
+    // The thread-count and plan-shape grids above only prove the code-level
+    // aggregator correct if it is actually the path taken. Pin the strategy
+    // choice: on every grid dataset's *compressed* store, all 13 paper
+    // queries and 30 generated queries must aggregate on composed group ids
+    // (every group column is a sorted dictionary or bounded-integer column
+    // there), and the uncompressed store must fall back to the Value-keyed
+    // reference exactly for queries grouping by a plain string column. Then
+    // confirm byte-identity of both stores against the reference across
+    // thread counts {1, 2, 4, 8} for a grouped flight-2 and flight-3 query
+    // — the representative shapes the aggregation tail dominates.
+    use cvr::core::agg::AggStrategy;
+    use cvr::core::CStoreDb;
+
+    // Engagement at the benchmark scale: sf 0.02 is where every dimension
+    // group column compresses to a dictionary or bounded-integer encoding
+    // (at tiny scale factors near-unique brand/city strings stay plain, and
+    // the honest answer is the fallback).
+    {
+        let tables = Arc::new(SsbConfig { sf: 0.02, seed: 7 }.generate());
+        let compressed = CStoreDb::build(tables, true);
+        let mut queries = all_queries();
+        queries.extend(WorkloadConfig { seed: 11, count: 30 }.generate());
+        for q in &queries {
+            assert!(
+                AggStrategy::for_query(&compressed, q).is_code_level(),
+                "{}: compressed store must aggregate on dictionary/FoR codes",
+                q.id
+            );
+        }
+    }
+
+    for tables in datasets().into_iter().take(2) {
+        let engine = ColumnEngine::new(tables.clone());
+        let compressed = engine.db(EngineConfig::FULL);
+        let plain = engine.db(EngineConfig::parse("tIcL"));
+        for q in all_queries() {
+            // Strategy choice is exactly "every group column has a code
+            // space", on both stores.
+            for db in [compressed, plain] {
+                let all_coded = q.group_by.iter().all(|g| {
+                    cvr::core::extract::CodeSpace::of(db.dim(g.dim).store.column(g.column))
+                        .is_some()
+                });
+                assert_eq!(
+                    AggStrategy::for_query(db, &q).is_code_level(),
+                    all_coded,
+                    "{}: strategy must track the group columns' code spaces",
+                    q.id
+                );
+            }
+        }
+        for q in [cvr::data::queries::query(2, 1), cvr::data::queries::query(3, 1)] {
+            let expected = reference::evaluate(&tables, &q);
+            for code in ["tICL", "tIcL"] {
+                let cfg = EngineConfig::parse(code);
+                for threads in [1, 2, 4, 8] {
+                    let io = IoSession::unmetered();
+                    let par = Parallelism { threads, morsel_rows: 512 };
+                    assert_eq!(
+                        engine.execute_with(&q, cfg, par, &io),
+                        expected,
+                        "{code} {} at {threads} threads",
+                        q.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn planner_picked_plans_are_byte_identical_to_hand_picked() {
     // The cost-based planner's `execute_planned` entry points must be
     // *transparent*: whatever configuration and fact-predicate order the
