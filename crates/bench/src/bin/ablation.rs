@@ -15,24 +15,27 @@
 //! ```
 
 use cvr_bench::{paper, Harness, HarnessArgs, Measurement};
-use cvr_core::invisible::{execute_opts, InvisibleOptions};
-use cvr_core::{CStoreDb, EngineConfig};
+use cvr_core::invisible::InvisibleOptions;
+use cvr_core::morsel::Parallelism;
+use cvr_core::{ColumnEngine, EngineConfig};
 
 fn main() {
     let args = HarnessArgs::parse();
     let harness = Harness::new(args.clone());
-    eprintln!("# building compressed column store (sf {}) ...", args.sf);
-    let db = CStoreDb::build(harness.tables.clone(), true);
+    eprintln!("# building column engine (sf {}) ...", args.sf);
+    let engine = ColumnEngine::new(harness.tables.clone());
     let cfg = EngineConfig::FULL;
 
     let with = InvisibleOptions { between_rewriting: true };
     let without = InvisibleOptions { between_rewriting: false };
 
-    let a: Vec<Measurement> = harness.measure_series(|q, io| execute_opts(&db, q, cfg, with, io));
+    let a: Vec<Measurement> =
+        harness.measure_series(|q, io| engine.execute_ablation(q, cfg, with, io));
     let b: Vec<Measurement> =
-        harness.measure_series(|q, io| execute_opts(&db, q, cfg, without, io));
+        harness.measure_series(|q, io| engine.execute_ablation(q, cfg, without, io));
+    let lm = EngineConfig::parse("tiCL");
     let c: Vec<Measurement> =
-        harness.measure_series(|q, io| cvr_core::lmjoin::execute(&db, q, cfg, io));
+        harness.measure_series(|q, io| engine.execute_with(q, lm, Parallelism::serial(), io));
 
     println!("\nAblation: between-predicate rewriting inside the invisible join (sf {})", args.sf);
     println!("=======================================================================\n");

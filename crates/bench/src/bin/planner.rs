@@ -75,6 +75,11 @@ struct Record {
     picked_seconds: f64,
     best: String,
     best_seconds: f64,
+    /// What the cost model *estimated* for the measured-best cell — when
+    /// regret is high and this is close to `est_seconds`, the model thinks
+    /// the two cells tie and the tail is a coin-flip at the crossover, not
+    /// a structural mis-model.
+    est_best_seconds: f64,
     regret: f64,
 }
 
@@ -102,8 +107,9 @@ fn main() {
             print!("{}", plan.render());
         }
 
-        // Measure every candidate in the search space.
-        let mut grid: Vec<(String, Measurement)> = Vec::new();
+        // Measure every candidate in the search space (keeping each cell's
+        // cost-model estimate next to its measurement).
+        let mut grid: Vec<(String, f64, Measurement)> = Vec::new();
         for cand in planner.candidates(q) {
             let m = match cand.choice {
                 PhysicalChoice::Column(cfg) => {
@@ -131,11 +137,11 @@ fn main() {
                     cvr_bench::fmt_io(&m.io)
                 );
             }
-            grid.push((cand.choice.label(), m));
+            grid.push((cand.choice.label(), cand.seconds, m));
         }
-        let (best, best_m) = grid
+        let (best, est_best_seconds, best_m) = grid
             .iter()
-            .min_by(|a, b| a.1.seconds().partial_cmp(&b.1.seconds()).unwrap())
+            .min_by(|a, b| a.2.seconds().partial_cmp(&b.2.seconds()).unwrap())
             .expect("grid is never empty")
             .clone();
 
@@ -189,6 +195,7 @@ fn main() {
             picked_seconds: picked_m.seconds(),
             best,
             best_seconds: best_m.seconds(),
+            est_best_seconds,
             regret: picked_m.seconds() / best_m.seconds().max(1e-12),
         });
     }
@@ -231,6 +238,25 @@ fn main() {
     let _ = writeln!(json, "  \"generated_mean_regret\": {gen_mean:.4},");
     let _ = writeln!(json, "  \"generated_max_regret\": {gen_max:.4},");
     let _ = writeln!(json, "  \"byte_identical\": {verified},");
+    // Why the generated-query tail is reported but not gated: the worst
+    // generated regret (Q9.3, ~2.5-2.8x depending on machine) is a
+    // column-vs-row:T(B) cell where the model overprices T(B)'s
+    // bitmap-heap fetch ~10x (see est_best_seconds vs best_seconds on that
+    // record). The fetch is costed as scattered random I/O (`gather`) —
+    // scale-free on purpose — but at bench scale the few thousand
+    // surviving tuples are dense within the small fact heap, so the fetch
+    // measures nearly sequential. The bias is conservative: it only ever
+    // keeps the planner on a column plan, and fitting the gather constants
+    // to a tiny heap would mis-price the same plan at realistic scale.
+    json.push_str(
+        "  \"notes\": \"Only paper queries are gated (--max-regret). The generated-query tail \
+         (worst: Q9.3) is a column-vs-row:T(B) cell where the model prices the bitmap-heap \
+         fetch as scattered random I/O (est_best_seconds ~10x best_seconds): at this scale \
+         the surviving tuples are dense in the small heap and the fetch measures nearly \
+         sequential. The bias is conservative (the planner stays on a column plan) and \
+         scale-honest (fitting gather constants to a tiny heap would mis-price realistic \
+         scales), so the tail is reported but accepted.\",\n",
+    );
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ =
@@ -238,9 +264,9 @@ fn main() {
             json,
             "    {{\"query\": \"{}\", \"paper\": {}, \"picked\": \"{}\", \"est_seconds\": {:.6}, \
              \"measured_seconds\": {:.6}, \"best\": \"{}\", \"best_seconds\": {:.6}, \
-             \"regret\": {:.4}}}",
+             \"est_best_seconds\": {:.6}, \"regret\": {:.4}}}",
             r.id, r.paper, r.picked, r.est_seconds, r.picked_seconds, r.best, r.best_seconds,
-            r.regret
+            r.est_best_seconds, r.regret
         );
         json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }

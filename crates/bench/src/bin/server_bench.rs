@@ -1,0 +1,176 @@
+//! Closed-loop client harness against the `cvr-server` front door.
+//!
+//! Starts a real TCP server over a generated database, then drives it with
+//! `--connections` concurrent closed-loop clients (each issues its next
+//! statement as soon as the previous answer arrives — no think time), each
+//! running `--statements` SQL statements drawn round-robin from the 13
+//! paper queries plus a generated ad-hoc workload.
+//!
+//! Before the timed run, every distinct statement is executed once over a
+//! single serial connection to record reference response frames; the
+//! concurrent run then asserts every response is **byte-identical** to its
+//! serial reference — the tentpole invariant ("N concurrent queries ≡ the
+//! same N serial") enforced at the wire, not just in-process.
+//!
+//! Reports per-statement latency (p50 / p95 / p99 / max), aggregate QPS,
+//! and writes `BENCH_server.json`.
+//!
+//! ```text
+//! cargo run --release -p cvr-bench --bin server_bench -- --sf 0.005
+//! cargo run --release -p cvr-bench --bin server_bench -- --connections 16 --statements 200
+//! ```
+
+use cvr_bench::HarnessArgs;
+use cvr_data::queries::all_queries;
+use cvr_data::workload::WorkloadConfig;
+use cvr_server::parser::render_sql;
+use cvr_server::protocol::Response;
+use cvr_server::{serve, Client, Session};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Latency at quantile `q` (0..=1) of a sorted sample.
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// One client's closed loop: issue `statements` queries round-robin from
+/// `sqls` (offset by the client index so connections interleave different
+/// queries), assert byte-identity against the serial reference, and record
+/// per-statement latency.
+fn run_client(
+    addr: SocketAddr,
+    sqls: Arc<Vec<String>>,
+    reference: Arc<HashMap<String, Vec<u8>>>,
+    client_idx: usize,
+    statements: usize,
+) -> Vec<Duration> {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut latencies = Vec::with_capacity(statements);
+    for i in 0..statements {
+        let sql = &sqls[(client_idx + i) % sqls.len()];
+        let start = Instant::now();
+        let response = client.query(sql).expect("query");
+        latencies.push(start.elapsed());
+        let bytes = response.encode();
+        assert_eq!(
+            &bytes,
+            reference.get(sql).expect("reference response"),
+            "connection {client_idx}: response to `{sql}` diverged from the serial reference"
+        );
+    }
+    client.close().expect("close");
+    latencies
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    eprintln!("# generating tables + building session (sf {}) ...", args.sf);
+    let session = Arc::new(Session::with_parallelism(args.tables(), args.parallelism()));
+    let server = serve(session, "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    // Statement mix: the 13 paper queries + generated ad-hoc ones.
+    let mut queries = all_queries();
+    queries.extend(
+        (WorkloadConfig { seed: args.seed ^ 0x5EBE, count: args.queries.min(255) }).generate(),
+    );
+    let sqls: Arc<Vec<String>> = Arc::new(queries.iter().map(render_sql).collect());
+    eprintln!(
+        "# {} distinct statements ({} paper + {} generated)",
+        sqls.len(),
+        13,
+        sqls.len() - 13
+    );
+
+    // Serial reference pass: one connection, every statement once. These
+    // are the bytes every concurrent response must match.
+    let mut reference: HashMap<String, Vec<u8>> = HashMap::new();
+    let mut serial_client = Client::connect(addr).expect("connect");
+    let serial_start = Instant::now();
+    for sql in sqls.iter() {
+        let response = serial_client.query(sql).expect("serial query");
+        if let Response::Error { code, message } = &response {
+            panic!("serial reference failed ({code}): {message}\n  {sql}");
+        }
+        reference.insert(sql.clone(), response.encode());
+    }
+    let serial_elapsed = serial_start.elapsed();
+    serial_client.close().expect("close");
+    let reference = Arc::new(reference);
+    eprintln!(
+        "# serial reference: {} statements in {:.2}s",
+        sqls.len(),
+        serial_elapsed.as_secs_f64()
+    );
+
+    // Timed closed-loop run.
+    let total_statements = args.connections * args.statements;
+    eprintln!(
+        "# closed loop: {} connections x {} statements ...",
+        args.connections, args.statements
+    );
+    let wall_start = Instant::now();
+    let workers: Vec<_> = (0..args.connections)
+        .map(|c| {
+            let (sqls, reference) = (sqls.clone(), reference.clone());
+            let statements = args.statements;
+            std::thread::Builder::new()
+                .name(format!("bench-client-{c}"))
+                .spawn(move || run_client(addr, sqls, reference, c, statements))
+                .expect("spawn client")
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(total_statements);
+    for w in workers {
+        latencies.extend(w.join().expect("client thread"));
+    }
+    let wall = wall_start.elapsed();
+    server.shutdown();
+
+    latencies.sort();
+    let (p50, p95, p99) =
+        (quantile(&latencies, 0.50), quantile(&latencies, 0.95), quantile(&latencies, 0.99));
+    let max = *latencies.last().expect("at least one statement");
+    let qps = total_statements as f64 / wall.as_secs_f64();
+
+    println!("\nServer closed-loop harness (sf {})", args.sf);
+    println!("===================================\n");
+    println!("connections:      {}", args.connections);
+    println!("statements/conn:  {}", args.statements);
+    println!("distinct queries: {}", sqls.len());
+    println!("total statements: {total_statements}");
+    println!("wall time:        {:.2}s", wall.as_secs_f64());
+    println!("throughput:       {qps:.1} queries/s");
+    println!("latency p50:      {:.3}ms", p50.as_secs_f64() * 1e3);
+    println!("latency p95:      {:.3}ms", p95.as_secs_f64() * 1e3);
+    println!("latency p99:      {:.3}ms", p99.as_secs_f64() * 1e3);
+    println!("latency max:      {:.3}ms", max.as_secs_f64() * 1e3);
+    println!(
+        "\nbyte-identity: all {total_statements} concurrent responses matched the serial reference"
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"server\",\n");
+    let _ = writeln!(json, "  \"sf\": {},", args.sf);
+    let _ = writeln!(json, "  \"connections\": {},", args.connections);
+    let _ = writeln!(json, "  \"statements_per_connection\": {},", args.statements);
+    let _ = writeln!(json, "  \"distinct_statements\": {},", sqls.len());
+    let _ = writeln!(json, "  \"total_statements\": {total_statements},");
+    let _ = writeln!(json, "  \"wall_seconds\": {:.6},", wall.as_secs_f64());
+    let _ = writeln!(json, "  \"qps\": {qps:.2},");
+    let _ = writeln!(json, "  \"p50_ms\": {:.4},", p50.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"p95_ms\": {:.4},", p95.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"p99_ms\": {:.4},", p99.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"max_ms\": {:.4},", max.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"byte_identical\": {total_statements}");
+    json.push_str("}\n");
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    eprintln!("\n# wrote BENCH_server.json");
+}

@@ -40,6 +40,7 @@
 //! | `scaling` | morsel-driven parallelism: threads-vs-speedup over the 13 queries |
 //! | `kernels` | scan kernels: scalar vs word-parallel per encoding × selectivity (emits `BENCH_kernels.json`) |
 //! | `planner` | cost-based planner regret vs the measured best-of-grid, paper + generated queries (emits `BENCH_planner.json`) |
+//! | `server_bench` | closed-loop TCP client harness against `cvr-server`: N connections, p50/p99 latency, QPS, concurrent-vs-serial byte-identity (emits `BENCH_server.json`) |
 //! | `all` | the full evaluation in one run |
 //!
 //! ## Threads
@@ -103,6 +104,12 @@ pub struct HarnessArgs {
     /// measured cost exceeds this multiple of the best-of-grid measured
     /// cost on any paper query (`--max-regret`, default 1.5).
     pub max_regret: f64,
+    /// Concurrent client connections for the `server_bench` binary
+    /// (`--connections`, default 8).
+    pub connections: usize,
+    /// SQL statements each `server_bench` connection issues
+    /// (`--statements`, default 64).
+    pub statements: usize,
 }
 
 impl Default for HarnessArgs {
@@ -117,6 +124,8 @@ impl Default for HarnessArgs {
             explain: false,
             queries: 30,
             max_regret: 1.5,
+            connections: 8,
+            statements: 64,
         }
     }
 }
@@ -152,12 +161,20 @@ impl HarnessArgs {
                 "--max-regret" => {
                     args.max_regret = take(&mut i).parse().expect("--max-regret takes a float")
                 }
+                "--connections" => {
+                    args.connections =
+                        take(&mut i).parse::<usize>().expect("--connections takes an int").max(1)
+                }
+                "--statements" => {
+                    args.statements =
+                        take(&mut i).parse::<usize>().expect("--statements takes an int").max(1)
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--sf F] [--seed N] [--runs N] [--pool-fraction F] [--cpu-scale F] [--threads N]\n\
-                         \x20      [--explain] [--queries N] [--max-regret F]\n\
+                         \x20      [--explain] [--queries N] [--max-regret F] [--connections N] [--statements N]\n\
                          defaults: --sf 0.02 --runs 3 --pool-fraction 0.08 --cpu-scale 5.0 --threads CVR_THREADS|auto\n\
-                         \x20         --queries 30 --max-regret 1.5"
+                         \x20         --queries 30 --max-regret 1.5 --connections 8 --statements 64"
                     );
                     std::process::exit(0);
                 }

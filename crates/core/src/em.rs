@@ -178,7 +178,12 @@ fn run_rows(
 }
 
 /// Execute `q` with early materialization.
-pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -> QueryOutput {
+pub(crate) fn execute(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    io: &IoSession,
+) -> QueryOutput {
     let plan = build_plan(db, q, io);
     let partial = run_rows(&plan, q, cfg, 0..db.fact_rows());
     plan.finish(partial, q)
@@ -193,7 +198,7 @@ pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -
 /// `io` are identical to [`execute`] by construction. The row pipeline
 /// ([`run_rows`]) is pure CPU and fans out over morsels of the
 /// constructed-tuple space; partial aggregates merge in morsel order.
-pub fn execute_par(
+pub(crate) fn execute_par(
     db: &CStoreDb,
     q: &SsbQuery,
     cfg: EngineConfig,

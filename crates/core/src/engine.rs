@@ -77,6 +77,24 @@ impl ColumnEngine {
         }
     }
 
+    /// Execute `q` with the invisible join under explicit ablation
+    /// [`crate::invisible::InvisibleOptions`] (serial path).
+    ///
+    /// The per-shape `execute*` free functions are crate-private; this is
+    /// the one sanctioned way to reach the invisible join's phase-level
+    /// switches from outside the crate. With default options it is
+    /// equivalent to [`ColumnEngine::execute_with`] at
+    /// [`Parallelism::serial`] under an invisible-join configuration.
+    pub fn execute_ablation(
+        &self,
+        q: &SsbQuery,
+        config: EngineConfig,
+        opts: crate::invisible::InvisibleOptions,
+        io: &IoSession,
+    ) -> QueryOutput {
+        invisible::execute_opts(self.db(config), q, config, opts, io)
+    }
+
     /// Execute a *planner-chosen* plan: `config` plus an explicit fact-
     /// predicate evaluation order (see `SsbQuery::with_fact_order`).
     ///

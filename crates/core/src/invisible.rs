@@ -164,12 +164,17 @@ pub fn phase2_probe(
 }
 
 /// Execute `q` with the invisible join (default options).
-pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -> QueryOutput {
+pub(crate) fn execute(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    io: &IoSession,
+) -> QueryOutput {
     execute_opts(db, q, cfg, InvisibleOptions::default(), io)
 }
 
 /// Execute `q` with explicit [`InvisibleOptions`].
-pub fn execute_opts(
+pub(crate) fn execute_opts(
     db: &CStoreDb,
     q: &SsbQuery,
     cfg: EngineConfig,
@@ -255,7 +260,7 @@ pub fn execute_opts(
 /// coordinator replays per-morsel I/O logs and merges partial aggregates in
 /// morsel order, making both the result and the accounting byte-identical
 /// to the serial path.
-pub fn execute_par(
+pub(crate) fn execute_par(
     db: &CStoreDb,
     q: &SsbQuery,
     cfg: EngineConfig,

@@ -191,7 +191,12 @@ fn probe_full_scan(
 }
 
 /// Execute `q` with late-materialized hash joins (invisible join disabled).
-pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -> QueryOutput {
+pub(crate) fn execute(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    io: &IoSession,
+) -> QueryOutput {
     let strat = AggStrategy::for_query(db, q);
 
     // Fact-column predicates first (flight 1): ordinary column scans.
@@ -300,7 +305,7 @@ pub fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -
 /// dimensions by selectivity with eager out-of-order extraction, group-only
 /// dimensions, measures, partial aggregation. Per-morsel I/O logs replay
 /// and partial aggregates merge in morsel order.
-pub fn execute_par(
+pub(crate) fn execute_par(
     db: &CStoreDb,
     q: &SsbQuery,
     cfg: EngineConfig,

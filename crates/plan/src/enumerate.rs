@@ -23,6 +23,7 @@ use cvr_data::schema::Dim;
 use cvr_row::designs::RowDesign;
 
 use crate::cost::{gather, seq_scan, CostBreakdown, CostParams, WorkingSet};
+use crate::explain::{write_json_string, Explain};
 use crate::stats::{Catalog, ColumnStats, EncodingKind};
 
 /// The physical half of a plan: which engine, in which configuration.
@@ -125,32 +126,36 @@ impl Plan {
         }
         out
     }
-}
 
-/// A node of the estimate tree.
-#[derive(Debug, Clone)]
-pub struct Explain {
-    /// One line of description (operator, bytes, estimated rows...).
-    pub label: String,
-    /// Sub-operators.
-    pub children: Vec<Explain>,
-}
-
-impl Explain {
-    fn node(label: impl Into<String>) -> Explain {
-        Explain { label: label.into(), children: Vec::new() }
-    }
-
-    fn push(&mut self, label: impl Into<String>) {
-        self.children.push(Explain::node(label));
-    }
-
-    /// Indented tree rendering.
-    pub fn render(&self, indent: usize) -> String {
-        let mut out = format!("{}{}\n", "  ".repeat(indent), self.label);
-        for c in &self.children {
-            out.push_str(&c.render(indent + 1));
+    /// Stable JSON encoding of the whole plan — the `EXPLAIN` payload the
+    /// server protocol ships. Field names are part of the wire contract.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{{\"query\": \"{}\", \"plan\": ", self.query_id);
+        write_json_string(&mut out, &self.choice.label());
+        let _ = write!(
+            out,
+            ", \"fact_order\": {:?}, \"est_seconds\": {:.6}, \"est_cpu_seconds\": {:.6}, \
+             \"est_io_bytes\": {}, \"est_seeks\": {}, \"est_selectivity\": {:.6e}, \"tree\": {}",
+            self.fact_order,
+            self.seconds,
+            self.est.cpu_seconds,
+            self.est.io_bytes,
+            self.est.seeks,
+            self.est_selectivity,
+            self.explain.to_json(),
+        );
+        out.push_str(", \"candidates\": [");
+        for (i, (label, secs)) in self.ranking.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"plan\": ");
+            write_json_string(&mut out, label);
+            let _ = write!(out, ", \"est_seconds\": {secs:.6}}}");
         }
+        out.push_str("]}");
         out
     }
 }
@@ -285,29 +290,33 @@ impl Planner {
         let mut out = Vec::new();
         for shape in [PlanShape::Invisible, PlanShape::LateJoin, PlanShape::Early] {
             for compressed in [true, false] {
-                let (est, explain, ws) = self.cost_column(q, shape, compressed, &order);
+                let (est, mut explain, ws) = self.cost_column(q, shape, compressed, &order);
                 // Distinct bytes, not summed charges: a page is read from
                 // the modeled disk once per run however many phases touch
                 // it.
                 let est = CostBreakdown { io_bytes: ws.total(), ..est };
                 let est = self.params.pool_adjust(est, ws.total());
+                let seconds = est.seconds(&self.params);
+                explain.est_cost_seconds = Some(seconds);
                 out.push(Candidate {
                     choice: PhysicalChoice::Column(shape.config(compressed)),
                     fact_order: order.clone(),
-                    seconds: est.seconds(&self.params),
+                    seconds,
                     est,
                     explain,
                 });
             }
         }
         for design in self.applicable_row_designs(q) {
-            let (est, explain, ws) = self.cost_row(q, design, &order);
+            let (est, mut explain, ws) = self.cost_row(q, design, &order);
             let est = CostBreakdown { io_bytes: ws.total(), ..est };
             let est = self.params.pool_adjust(est, ws.total());
+            let seconds = est.seconds(&self.params);
+            explain.est_cost_seconds = Some(seconds);
             out.push(Candidate {
                 choice: PhysicalChoice::Row(design),
                 fact_order: order.clone(),
-                seconds: est.seconds(&self.params),
+                seconds,
                 est,
                 explain,
             });
@@ -501,12 +510,19 @@ impl Planner {
         } else {
             k as f64 * (r.agg_row + 2.0 * q.group_by.len() as f64 * r.value_clone)
         };
-        explain.push(format!(
-            "extract+aggregate ({}): {} group col(s), {} measure(s) at ~{k} positions",
-            if code_level { "code-level" } else { "value-keyed" },
-            q.group_by.len(),
-            q.aggregate.fact_columns().len()
-        ));
+        explain.push(
+            Explain::node(
+                "extract-aggregate",
+                format!(
+                    "{}: {} group col(s), {} measure(s)",
+                    if code_level { "code-level" } else { "value-keyed" },
+                    q.group_by.len(),
+                    q.aggregate.fact_columns().len()
+                ),
+            )
+            .rows(k)
+            .cost(c.seconds(&self.params)),
+        );
         c
     }
 
@@ -522,12 +538,16 @@ impl Planner {
         let n = self.catalog.fact_rows();
         let sel_total = self.catalog.selectivity(q);
         let k_final = ((n as f64 * sel_total).ceil() as u64).min(n);
-        let mut explain = Explain::node(format!(
-            "column {} ({}, {})",
-            shape.config(compressed).code(),
-            shape.name(),
-            if compressed { "compressed" } else { "plain" }
-        ));
+        let mut explain = Explain::node(
+            "column-plan",
+            format!(
+                "{} ({}, {})",
+                shape.config(compressed).code(),
+                shape.name(),
+                if compressed { "compressed" } else { "plain" }
+            ),
+        )
+        .rows(k_final);
         let mut c = CostBreakdown::default();
         match shape {
             PlanShape::Invisible => {
@@ -540,25 +560,35 @@ impl Planner {
                     } else {
                         self.scan_col_hash_probe(fk, compressed, &mut ws)
                     };
-                    explain.push(format!(
-                        "probe {} ({}, {:.2} MB, {}) sel {:.2e}",
-                        d.fact_fk_column(),
-                        if compressed { fk.encoding.label() } else { "plain" },
-                        fk.bytes(compressed) as f64 / (1024.0 * 1024.0),
-                        if contiguous { "between-rewrite" } else { "hash-set" },
-                        self.catalog.dim_selectivity(q, d),
-                    ));
+                    let d_sel = self.catalog.dim_selectivity(q, d);
+                    explain.push(
+                        Explain::node(
+                            "probe",
+                            format!(
+                                "{} ({}, {:.2} MB, {}) sel {:.2e}",
+                                d.fact_fk_column(),
+                                if compressed { fk.encoding.label() } else { "plain" },
+                                fk.bytes(compressed) as f64 / (1024.0 * 1024.0),
+                                if contiguous { "between-rewrite" } else { "hash-set" },
+                                d_sel,
+                            ),
+                        )
+                        .rows((n as f64 * d_sel).ceil() as u64)
+                        .cost(probe.seconds(&self.params)),
+                    );
                     c.add(probe);
                 }
                 for &i in order {
                     let p = &q.fact_predicates[i];
                     let col = self.catalog.fact.column(p.column);
-                    explain.push(format!(
-                        "scan {} sel {:.2e}",
-                        p.column,
-                        self.catalog.fact_pred_selectivity(p)
-                    ));
-                    c.add(self.scan_col(col, compressed, &mut ws));
+                    let sel = self.catalog.fact_pred_selectivity(p);
+                    let sc = self.scan_col(col, compressed, &mut ws);
+                    explain.push(
+                        Explain::node("scan", format!("{} sel {sel:.2e}", p.column))
+                            .rows((n as f64 * sel).ceil() as u64)
+                            .cost(sc.seconds(&self.params)),
+                    );
+                    c.add(sc);
                 }
                 let p3 = self.phase3(q, k_final, compressed, &mut ws, &mut explain);
                 c.add(p3);
@@ -571,10 +601,15 @@ impl Planner {
                 let mut poslist_positions = 0.0;
                 for &i in order {
                     let p = &q.fact_predicates[i];
-                    c.add(self.scan_col(self.catalog.fact.column(p.column), compressed, &mut ws));
+                    let sc = self.scan_col(self.catalog.fact.column(p.column), compressed, &mut ws);
                     running *= self.catalog.fact_pred_selectivity(p);
                     poslist_positions += running;
-                    explain.push(format!("scan {} → ~{:.0} rows", p.column, running));
+                    explain.push(
+                        Explain::node("scan", p.column)
+                            .rows(running.ceil() as u64)
+                            .cost(sc.seconds(&self.params)),
+                    );
+                    c.add(sc);
                 }
                 // Restricted dims, most selective first (the engine's own
                 // order).
@@ -612,11 +647,9 @@ impl Planner {
                     }
                     running *= self.catalog.dim_selectivity(q, d);
                     poslist_positions += running;
-                    explain.push(format!(
-                        "hash-join {} → ~{:.0} rows",
-                        d.fact_fk_column(),
-                        running
-                    ));
+                    explain.push(
+                        Explain::node("hash-join", d.fact_fk_column()).rows(running.ceil() as u64),
+                    );
                 }
                 c.cpu_seconds += poslist_positions * r.poslist_touch;
                 let p3 = self.phase3(q, k_final, compressed, &mut ws, &mut explain);
@@ -631,11 +664,11 @@ impl Planner {
                     s.cpu_seconds += n as f64 * r.gather_value; // decode_all
                     c.add(s);
                 }
-                explain.push(format!(
-                    "materialize {} fact column(s) up front ({} rows)",
-                    cols.len(),
-                    n
-                ));
+                explain.push(
+                    Explain::node("materialize", format!("{} fact column(s) up front", cols.len()))
+                        .rows(n)
+                        .cost(c.seconds(&self.params)),
+                );
                 for d in q.touched_dims() {
                     let dstats = self.catalog.dim(d);
                     let mut dim_cols: Vec<&str> = vec![match d {
@@ -667,7 +700,10 @@ impl Planner {
                 // Even the row-style pipeline aggregates on composed group
                 // ids now (interned per-dimension-row codes).
                 c.cpu_seconds += k_final as f64 * r.agg_code_row;
-                explain.push(format!("row-style pipeline over {n} tuples → ~{k_final} aggregated"));
+                explain.push(
+                    Explain::node("pipeline", format!("row-style over {n} early-stitched tuples"))
+                        .rows(k_final),
+                );
             }
         }
         (c, explain, ws)
@@ -692,7 +728,8 @@ impl Planner {
         let fact_sel: f64 =
             q.fact_predicates.iter().map(|p| self.catalog.fact_pred_selectivity(p)).product();
         let mut explain =
-            Explain::node(format!("row {} ({})", design.label(), design_name(design)));
+            Explain::node("row-plan", format!("{} ({})", design.label(), design_name(design)))
+                .rows(k_final);
         let mut c = CostBreakdown::default();
 
         // Shared tail: hash joins against filtered dimension heaps, in
@@ -714,7 +751,9 @@ impl Planner {
                     c.cpu_seconds += dstats.rows as f64 * r.row_tuple;
                     c.cpu_seconds += running * r.row_join_probe;
                     running *= self.catalog.dim_selectivity(q, d);
-                    explain.push(format!("hash-join {} → ~{running:.0} rows", d.table_name()));
+                    explain.push(
+                        Explain::node("hash-join", d.table_name()).rows(running.ceil() as u64),
+                    );
                 }
                 c.cpu_seconds += k_final as f64 * r.agg_row;
             };
@@ -737,11 +776,18 @@ impl Planner {
                 c.seeks += ((7.0 * yf).ceil() as u64).saturating_sub(1);
                 let scanned = n as f64 * yf;
                 c.cpu_seconds += scanned * r.row_tuple * width;
-                explain.push(format!(
-                    "seq scan {:.1} MB ({} of the year partitions)",
-                    bytes as f64 / (1024.0 * 1024.0),
-                    (7.0 * yf).ceil()
-                ));
+                explain.push(
+                    Explain::node(
+                        "seq-scan",
+                        format!(
+                            "{:.1} MB ({} of the year partitions)",
+                            bytes as f64 / (1024.0 * 1024.0),
+                            (7.0 * yf).ceil()
+                        ),
+                    )
+                    .rows(scanned.ceil() as u64)
+                    .cost(c.seconds(&self.params)),
+                );
                 join_tail(&mut c, &mut explain, &mut ws, scanned * fact_sel);
             }
             RowDesign::TraditionalBitmap => {
@@ -758,21 +804,32 @@ impl Planner {
                     ws.touch(&format!("idx:{}", p.column), (entries * 16.0) as u64);
                     c.add(seq_scan((entries * 16.0) as u64));
                     c.cpu_seconds += entries * r.index_entry;
-                    explain.push(format!("index range scan {} (~{entries:.0} rids)", p.column));
+                    explain.push(
+                        Explain::node("index-scan", format!("range scan {}", p.column))
+                            .rows(entries.ceil() as u64),
+                    );
                 }
                 if date_sel < 1.0 {
                     let entries = n as f64 * date_sel;
                     ws.touch("idx:lo_orderdate", (entries * 16.0) as u64);
                     c.add(seq_scan((entries * 16.0) as u64));
                     c.cpu_seconds += entries * r.index_entry;
-                    explain.push(format!("index range scan lo_orderdate (~{entries:.0} rids)"));
+                    explain.push(
+                        Explain::node("index-scan", "range scan lo_orderdate")
+                            .rows(entries.ceil() as u64),
+                    );
                 }
                 let k = ((n as f64 * bitmap_sel).ceil() as u64).min(n);
                 let heap_fetch = gather(k, n, sizes.fact_heap_bytes, &r);
                 ws.touch("heap:fact", heap_fetch.io_bytes.min(sizes.fact_heap_bytes));
+                let fetch_secs = heap_fetch.seconds(&self.params);
                 c.add(heap_fetch);
                 c.cpu_seconds += k as f64 * r.row_tuple;
-                explain.push(format!("bitmap heap fetch ~{k} tuples"));
+                explain.push(
+                    Explain::node("bitmap-heap-fetch", "fetch surviving tuples")
+                        .rows(k)
+                        .cost(fetch_secs),
+                );
                 join_tail(&mut c, &mut explain, &mut ws, k as f64);
             }
             RowDesign::VerticalPartitioning | RowDesign::SuperVp => {
@@ -804,10 +861,14 @@ impl Planner {
                 // join builds and probes ~n entries.
                 let rid_joins = joins.saturating_sub(1) as f64;
                 c.cpu_seconds += rid_joins * n as f64 * (r.hash_probe + r.row_join_probe);
-                explain.push(format!(
-                    "{} column scans, {rid_joins:.0} rid joins over ~{n} rows",
-                    cols.len()
-                ));
+                explain.push(
+                    Explain::node(
+                        "rid-join",
+                        format!("{} column scans, {rid_joins:.0} rid joins", cols.len()),
+                    )
+                    .rows(n)
+                    .cost(c.seconds(&self.params)),
+                );
                 join_tail(&mut c, &mut explain, &mut ws, n as f64 * fact_sel);
             }
             RowDesign::IndexOnly => {
@@ -830,10 +891,14 @@ impl Planner {
                 // filtering, so every join moves ~n tuples.
                 let rid_joins = cols.len().saturating_sub(1) as f64;
                 c.cpu_seconds += rid_joins * n as f64 * (r.hash_probe + r.row_join_probe);
-                explain.push(format!(
-                    "{} index scans rid-joined before filtering (~{n} rows each)",
-                    cols.len()
-                ));
+                explain.push(
+                    Explain::node(
+                        "rid-join",
+                        format!("{} index scans rid-joined before filtering", cols.len()),
+                    )
+                    .rows(n)
+                    .cost(c.seconds(&self.params)),
+                );
                 join_tail(&mut c, &mut explain, &mut ws, n as f64 * fact_sel);
             }
         }
@@ -981,5 +1046,30 @@ mod tests {
         for (label, _) in &plan.ranking {
             assert!(s.contains(label.as_str()), "{s} missing {label}");
         }
+    }
+
+    #[test]
+    fn plan_json_has_stable_fields_and_full_ranking() {
+        let p = planner();
+        let plan = p.plan(&query(3, 1));
+        let j = plan.to_json();
+        for field in [
+            "\"query\"",
+            "\"plan\"",
+            "\"fact_order\"",
+            "\"est_seconds\"",
+            "\"est_selectivity\"",
+            "\"tree\"",
+            "\"candidates\"",
+            "\"op\"",
+            "\"est_rows\"",
+        ] {
+            assert!(j.contains(field), "{j} missing {field}");
+        }
+        // Every ranked candidate label appears in the JSON.
+        assert_eq!(j.matches("{\"plan\": ").count(), plan.ranking.len());
+        // The winner's tree root carries the total estimate.
+        assert!(plan.explain.est_cost_seconds.is_some());
+        assert!(plan.explain.est_rows.is_some());
     }
 }

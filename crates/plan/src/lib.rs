@@ -44,8 +44,10 @@
 
 pub mod cost;
 pub mod enumerate;
+pub mod explain;
 pub mod stats;
 
 pub use cost::{CostBreakdown, CostParams, CpuRates};
-pub use enumerate::{Candidate, Explain, PhysicalChoice, Plan, PlanShape, Planner};
+pub use enumerate::{Candidate, PhysicalChoice, Plan, PlanShape, Planner};
+pub use explain::Explain;
 pub use stats::{Catalog, ColumnStats, EncodingKind, Histogram, TableStats};

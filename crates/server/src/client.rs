@@ -1,0 +1,36 @@
+//! A minimal blocking client for the wire protocol.
+//!
+//! Used by the differential tests and the `cvr-bench` closed-loop harness;
+//! also the reference implementation for anyone speaking the protocol.
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One open connection to a server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one SQL statement and read its response.
+    pub fn query(&mut self, sql: &str) -> io::Result<Response> {
+        write_frame(&mut self.stream, &Request::Query(sql.to_string()).encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Orderly hang-up.
+    pub fn close(mut self) -> io::Result<()> {
+        write_frame(&mut self.stream, &Request::Close.encode())
+    }
+}

@@ -1,0 +1,37 @@
+//! cvr-server: the front door — SQL, sessions, and a concurrent server.
+//!
+//! The crates below this one expose descriptors, engines, and a planner;
+//! this crate puts one door in front of them:
+//!
+//! * [`parser`] — a small SQL frontend over the SSB star schema. It lowers
+//!   `SELECT`/`WHERE`/`GROUP BY`/`ORDER BY` text to [`SsbQuery`]
+//!   descriptors and recognizes the 13 paper queries, so SQL enters the
+//!   planner on exactly the same footing as hand-built descriptors.
+//! * [`session`] — [`Session`], the unified API: one object owning
+//!   statistics, planning, and both engines, answering `query(&str)`.
+//! * [`protocol`] — a length-prefixed binary wire format with typed
+//!   result sets, structured errors, and `EXPLAIN` payloads.
+//! * [`server`] / [`client`] — a threaded TCP accept loop and the
+//!   matching blocking client.
+//!
+//! The load-bearing invariant, inherited from the engines and preserved
+//! here: a query's output bytes and [`IoStats`] are identical whether it
+//! arrives as SQL or as a descriptor, serially or over any number of
+//! concurrent connections.
+//!
+//! [`SsbQuery`]: cvr_data::queries::SsbQuery
+//! [`IoStats`]: cvr_storage::io::IoStats
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod parser;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::Client;
+pub use parser::{parse, parse_query, render_sql, ParseError, Statement};
+pub use protocol::{Request, Response, ResultSet};
+pub use server::{serve, Server};
+pub use session::{ColumnMeta, QueryResponse, RowsResponse, Session, SessionError};

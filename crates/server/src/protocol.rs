@@ -1,0 +1,420 @@
+//! The wire protocol: length-prefixed binary frames.
+//!
+//! Every message is one frame: a `u32` little-endian payload length,
+//! then the payload. The first payload byte is a tag:
+//!
+//! ```text
+//! requests            responses
+//! 0x01 QUERY          0x81 RESULT
+//! 0x02 CLOSE          0x82 ERROR
+//!                     0x83 EXPLAIN
+//! ```
+//!
+//! * `QUERY`: `u32` length + UTF-8 SQL.
+//! * `CLOSE`: tag only; the server hangs up after reading it.
+//! * `RESULT`: query id (`u8` flight, `u8` number), plan label
+//!   (`u16` length + UTF-8), [`IoStats`] (`u64` bytes, pages, seeks,
+//!   pool hits),
+//!   column metadata (`u16` count, each `u16` length + UTF-8 name +
+//!   `u8` type tag, 0 = int / 1 = str), then the result rows: `u32`
+//!   length + `QueryOutput::to_bytes`, shipped verbatim — the bytes the
+//!   differential harness compares are the bytes on the wire.
+//! * `ERROR`: `u16` [`ParseError::code`]-compatible code, `u32` length +
+//!   UTF-8 message.
+//! * `EXPLAIN`: two `u32`-length-prefixed UTF-8 strings — the rendered
+//!   tree and the stable-field JSON (`Plan::to_json`).
+//!
+//! All integers are little-endian. Hand-rolled on purpose: the build
+//! environment has no serde, and the format doubles as documentation of
+//! exactly what a result *is*.
+//!
+//! [`ParseError::code`]: crate::parser::ParseError::code
+
+use crate::session::{ColumnMeta, QueryResponse, RowsResponse};
+use cvr_data::queries::QueryId;
+use cvr_data::result::QueryOutput;
+use cvr_data::value::DataType;
+use cvr_storage::io::IoStats;
+use std::io::{Read, Write};
+
+/// Frames larger than this are rejected as malformed (64 MB).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Execute one SQL statement.
+    Query(String),
+    /// Orderly hang-up.
+    Close,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A result set.
+    Result(ResultSet),
+    /// The statement failed.
+    Error {
+        /// Stable error-category code (see `ParseError::code`).
+        code: u16,
+        /// Human-readable message.
+        message: String,
+    },
+    /// An `EXPLAIN` payload: the plan, never executed.
+    Explain {
+        /// Rendered tree, identical to the CLI binaries' output.
+        text: String,
+        /// Stable-field JSON (`Plan::to_json`).
+        json: String,
+    },
+}
+
+/// A result set as shipped on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Executed query id.
+    pub query_id: QueryId,
+    /// The planner's chosen plan label.
+    pub plan: String,
+    /// I/O accounting of the execution.
+    pub io: IoStats,
+    /// Column metadata: group columns, then the aggregate.
+    pub columns: Vec<ColumnMeta>,
+    /// `QueryOutput::to_bytes`, verbatim.
+    pub output_bytes: Vec<u8>,
+}
+
+impl ResultSet {
+    /// Decode the row payload.
+    pub fn output(&self) -> Result<QueryOutput, String> {
+        QueryOutput::from_bytes(&self.output_bytes)
+    }
+}
+
+/// Build the `RESULT` response for an executed query.
+pub fn result_response(r: &RowsResponse) -> Response {
+    Response::Result(ResultSet {
+        query_id: r.query_id,
+        plan: r.plan.clone(),
+        io: r.io,
+        columns: r.columns.clone(),
+        output_bytes: r.output.to_bytes(),
+    })
+}
+
+/// Build the wire response for any session answer.
+pub fn response_for(answer: &QueryResponse) -> Response {
+    match answer {
+        QueryResponse::Rows(r) => result_response(r),
+        QueryResponse::Explain { text, json } => {
+            Response::Explain { text: text.clone(), json: json.clone() }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Write one frame: `u32` LE length + payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame's payload. `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+const TAG_QUERY: u8 = 0x01;
+const TAG_CLOSE: u8 = 0x02;
+const TAG_RESULT: u8 = 0x81;
+const TAG_ERROR: u8 = 0x82;
+const TAG_EXPLAIN: u8 = 0x83;
+
+fn put_str16(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_str32(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Query(sql) => {
+                out.push(TAG_QUERY);
+                put_str32(&mut out, sql);
+            }
+            Request::Close => out.push(TAG_CLOSE),
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Request, String> {
+        let mut r = Cursor { bytes, at: 0 };
+        let req = match r.u8()? {
+            TAG_QUERY => Request::Query(r.str32()?),
+            TAG_CLOSE => Request::Close,
+            t => return Err(format!("unknown request tag 0x{t:02x}")),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Result(rs) => {
+                out.push(TAG_RESULT);
+                out.push(rs.query_id.flight);
+                out.push(rs.query_id.number);
+                put_str16(&mut out, &rs.plan);
+                out.extend_from_slice(&rs.io.bytes_read.to_le_bytes());
+                out.extend_from_slice(&rs.io.pages_read.to_le_bytes());
+                out.extend_from_slice(&rs.io.seeks.to_le_bytes());
+                out.extend_from_slice(&rs.io.pool_hits.to_le_bytes());
+                out.extend_from_slice(&(rs.columns.len() as u16).to_le_bytes());
+                for c in &rs.columns {
+                    put_str16(&mut out, &c.name);
+                    out.push(match c.dtype {
+                        DataType::Int => 0,
+                        DataType::Str => 1,
+                    });
+                }
+                out.extend_from_slice(&(rs.output_bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(&rs.output_bytes);
+            }
+            Response::Error { code, message } => {
+                out.push(TAG_ERROR);
+                out.extend_from_slice(&code.to_le_bytes());
+                put_str32(&mut out, message);
+            }
+            Response::Explain { text, json } => {
+                out.push(TAG_EXPLAIN);
+                put_str32(&mut out, text);
+                put_str32(&mut out, json);
+            }
+        }
+        out
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Response, String> {
+        let mut r = Cursor { bytes, at: 0 };
+        let resp = match r.u8()? {
+            TAG_RESULT => {
+                let query_id = QueryId::new(r.u8()?, r.u8()?);
+                let plan = r.str16()?;
+                let io = IoStats {
+                    bytes_read: r.u64()?,
+                    pages_read: r.u64()?,
+                    seeks: r.u64()?,
+                    pool_hits: r.u64()?,
+                };
+                let ncols = r.u16()? as usize;
+                let mut columns = Vec::with_capacity(ncols.min(1 << 10));
+                for _ in 0..ncols {
+                    let name = r.str16()?;
+                    let dtype = match r.u8()? {
+                        0 => DataType::Int,
+                        1 => DataType::Str,
+                        t => return Err(format!("unknown column type tag {t}")),
+                    };
+                    columns.push(ColumnMeta { name, dtype });
+                }
+                let n = r.u32()? as usize;
+                let output_bytes = r.take(n)?.to_vec();
+                Response::Result(ResultSet { query_id, plan, io, columns, output_bytes })
+            }
+            TAG_ERROR => Response::Error { code: r.u16()?, message: r.str32()? },
+            TAG_EXPLAIN => Response::Explain { text: r.str32()?, json: r.str32()? },
+            t => return Err(format!("unknown response tag 0x{t:02x}")),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+/// Bounds-checked little-endian cursor.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| format!("truncated payload at byte {}", self.at))?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str16(&mut self) -> Result<String, String> {
+        let n = self.u16()? as usize;
+        self.utf8(n)
+    }
+
+    fn str32(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        self.utf8(n)
+    }
+
+    fn utf8(&mut self, n: usize) -> Result<String, String> {
+        std::str::from_utf8(self.take(n)?)
+            .map(str::to_string)
+            .map_err(|e| format!("invalid UTF-8: {e}"))
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("{} trailing bytes in payload", self.bytes.len() - self.at))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvr_data::value::Value;
+
+    fn sample_result() -> Response {
+        let output = QueryOutput::new(vec![
+            (vec![Value::Int(1993), Value::str("MFGR#12")], 42_000_000),
+            (vec![Value::Int(1994), Value::str("MFGR#13")], -7),
+        ]);
+        Response::Result(ResultSet {
+            query_id: QueryId::new(2, 1),
+            plan: "tICL".to_string(),
+            io: IoStats { bytes_read: 1024, pages_read: 16, seeks: 3, pool_hits: 9 },
+            columns: vec![
+                ColumnMeta { name: "d_year".into(), dtype: DataType::Int },
+                ColumnMeta { name: "p_brand1".into(), dtype: DataType::Str },
+                ColumnMeta { name: "SUM(lo_revenue)".into(), dtype: DataType::Int },
+            ],
+            output_bytes: output.to_bytes(),
+        })
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [Request::Query("SELECT SUM(lo_revenue) FROM lineorder".into()), Request::Close]
+        {
+            assert_eq!(Request::decode(&req.encode()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            sample_result(),
+            Response::Error { code: 2, message: "unknown column: lo_color".into() },
+            Response::Explain { text: "plan=tICL".into(), json: "{\"plan\": \"tICL\"}".into() },
+        ];
+        for resp in responses {
+            assert_eq!(Response::decode(&resp.encode()), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn result_payload_decodes_rows() {
+        let Response::Result(rs) = sample_result() else { unreachable!() };
+        let round = Response::decode(&rs.encode_as_response()).unwrap();
+        let Response::Result(back) = round else { panic!("expected RESULT") };
+        let rows = back.output().unwrap();
+        assert_eq!(rows.rows.len(), 2);
+        assert_eq!(rows.rows[0].1, 42_000_000);
+        assert_eq!(back.io.pool_hits, 9);
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected() {
+        assert!(Request::decode(&[0x7f]).is_err(), "unknown request tag");
+        assert!(Response::decode(&[0x7f]).is_err(), "unknown response tag");
+        assert!(Request::decode(&[]).is_err(), "empty payload");
+        // Trailing garbage after a well-formed message.
+        let mut bytes = Request::Close.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err(), "trailing bytes");
+        // Truncated string length.
+        let mut q = Request::Query("SELECT".into()).encode();
+        q.truncate(q.len() - 2);
+        assert!(Request::decode(&q).is_err(), "truncated payload");
+    }
+
+    #[test]
+    fn frames_round_trip_and_eof_is_clean() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b"hello"[..]));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF at a frame boundary");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let wire = (u32::MAX).to_le_bytes();
+        assert!(read_frame(&mut wire.as_slice()).is_err());
+    }
+
+    impl ResultSet {
+        fn encode_as_response(self) -> Vec<u8> {
+            Response::Result(self).encode()
+        }
+    }
+}

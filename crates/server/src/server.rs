@@ -1,0 +1,99 @@
+//! A threaded TCP accept loop multiplexing concurrent connections onto one
+//! shared [`Session`].
+//!
+//! Deliberately boring: thread-per-connection over the blocking standard
+//! library. The engines are CPU-bound and morsel-parallel internally; the
+//! serving layer's job is isolation (one slow client never blocks another)
+//! and determinism (each query gets its own `IoSession`, so answers don't
+//! depend on interleaving). *Processing a Trillion Cells per Mouse Click*
+//! credits exactly this serve-many-users shape — not a smarter scheduler —
+//! for interactive analytics; the closed-loop harness in `cvr-bench`
+//! measures it.
+
+use crate::protocol::{read_frame, response_for, write_frame, Request, Response};
+use crate::session::Session;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running server: background accept thread plus shutdown handle.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
+/// `session` until [`Server::shutdown`].
+pub fn serve(session: Arc<Session>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = shutdown.clone();
+    let accept_thread = std::thread::Builder::new().name("cvr-accept".into()).spawn(move || {
+        for stream in listener.incoming() {
+            if flag.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let session = session.clone();
+            let _ = std::thread::Builder::new()
+                .name("cvr-conn".into())
+                .spawn(move || serve_connection(&session, stream));
+        }
+    })?;
+    Ok(Server { addr, shutdown, accept_thread: Some(accept_thread) })
+}
+
+impl Server {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept thread. Connections
+    /// already being served finish their current request.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serve one connection: a loop of frame → request → response frame.
+fn serve_connection(session: &Session, mut stream: TcpStream) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => return, // client hung up
+        };
+        let response = match Request::decode(&payload) {
+            Ok(Request::Close) => return,
+            Ok(Request::Query(sql)) => match session.query(&sql) {
+                Ok(answer) => response_for(&answer),
+                Err(e) => Response::Error { code: e.code(), message: e.to_string() },
+            },
+            Err(e) => Response::Error { code: 0, message: format!("malformed request: {e}") },
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}

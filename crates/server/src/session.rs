@@ -1,0 +1,204 @@
+//! The unified `Session` API: the one public way to run a query.
+//!
+//! Before this crate, running a query meant picking an engine, a
+//! configuration, a fact-predicate order, and an entry point by hand.
+//! [`Session`] owns all of it: statistics ([`cvr_plan::Catalog`]),
+//! planning ([`cvr_plan::Planner`]), both engines, and execution.
+//! `Session::query(sql)` parses, plans, and runs; `Session::run` is the
+//! same pipeline entered with a descriptor (the "direct-descriptor path"
+//! the differential harness compares against).
+//!
+//! **Determinism contract**: every query executes against a fresh
+//! [`IoSession`] over an unbounded buffer pool, so outputs *and* I/O
+//! accounting depend only on the query and the chosen plan — never on what
+//! ran before, on which connection, or on how many queries run
+//! concurrently. "N concurrent queries ≡ the same N serial, byte-identical"
+//! is a test, not an aspiration.
+
+use crate::parser::{self, ParseError, Statement};
+use cvr_core::morsel::Parallelism;
+use cvr_core::ColumnEngine;
+use cvr_data::gen::SsbTables;
+use cvr_data::queries::{QueryId, SsbQuery};
+use cvr_data::result::QueryOutput;
+use cvr_data::value::DataType;
+use cvr_plan::{Catalog, PhysicalChoice, Plan, Planner};
+use cvr_row::designs::{RowDb, RowDesign};
+use cvr_storage::io::{BufferPool, IoSession, IoStats};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A failure answering a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The SQL failed to parse or analyze.
+    Parse(ParseError),
+}
+
+impl SessionError {
+    /// Stable numeric code for the wire protocol.
+    pub fn code(&self) -> u16 {
+        match self {
+            SessionError::Parse(e) => e.code(),
+        }
+    }
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ParseError> for SessionError {
+    fn from(e: ParseError) -> SessionError {
+        SessionError::Parse(e)
+    }
+}
+
+/// One column of a result set: name and logical type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnMeta {
+    /// Column name (`"d_year"`, or the aggregate's SQL text).
+    pub name: String,
+    /// Logical type.
+    pub dtype: DataType,
+}
+
+/// A successful query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowsResponse {
+    /// The executed query's id (paper id when the SQL matched a paper
+    /// query, `Q0.*` for ad-hoc, `Q9.*` for generated descriptors).
+    pub query_id: QueryId,
+    /// Label of the plan the planner picked (`tICL`, `row:MV`, ...).
+    pub plan: String,
+    /// Result-set column metadata: the group columns, then the aggregate.
+    pub columns: Vec<ColumnMeta>,
+    /// The rows, in normalized (ascending group-key) order.
+    pub output: QueryOutput,
+    /// I/O accounting of this execution (fresh session per query, so this
+    /// is deterministic for a given query + plan).
+    pub io: IoStats,
+}
+
+/// What a statement returned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResponse {
+    /// A `SELECT`: rows plus metadata.
+    Rows(RowsResponse),
+    /// An `EXPLAIN SELECT`: the plan, never executed.
+    Explain {
+        /// Human-readable tree (identical to the CLI binaries' rendering).
+        text: String,
+        /// Stable-field JSON (identical to `Plan::to_json`).
+        json: String,
+    },
+}
+
+/// A session over one generated dataset: statistics, planner, both
+/// engines, and the execution pipeline behind one `query(&str)` call.
+///
+/// `Session` is `Sync`; one instance serves any number of threads
+/// concurrently (the TCP server shares one behind an `Arc`).
+pub struct Session {
+    engine: ColumnEngine,
+    planner: Planner,
+    tables: Arc<SsbTables>,
+    par: Parallelism,
+    /// Row-engine physical designs, built lazily the first time a plan
+    /// picks one and cached for the session's lifetime.
+    row_dbs: Mutex<HashMap<RowDesign, Arc<RowDb>>>,
+}
+
+impl Session {
+    /// Build a session over `tables` at the process-default parallelism
+    /// ([`Parallelism::from_env`]).
+    pub fn new(tables: Arc<SsbTables>) -> Session {
+        Session::with_parallelism(tables, Parallelism::from_env())
+    }
+
+    /// Build a session with an explicit [`Parallelism`] for the column
+    /// engine's morsel pool. Results and I/O accounting are byte-identical
+    /// at every thread count.
+    pub fn with_parallelism(tables: Arc<SsbTables>, par: Parallelism) -> Session {
+        let engine = ColumnEngine::new(tables.clone());
+        let planner = Planner::new(Catalog::build(&engine));
+        Session { engine, planner, tables, par, row_dbs: Mutex::new(HashMap::new()) }
+    }
+
+    /// The planner (statistics + cost model) this session plans with.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Parse and answer one SQL statement.
+    pub fn query(&self, sql: &str) -> Result<QueryResponse, SessionError> {
+        match parser::parse(sql)? {
+            Statement::Select(q) => Ok(QueryResponse::Rows(self.run(&q))),
+            Statement::Explain(q) => {
+                let plan = self.explain(&q);
+                Ok(QueryResponse::Explain { text: plan.render(), json: plan.to_json() })
+            }
+        }
+    }
+
+    /// Plan `q` without executing it — the `EXPLAIN` path, also entered
+    /// with a descriptor.
+    pub fn explain(&self, q: &SsbQuery) -> Plan {
+        self.planner.plan(q)
+    }
+
+    /// Plan and execute a descriptor: the direct-descriptor path.
+    ///
+    /// `Session::query(sql)` is exactly `parse` + `run`, so a SQL-submitted
+    /// query and its descriptor produce byte-identical outputs and
+    /// [`IoStats`].
+    pub fn run(&self, q: &SsbQuery) -> RowsResponse {
+        let plan = self.planner.plan(q);
+        let io = IoSession::new(BufferPool::unbounded());
+        let output = match plan.choice {
+            PhysicalChoice::Column(cfg) => {
+                self.engine.execute_planned(q, cfg, &plan.fact_order, self.par, &io)
+            }
+            PhysicalChoice::Row(design) => {
+                self.row_db(design).execute_planned(q, &plan.fact_order, &io)
+            }
+        };
+        RowsResponse {
+            query_id: q.id,
+            plan: plan.choice.label(),
+            columns: response_columns(q),
+            output,
+            io: io.stats(),
+        }
+    }
+
+    fn row_db(&self, design: RowDesign) -> Arc<RowDb> {
+        let mut dbs = self.row_dbs.lock().expect("row_dbs mutex poisoned");
+        dbs.entry(design)
+            .or_insert_with(|| Arc::new(RowDb::build(self.tables.clone(), design)))
+            .clone()
+    }
+}
+
+/// Result-set metadata for `q`: the group columns (with their schema
+/// types), then the aggregate as an integer column named by its SQL text.
+fn response_columns(q: &SsbQuery) -> Vec<ColumnMeta> {
+    let schema = cvr_data::schema::star_schema();
+    let mut cols: Vec<ColumnMeta> = q
+        .group_by
+        .iter()
+        .map(|g| {
+            let t = schema.dim(g.dim);
+            let dtype = t.columns[t.col(g.column)].dtype;
+            ColumnMeta { name: g.column.to_string(), dtype }
+        })
+        .collect();
+    cols.push(ColumnMeta { name: parser::agg_sql(q.aggregate).to_string(), dtype: DataType::Int });
+    cols
+}

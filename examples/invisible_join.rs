@@ -10,7 +10,7 @@
 //! ```
 
 use cvr::core::invisible::{phase1_key_pred, phase2_probe, FactKeyPred};
-use cvr::core::{CStoreDb, EngineConfig};
+use cvr::core::{ColumnEngine, EngineConfig};
 use cvr::data::gen::{SsbConfig, SsbTables};
 use cvr::data::queries::{AggExpr, GroupColumn, QueryId};
 use cvr::data::queries::{DimPredicate, Pred, SsbQuery};
@@ -178,15 +178,16 @@ fn describe(kp: &FactKeyPred) -> String {
 
 fn main() {
     let tables = Arc::new(figure2_tables());
-    let db = CStoreDb::build(tables, true);
+    let engine = ColumnEngine::new(tables);
     let q = query31();
     let cfg = EngineConfig::FULL;
+    let db = engine.db(cfg);
     let io = IoSession::unmetered();
 
     println!("== Phase 1 (Figure 2): dimension predicates → fact key predicates ==\n");
     let mut preds = Vec::new();
     for dim in [Dim::Customer, Dim::Supplier, Dim::Date] {
-        let kp = phase1_key_pred(&db, &q, dim, cfg, &io).expect("restricted");
+        let kp = phase1_key_pred(db, &q, dim, cfg, &io).expect("restricted");
         println!("  {:<9} predicate rewritten to: fk {}", dim.table_name(), describe(&kp));
         preds.push((dim, kp));
     }
@@ -199,7 +200,7 @@ fn main() {
     println!("== Phase 2 (Figure 3): probe fact FK columns, intersect positions ==\n");
     let mut pos: Option<cvr::core::PosList> = None;
     for (dim, kp) in &preds {
-        let pl = phase2_probe(&db, *dim, kp, cfg, &io);
+        let pl = phase2_probe(db, *dim, kp, cfg, &io);
         println!("  {:<12} matching fact positions: {:?}", dim.fact_fk_column(), pl.to_vec());
         pos = Some(match pos {
             None => pl,
@@ -215,7 +216,7 @@ fn main() {
     );
 
     println!("== Phase 3 (Figure 4): extract dimension values at those positions ==\n");
-    let out = cvr::core::invisible::execute(&db, &q, cfg, &io);
+    let out = engine.execute(&q, cfg, &io);
     for (key, revenue) in &out.rows {
         let parts: Vec<String> = key.iter().map(|v| v.to_string()).collect();
         println!("  ({}) → revenue {}", parts.join(", "), revenue);

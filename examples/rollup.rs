@@ -14,7 +14,7 @@
 //! ```
 
 use cvr::core::invisible::{phase1_key_pred, FactKeyPred};
-use cvr::core::{CStoreDb, EngineConfig};
+use cvr::core::{ColumnEngine, EngineConfig};
 use cvr::data::gen::SsbConfig;
 use cvr::data::queries::{AggExpr, DimPredicate, GroupColumn, Pred, QueryId, SsbQuery};
 use cvr::data::schema::Dim;
@@ -39,9 +39,10 @@ fn profit_query(column: &'static str, value: &str, group: &'static str) -> SsbQu
 
 fn main() {
     let tables = Arc::new(SsbConfig::with_scale(0.01).generate());
-    let db = CStoreDb::build(tables, true);
+    let engine = ColumnEngine::new(tables);
     let io = IoSession::unmetered();
     let cfg = EngineConfig::FULL;
+    let db = engine.db(cfg);
 
     // The drill-down: profit by nation within a region, then by city within
     // a nation — each level one equality predicate deeper in the supplier
@@ -53,13 +54,13 @@ fn main() {
 
     for (pred_col, pred_val, group_col, title) in levels {
         let q = profit_query(pred_col, pred_val, group_col);
-        let kp = phase1_key_pred(&db, &q, Dim::Supplier, cfg, &io).expect("restricted");
+        let kp = phase1_key_pred(db, &q, Dim::Supplier, cfg, &io).expect("restricted");
         let rewrite = match &kp {
             FactKeyPred::Between(lo, hi) => format!("lo_suppkey BETWEEN {lo} AND {hi}"),
             FactKeyPred::KeySet(s) => format!("hash set of {} keys", s.len()),
         };
         println!("{title}\n  predicate {pred_col} = {pred_val:?} rewrote to: {rewrite}");
-        let out = cvr::core::invisible::execute(&db, &q, cfg, &io);
+        let out = engine.execute(&q, cfg, &io);
         for (key, profit) in out.rows.iter().take(4) {
             println!("    {:<14} profit = {profit}", key[0].to_string());
         }

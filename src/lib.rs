@@ -19,7 +19,9 @@
 //! * [`core`] (`cvr-core`) — the column engine: invisible join, late
 //!   materialization, compressed execution, Row-MV, denormalization;
 //! * [`plan`] (`cvr-plan`) — the statistics-driven cost-based planner over
-//!   both engines' physical-design space.
+//!   both engines' physical-design space;
+//! * [`server`] (`cvr-server`) — the front door: SQL parser, unified
+//!   `Session` API, wire protocol, and a concurrent TCP server.
 //!
 //! ```
 //! use cvr::core::{ColumnEngine, EngineConfig};
@@ -44,4 +46,5 @@ pub use cvr_data as data;
 pub use cvr_index as index;
 pub use cvr_plan as plan;
 pub use cvr_row as row;
+pub use cvr_server as server;
 pub use cvr_storage as storage;

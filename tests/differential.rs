@@ -339,3 +339,63 @@ fn parallel_engine_matches_reference_directly() {
         }
     }
 }
+
+#[test]
+fn concurrent_sessions_are_byte_identical_to_serial() {
+    // The front-door extension of the differential contract: one shared
+    // `Session` answering N concurrent SQL streams must produce, for every
+    // query, byte-identical output AND IoStats to the same queries run
+    // serially through the direct-descriptor path. (The full wire-level
+    // version — real TCP connections — lives in crates/server/tests; this
+    // cell pins the Session layer itself into the differential grid.)
+    use cvr::server::session::QueryResponse;
+    use cvr::server::{parser, Session};
+
+    let tables = Arc::new(SsbConfig { sf: 0.0015, seed: 77 }.generate());
+    let session = Arc::new(Session::new(tables));
+
+    let mut queries: Vec<SsbQuery> = all_queries();
+    queries.extend(WorkloadConfig { seed: 5, count: 10 }.generate());
+
+    // Serial reference via the descriptor path.
+    let serial: Vec<(Vec<u8>, cvr::storage::io::IoStats)> = queries
+        .iter()
+        .map(|q| {
+            let r = session.run(q);
+            (r.output.to_bytes(), r.io)
+        })
+        .collect();
+
+    // 8 concurrent SQL streams over the same session.
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            let session = session.clone();
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                queries
+                    .iter()
+                    // Stagger the starting point so streams interleave
+                    // different queries at any instant.
+                    .cycle()
+                    .skip(w * 3)
+                    .take(queries.len())
+                    .map(|q| {
+                        let sql = parser::render_sql(q);
+                        match session.query(&sql).expect("parse") {
+                            QueryResponse::Rows(r) => (q.id, r.output.to_bytes(), r.io),
+                            QueryResponse::Explain { .. } => unreachable!(),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for (w, worker) in workers.into_iter().enumerate() {
+        for (id, bytes, io) in worker.join().expect("session stream") {
+            let idx = queries.iter().position(|q| q.id == id).unwrap();
+            let (ref_bytes, ref_io) = &serial[idx];
+            assert_eq!(&bytes, ref_bytes, "stream {w}: {id} output diverged under concurrency");
+            assert_eq!(&io, ref_io, "stream {w}: {id} IoStats diverged under concurrency");
+        }
+    }
+}
