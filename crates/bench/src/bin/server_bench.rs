@@ -6,18 +6,30 @@
 //! running `--statements` SQL statements drawn round-robin from the 13
 //! paper queries plus a generated ad-hoc workload.
 //!
-//! Before the timed run, every distinct statement is executed once over a
-//! single serial connection to record reference response frames; the
-//! concurrent run then asserts every response is **byte-identical** to its
-//! serial reference — the tentpole invariant ("N concurrent queries ≡ the
-//! same N serial") enforced at the wire, not just in-process.
+//! The workload is deliberately *repeated*: every statement is issued many
+//! times, so the session's result cache should absorb all but the first
+//! execution of each distinct statement. The harness measures that
+//! directly:
+//!
+//! 1. **Cold serial pass** — every distinct statement once over a single
+//!    connection. Responses must report `cached = false`; their normalized
+//!    frames become the byte-identity reference, and their latencies the
+//!    cold baseline.
+//! 2. **Warm serial pass** — every statement again on the same connection.
+//!    Responses must report `cached = true` and be byte-identical (up to
+//!    the `cached` flag) to the cold reference; their latencies are the
+//!    warm baseline. `warm_speedup_p50 = cold p50 / warm p50`.
+//! 3. **Concurrent closed loop** — the timed run. Every response is
+//!    asserted byte-identical (normalized) to its reference, and the
+//!    decoded `cached` flags yield the aggregate **hit-rate**, gated by
+//!    `--min-hit-rate` (CI uses 0.9).
 //!
 //! Reports per-statement latency (p50 / p95 / p99 / max), aggregate QPS,
-//! and writes `BENCH_server.json`.
+//! cold-vs-warm latency, hit-rate, and writes `BENCH_server.json`.
 //!
 //! ```text
 //! cargo run --release -p cvr-bench --bin server_bench -- --sf 0.005
-//! cargo run --release -p cvr-bench --bin server_bench -- --connections 16 --statements 200
+//! cargo run --release -p cvr-bench --bin server_bench -- --connections 16 --min-hit-rate 0.9
 //! ```
 
 use cvr_bench::HarnessArgs;
@@ -44,22 +56,26 @@ fn quantile(sorted: &[Duration], q: f64) -> Duration {
 /// One client's closed loop: issue `statements` queries round-robin from
 /// `sqls` (offset by the client index so connections interleave different
 /// queries), assert byte-identity against the serial reference, and record
-/// per-statement latency.
+/// per-statement latency plus how many answers came from the result cache.
 fn run_client(
     addr: SocketAddr,
     sqls: Arc<Vec<String>>,
     reference: Arc<HashMap<String, Vec<u8>>>,
     client_idx: usize,
     statements: usize,
-) -> Vec<Duration> {
+) -> (Vec<Duration>, usize) {
     let mut client = Client::connect(addr).expect("connect");
     let mut latencies = Vec::with_capacity(statements);
+    let mut hits = 0;
     for i in 0..statements {
         let sql = &sqls[(client_idx + i) % sqls.len()];
         let start = Instant::now();
         let response = client.query(sql).expect("query");
         latencies.push(start.elapsed());
-        let bytes = response.encode();
+        if let Response::Result(rs) = &response {
+            hits += rs.cached as usize;
+        }
+        let bytes = response.normalized().encode();
         assert_eq!(
             &bytes,
             reference.get(sql).expect("reference response"),
@@ -67,7 +83,36 @@ fn run_client(
         );
     }
     client.close().expect("close");
-    latencies
+    (latencies, hits)
+}
+
+/// Run every statement once over `client`; returns per-statement latency
+/// and the normalized response frame, panicking on ERROR responses and on
+/// a `cached` flag that disagrees with `expect_cached`.
+fn serial_pass(
+    client: &mut Client,
+    sqls: &[String],
+    expect_cached: bool,
+    label: &str,
+) -> Vec<(Duration, Vec<u8>)> {
+    sqls.iter()
+        .map(|sql| {
+            let start = Instant::now();
+            let response = client.query(sql).expect("serial query");
+            let elapsed = start.elapsed();
+            match &response {
+                Response::Error { code, message } => {
+                    panic!("{label} pass failed ({code}): {message}\n  {sql}")
+                }
+                Response::Result(rs) => assert_eq!(
+                    rs.cached, expect_cached,
+                    "{label} pass: expected cached={expect_cached} for `{sql}`"
+                ),
+                _ => panic!("{label} pass: unexpected response to `{sql}`"),
+            }
+            (elapsed, response.normalized().encode())
+        })
+        .collect()
 }
 
 fn main() {
@@ -82,7 +127,11 @@ fn main() {
     queries.extend(
         (WorkloadConfig { seed: args.seed ^ 0x5EBE, count: args.queries.min(255) }).generate(),
     );
-    let sqls: Arc<Vec<String>> = Arc::new(queries.iter().map(render_sql).collect());
+    // Dedupe (order-preserving): a generated query that renders to the same
+    // SQL as an earlier one would otherwise hit the cache in the cold pass.
+    let mut seen = std::collections::HashSet::new();
+    let sqls: Arc<Vec<String>> =
+        Arc::new(queries.iter().map(render_sql).filter(|s| seen.insert(s.clone())).collect());
     eprintln!(
         "# {} distinct statements ({} paper + {} generated)",
         sqls.len(),
@@ -90,28 +139,31 @@ fn main() {
         sqls.len() - 13
     );
 
-    // Serial reference pass: one connection, every statement once. These
-    // are the bytes every concurrent response must match.
-    let mut reference: HashMap<String, Vec<u8>> = HashMap::new();
+    // Cold serial pass: one connection, every statement once — nothing in
+    // the cache yet, so every response must be cold. These normalized
+    // frames are the bytes every later response must match.
     let mut serial_client = Client::connect(addr).expect("connect");
-    let serial_start = Instant::now();
-    for sql in sqls.iter() {
-        let response = serial_client.query(sql).expect("serial query");
-        if let Response::Error { code, message } = &response {
-            panic!("serial reference failed ({code}): {message}\n  {sql}");
-        }
-        reference.insert(sql.clone(), response.encode());
-    }
-    let serial_elapsed = serial_start.elapsed();
-    serial_client.close().expect("close");
-    let reference = Arc::new(reference);
-    eprintln!(
-        "# serial reference: {} statements in {:.2}s",
-        sqls.len(),
-        serial_elapsed.as_secs_f64()
-    );
+    let cold_pass = serial_pass(&mut serial_client, &sqls, false, "cold");
+    let mut cold_lat: Vec<Duration> = cold_pass.iter().map(|(d, _)| *d).collect();
+    let reference: Arc<HashMap<String, Vec<u8>>> =
+        Arc::new(sqls.iter().cloned().zip(cold_pass.into_iter().map(|(_, frame)| frame)).collect());
+    cold_lat.sort();
+    eprintln!("# cold serial pass: {} statements", sqls.len());
 
-    // Timed closed-loop run.
+    // Warm serial pass: the same statements again on the same connection.
+    // Every answer must now come from the result cache, byte-identical to
+    // its cold reference up to the `cached` flag.
+    let warm_pass = serial_pass(&mut serial_client, &sqls, true, "warm");
+    let mut warm_lat = Vec::with_capacity(warm_pass.len());
+    for (sql, (lat, frame)) in sqls.iter().zip(warm_pass) {
+        warm_lat.push(lat);
+        assert_eq!(&frame, reference.get(sql).unwrap(), "warm hit diverged: `{sql}`");
+    }
+    warm_lat.sort();
+    serial_client.close().expect("close");
+    eprintln!("# warm serial pass: {} statements, all cache hits", sqls.len());
+
+    // Timed closed-loop run over the warmed cache.
     let total_statements = args.connections * args.statements;
     eprintln!(
         "# closed loop: {} connections x {} statements ...",
@@ -129,8 +181,11 @@ fn main() {
         })
         .collect();
     let mut latencies: Vec<Duration> = Vec::with_capacity(total_statements);
+    let mut cache_hits = 0usize;
     for w in workers {
-        latencies.extend(w.join().expect("client thread"));
+        let (lat, hits) = w.join().expect("client thread");
+        latencies.extend(lat);
+        cache_hits += hits;
     }
     let wall = wall_start.elapsed();
     server.shutdown();
@@ -140,6 +195,10 @@ fn main() {
         (quantile(&latencies, 0.50), quantile(&latencies, 0.95), quantile(&latencies, 0.99));
     let max = *latencies.last().expect("at least one statement");
     let qps = total_statements as f64 / wall.as_secs_f64();
+    let hit_rate = cache_hits as f64 / total_statements as f64;
+    let (cold_p50, cold_p99) = (quantile(&cold_lat, 0.50), quantile(&cold_lat, 0.99));
+    let (warm_p50, warm_p99) = (quantile(&warm_lat, 0.50), quantile(&warm_lat, 0.99));
+    let speedup_p50 = cold_p50.as_secs_f64() / warm_p50.as_secs_f64().max(1e-9);
 
     println!("\nServer closed-loop harness (sf {})", args.sf);
     println!("===================================\n");
@@ -153,6 +212,10 @@ fn main() {
     println!("latency p95:      {:.3}ms", p95.as_secs_f64() * 1e3);
     println!("latency p99:      {:.3}ms", p99.as_secs_f64() * 1e3);
     println!("latency max:      {:.3}ms", max.as_secs_f64() * 1e3);
+    println!("cold p50:         {:.3}ms", cold_p50.as_secs_f64() * 1e3);
+    println!("warm p50:         {:.3}ms", warm_p50.as_secs_f64() * 1e3);
+    println!("warm speedup p50: {speedup_p50:.1}x");
+    println!("cache hit-rate:   {:.1}% ({cache_hits}/{total_statements})", hit_rate * 100.0);
     println!(
         "\nbyte-identity: all {total_statements} concurrent responses matched the serial reference"
     );
@@ -169,8 +232,22 @@ fn main() {
     let _ = writeln!(json, "  \"p95_ms\": {:.4},", p95.as_secs_f64() * 1e3);
     let _ = writeln!(json, "  \"p99_ms\": {:.4},", p99.as_secs_f64() * 1e3);
     let _ = writeln!(json, "  \"max_ms\": {:.4},", max.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"cold_p50_ms\": {:.4},", cold_p50.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"cold_p99_ms\": {:.4},", cold_p99.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"warm_p50_ms\": {:.4},", warm_p50.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"warm_p99_ms\": {:.4},", warm_p99.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"warm_speedup_p50\": {speedup_p50:.2},");
+    let _ = writeln!(json, "  \"cache_hit_rate\": {hit_rate:.4},");
     let _ = writeln!(json, "  \"byte_identical\": {total_statements}");
     json.push_str("}\n");
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
     eprintln!("\n# wrote BENCH_server.json");
+
+    if hit_rate < args.min_hit_rate {
+        eprintln!(
+            "FAIL: cache hit-rate {:.4} below the --min-hit-rate {:.4} gate",
+            hit_rate, args.min_hit_rate
+        );
+        std::process::exit(1);
+    }
 }

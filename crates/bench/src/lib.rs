@@ -110,6 +110,10 @@ pub struct HarnessArgs {
     /// SQL statements each `server_bench` connection issues
     /// (`--statements`, default 64).
     pub statements: usize,
+    /// Cache hit-rate gate for the `server_bench` binary: fail when the
+    /// concurrent repeated-workload run's result-cache hit-rate falls below
+    /// this fraction (`--min-hit-rate`, default 0.0 ⇒ no gate).
+    pub min_hit_rate: f64,
 }
 
 impl Default for HarnessArgs {
@@ -126,6 +130,7 @@ impl Default for HarnessArgs {
             max_regret: 1.5,
             connections: 8,
             statements: 64,
+            min_hit_rate: 0.0,
         }
     }
 }
@@ -169,12 +174,16 @@ impl HarnessArgs {
                     args.statements =
                         take(&mut i).parse::<usize>().expect("--statements takes an int").max(1)
                 }
+                "--min-hit-rate" => {
+                    args.min_hit_rate = take(&mut i).parse().expect("--min-hit-rate takes a float")
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--sf F] [--seed N] [--runs N] [--pool-fraction F] [--cpu-scale F] [--threads N]\n\
                          \x20      [--explain] [--queries N] [--max-regret F] [--connections N] [--statements N]\n\
+                         \x20      [--min-hit-rate F]\n\
                          defaults: --sf 0.02 --runs 3 --pool-fraction 0.08 --cpu-scale 5.0 --threads CVR_THREADS|auto\n\
-                         \x20         --queries 30 --max-regret 1.5 --connections 8 --statements 64"
+                         \x20         --queries 30 --max-regret 1.5 --connections 8 --statements 64 --min-hit-rate 0.0"
                     );
                     std::process::exit(0);
                 }

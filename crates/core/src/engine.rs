@@ -112,6 +112,48 @@ impl ColumnEngine {
     ) -> QueryOutput {
         self.execute_with(&q.with_fact_order(fact_order), config, par, io)
     }
+
+    /// [`ColumnEngine::execute_planned`], additionally capturing the filter
+    /// phases for later warm reuse when the plan shape supports it (the
+    /// invisible join under late materialization). Charges on `io` are
+    /// byte-identical to an uncaptured execution.
+    pub fn execute_planned_capture(
+        &self,
+        q: &SsbQuery,
+        config: EngineConfig,
+        fact_order: &[usize],
+        par: Parallelism,
+        io: &IoSession,
+    ) -> (QueryOutput, Option<crate::invisible::FilterCapture>) {
+        if config.late_materialization && config.invisible_join {
+            let q = q.with_fact_order(fact_order);
+            let (out, cap) = invisible::execute_capture(self.db(config), &q, config, par, io);
+            (out, Some(cap))
+        } else {
+            (self.execute_planned(q, config, fact_order, par, io), None)
+        }
+    }
+
+    /// Re-execute a plan from a [`crate::invisible::FilterCapture`] taken by
+    /// [`ColumnEngine::execute_planned_capture`] under the *same* query
+    /// filter, config, fact order, and store contents: the filter charges
+    /// replay and only phase 3 runs live. Returns `None` (caller runs cold)
+    /// when the plan shape or capture shape does not match.
+    pub fn execute_planned_warm(
+        &self,
+        q: &SsbQuery,
+        config: EngineConfig,
+        fact_order: &[usize],
+        par: Parallelism,
+        io: &IoSession,
+        capture: &crate::invisible::FilterCapture,
+    ) -> Option<QueryOutput> {
+        if !(config.late_materialization && config.invisible_join) {
+            return None;
+        }
+        let q = q.with_fact_order(fact_order);
+        invisible::execute_warm(self.db(config), &q, par, io, capture)
+    }
 }
 
 #[cfg(test)]

@@ -22,7 +22,7 @@
 use crate::agg::{AggStrategy, GroupData};
 use crate::config::EngineConfig;
 use crate::extract::gather_ints;
-use crate::morsel::{intersect_ascending, run_morsels, Parallelism};
+use crate::morsel::{grid, intersect_ascending, run_morsels, Parallelism};
 use crate::poslist::PosList;
 use crate::projection::CStoreDb;
 use crate::scan::{scan_int, scan_int_range, scan_pred, scan_pred_range, IntScanPred};
@@ -30,7 +30,8 @@ use cvr_data::queries::SsbQuery;
 use cvr_data::result::QueryOutput;
 use cvr_data::schema::Dim;
 use cvr_index::hashidx::{IntHashMap, IntHashSet};
-use cvr_storage::io::IoSession;
+use cvr_storage::io::{IoLog, IoSession};
+use std::collections::HashMap;
 
 /// The rewritten join predicate applied to a fact FK column in phase 2.
 pub enum FactKeyPred {
@@ -163,6 +164,195 @@ pub fn phase2_probe(
     key_pred.with_scan_pred(|pred| scan_int(col, pred, cfg.block_iteration, io))
 }
 
+/// A reusable record of the *filter* half (phases 1+2) of one invisible-join
+/// execution: the exact I/O charges those phases made, in order, plus the
+/// surviving fact positions. [`execute_warm`] replays the charges and skips
+/// straight to phase 3, producing output and accounting byte-identical to a
+/// cold run at a fraction of the work. A capture is only valid for the same
+/// store contents, query filter, engine config, fact order, and — for
+/// parallel executions — the same morsel grid; callers key their caches
+/// accordingly and [`execute_warm`] re-checks the grid shape.
+#[derive(Debug, Clone)]
+pub struct FilterCapture {
+    /// Coordinator-side step logs in charge order: serial captures hold
+    /// phase 1 and phase 2 alternating per restricted dimension, then the
+    /// fact-predicate scans; parallel captures hold phase 1 only.
+    coordinator_logs: Vec<IoLog>,
+    /// Per-morsel phase-2 logs (parallel captures only), replayed op-major
+    /// exactly like a cold run.
+    morsel_logs: Vec<IoLog>,
+    /// The surviving fact positions.
+    positions: CapturedPositions,
+}
+
+/// How the surviving positions were recorded — mirrors the execution shape.
+#[derive(Debug, Clone)]
+enum CapturedPositions {
+    /// One global position list (serial execution).
+    Serial(PosList),
+    /// Ascending absolute-position fragments, one per morsel (parallel
+    /// execution); reusable only on an identical morsel grid.
+    Morsels(Vec<Vec<u32>>),
+}
+
+impl FilterCapture {
+    /// Fact rows surviving the filter.
+    pub fn survivors(&self) -> u64 {
+        match &self.positions {
+            CapturedPositions::Serial(p) => p.count() as u64,
+            CapturedPositions::Morsels(f) => f.iter().map(|v| v.len() as u64).sum(),
+        }
+    }
+
+    /// Approximate heap footprint, for cache budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        let logs = self.coordinator_logs.iter().chain(self.morsel_logs.iter());
+        let log_bytes: usize = logs.map(|l| l.entries().len() * 12 + l.num_ops() * 8 + 64).sum();
+        let pos_bytes = match &self.positions {
+            CapturedPositions::Serial(p) => p.count() as usize * 4 + 32,
+            CapturedPositions::Morsels(f) => f.iter().map(|v| v.len() * 4 + 32).sum(),
+        };
+        log_bytes + pos_bytes + std::mem::size_of::<FilterCapture>()
+    }
+}
+
+/// Run one charging step. When `capture` is live the step runs against a
+/// fresh recording session whose log is immediately replayed onto `io`
+/// (charge-identical to running live — replay re-issues the same
+/// `read_page` calls in the same order) and then retained for later warm
+/// replays.
+fn charge_step<R>(
+    io: &IoSession,
+    capture: &mut Option<&mut Vec<IoLog>>,
+    f: impl FnOnce(&IoSession) -> R,
+) -> R {
+    match capture {
+        None => f(io),
+        Some(logs) => {
+            let rio = IoSession::recording(io.pool().clone());
+            let out = f(&rio);
+            let log = rio.take_log();
+            io.replay(&log);
+            logs.push(log);
+            out
+        }
+    }
+}
+
+/// Phases 1+2 of the serial plan: per restricted dimension, rewrite its
+/// predicates to a fact key predicate and probe the FK column, intersecting
+/// position lists; then apply the fact measure predicates (flight 1) like
+/// any other column predicate. Each charging step is optionally captured.
+fn filter_serial(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    opts: InvisibleOptions,
+    io: &IoSession,
+    capture: &mut Option<&mut Vec<IoLog>>,
+) -> PosList {
+    let n = db.fact_rows() as u32;
+    let mut pos: Option<PosList> = None;
+    for dim in q.restricted_dims() {
+        let key_pred = charge_step(io, capture, |s| {
+            phase1_key_pred_opts(db, q, dim, cfg, opts, s).expect("restricted dim has predicates")
+        });
+        let pl = charge_step(io, capture, |s| phase2_probe(db, dim, &key_pred, cfg, s));
+        pos = Some(match pos {
+            None => pl,
+            Some(acc) => acc.intersect(&pl),
+        });
+    }
+    for p in &q.fact_predicates {
+        let col = db.fact.column(p.column);
+        let pl = charge_step(io, capture, |s| scan_pred(col, &p.pred, cfg.block_iteration, s));
+        pos = Some(match pos {
+            None => pl,
+            Some(acc) => acc.intersect(&pl),
+        });
+    }
+    pos.unwrap_or_else(|| PosList::all(n))
+}
+
+/// Key → position join tables for non-dense grouped dimensions (DATE),
+/// charged on `io`. The serial plan builds these lazily inside phase 3;
+/// parallel and warm executions build them up front so morsels share them
+/// read-only.
+fn build_join_maps(db: &CStoreDb, q: &SsbQuery, io: &IoSession) -> HashMap<Dim, IntHashMap> {
+    let mut group_dims: Vec<Dim> = Vec::new();
+    for g in &q.group_by {
+        if !group_dims.contains(&g.dim) {
+            group_dims.push(g.dim);
+        }
+    }
+    let mut join_maps: HashMap<Dim, IntHashMap> = HashMap::new();
+    for &dim in &group_dims {
+        if !db.dim(dim).dense_keys {
+            let keycol = db.dim(dim).store.column(dim.key_column());
+            keycol.charge_scan(io);
+            let keys = keycol.column.as_int().decode();
+            join_maps.insert(
+                dim,
+                IntHashMap::from_pairs(keys.iter().enumerate().map(|(p, &k)| (k, p as u32))),
+            );
+        }
+    }
+    join_maps
+}
+
+/// Phase 3 over one position list: minimal out-of-order extraction of group
+/// and measure values at the surviving positions, partially aggregated on
+/// group ids. With `join_maps: Some(..)` (parallel / warm executions) the
+/// prebuilt key→position tables are shared; with `None` (serial) the DATE
+/// join table is built here, charging the key column — exactly the lazy
+/// behavior the serial plan always had.
+fn phase3_partial(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    strat: &AggStrategy,
+    join_maps: Option<&HashMap<Dim, IntHashMap>>,
+    pos: &PosList,
+    io: &IoSession,
+) -> crate::agg::AggPartial {
+    let mut group_cols: Vec<GroupData> = Vec::with_capacity(q.group_by.len());
+    let mut fk_cache: HashMap<Dim, Vec<u32>> = HashMap::new();
+    for (gi, g) in q.group_by.iter().enumerate() {
+        let dim = g.dim;
+        fk_cache.entry(dim).or_insert_with(|| {
+            let fk_col = db.fact.column(dim.fact_fk_column());
+            let fks = gather_ints(fk_col, pos, io);
+            if db.dim(dim).dense_keys {
+                // Reassigned keys: FK value == dimension row position.
+                fks.into_iter().map(|k| k as u32).collect()
+            } else if let Some(maps) = join_maps {
+                let map = &maps[&dim];
+                fks.into_iter().map(|k| map.get(k).expect("fact FK must join DATE")).collect()
+            } else {
+                // DATE: non-dense keys — perform the join via a key→position
+                // hash table built from the dimension key column.
+                let keycol = db.dim(dim).store.column(dim.key_column());
+                keycol.charge_scan(io);
+                let keys = keycol.column.as_int().decode();
+                let map =
+                    IntHashMap::from_pairs(keys.iter().enumerate().map(|(p, &k)| (k, p as u32)));
+                fks.into_iter().map(|k| map.get(k).expect("fact FK must join DATE")).collect()
+            }
+        });
+        let dim_positions = &fk_cache[&dim];
+        let col = db.dim(dim).store.column(g.column);
+        group_cols.push(strat.extract_group_at(gi, col, dim_positions, io));
+    }
+    let measure_cols: Vec<Vec<i64>> = q
+        .aggregate
+        .fact_columns()
+        .iter()
+        .map(|c| gather_ints(db.fact.column(c), pos, io))
+        .collect();
+    let mut partial = strat.new_partial();
+    partial.add_rows(q, &group_cols, &measure_cols, pos.count() as usize);
+    partial
+}
+
 /// Execute `q` with the invisible join (default options).
 pub(crate) fn execute(
     db: &CStoreDb,
@@ -181,71 +371,13 @@ pub(crate) fn execute_opts(
     opts: InvisibleOptions,
     io: &IoSession,
 ) -> QueryOutput {
-    let n = db.fact_rows() as u32;
-
-    // Phases 1+2 per restricted dimension, intersecting position lists.
-    let mut pos: Option<PosList> = None;
-    for dim in q.restricted_dims() {
-        let key_pred =
-            phase1_key_pred_opts(db, q, dim, cfg, opts, io).expect("restricted dim has predicates");
-        let pl = phase2_probe(db, dim, &key_pred, cfg, io);
-        pos = Some(match pos {
-            None => pl,
-            Some(acc) => acc.intersect(&pl),
-        });
-    }
-    // Fact measure predicates (flight 1) are ordinary column predicates,
-    // applied alongside the rewritten join predicates.
-    for p in &q.fact_predicates {
-        let col = db.fact.column(p.column);
-        let pl = scan_pred(col, &p.pred, cfg.block_iteration, io);
-        pos = Some(match pos {
-            None => pl,
-            Some(acc) => acc.intersect(&pl),
-        });
-    }
-    let pos = pos.unwrap_or_else(|| PosList::all(n));
-
+    // Phases 1+2 per restricted dimension, then fact predicates.
+    let pos = filter_serial(db, q, cfg, opts, io, &mut None);
     // Phase 3: dimension attribute extraction at the final position list —
     // as codes when every group column has a code space (see
     // [`AggStrategy`]), so no strings are materialized per row.
     let strat = AggStrategy::for_query(db, q);
-    let mut group_cols: Vec<GroupData> = Vec::with_capacity(q.group_by.len());
-    let mut fk_cache: std::collections::HashMap<Dim, Vec<u32>> = std::collections::HashMap::new();
-    for (gi, g) in q.group_by.iter().enumerate() {
-        let dim = g.dim;
-        fk_cache.entry(dim).or_insert_with(|| {
-            let fk_col = db.fact.column(dim.fact_fk_column());
-            let fks = gather_ints(fk_col, &pos, io);
-            let dim_positions: Vec<u32> = if db.dim(dim).dense_keys {
-                // Reassigned keys: FK value == dimension row position.
-                fks.into_iter().map(|k| k as u32).collect()
-            } else {
-                // DATE: non-dense keys — perform the join via a key→position
-                // hash table built from the dimension key column.
-                let keycol = db.dim(dim).store.column(dim.key_column());
-                keycol.charge_scan(io);
-                let keys = keycol.column.as_int().decode();
-                let map =
-                    IntHashMap::from_pairs(keys.iter().enumerate().map(|(p, &k)| (k, p as u32)));
-                fks.into_iter().map(|k| map.get(k).expect("fact FK must join DATE")).collect()
-            };
-            dim_positions
-        });
-        let dim_positions = &fk_cache[&dim];
-        let col = db.dim(dim).store.column(g.column);
-        group_cols.push(strat.extract_group_at(gi, col, dim_positions, io));
-    }
-
-    // Measures at the final positions; aggregate on group ids.
-    let measure_cols: Vec<Vec<i64>> = q
-        .aggregate
-        .fact_columns()
-        .iter()
-        .map(|c| gather_ints(db.fact.column(c), &pos, io))
-        .collect();
-    let mut partial = strat.new_partial();
-    partial.add_rows(q, &group_cols, &measure_cols, pos.count() as usize);
+    let partial = phase3_partial(db, q, &strat, None, &pos, io);
     strat.finish(partial, q)
 }
 
@@ -270,44 +402,47 @@ pub(crate) fn execute_par(
     if par.is_serial() {
         return execute(db, q, cfg, io);
     }
+    execute_par_impl(db, q, cfg, par, io, false).0
+}
+
+/// The parallel plan, optionally capturing its filter phases. Each morsel
+/// charges phase 2 and phase 3 into *separate* recording sessions; because
+/// every morsel of one query runs the same structural op sequence, replaying
+/// the phase-2 logs op-major and then the phase-3 logs op-major reconstructs
+/// exactly the charge order of a single combined interleave — and lets a
+/// warm execution replay the filter logs alone.
+fn execute_par_impl(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    par: Parallelism,
+    io: &IoSession,
+    capturing: bool,
+) -> (QueryOutput, Option<FilterCapture>) {
     let n = db.fact_rows() as u32;
 
     // Phase 1 (serial): dimension predicates rewritten to fact key
     // predicates, charged on the main session like the serial plan.
-    let key_preds: Vec<(Dim, FactKeyPred)> = q
-        .restricted_dims()
-        .into_iter()
-        .map(|dim| {
-            let kp = phase1_key_pred(db, q, dim, cfg, io).expect("restricted dim has predicates");
-            (dim, kp)
-        })
-        .collect();
+    let mut coordinator_logs: Vec<IoLog> = Vec::new();
+    let key_preds: Vec<(Dim, FactKeyPred)> = {
+        let mut cap = if capturing { Some(&mut coordinator_logs) } else { None };
+        q.restricted_dims()
+            .into_iter()
+            .map(|dim| {
+                let kp = charge_step(io, &mut cap, |s| {
+                    phase1_key_pred(db, q, dim, cfg, s).expect("restricted dim has predicates")
+                });
+                (dim, kp)
+            })
+            .collect()
+    };
 
     // Non-dense grouped dimensions (DATE) need a key → position join table;
     // the serial plan builds it once per dimension inside phase 3. Build it
-    // up front so every morsel can share it read-only.
-    let group_dims: Vec<Dim> = {
-        let mut dims: Vec<Dim> = Vec::new();
-        for g in &q.group_by {
-            if !dims.contains(&g.dim) {
-                dims.push(g.dim);
-            }
-        }
-        dims
-    };
-    let mut join_maps: std::collections::HashMap<Dim, IntHashMap> =
-        std::collections::HashMap::new();
-    for &dim in &group_dims {
-        if !db.dim(dim).dense_keys {
-            let keycol = db.dim(dim).store.column(dim.key_column());
-            keycol.charge_scan(io);
-            let keys = keycol.column.as_int().decode();
-            join_maps.insert(
-                dim,
-                IntHashMap::from_pairs(keys.iter().enumerate().map(|(p, &k)| (k, p as u32))),
-            );
-        }
-    }
+    // up front so every morsel can share it read-only. Never captured: it
+    // depends on the group-by, not the filter, and is rebuilt live (with
+    // identical charges) on warm executions.
+    let join_maps = build_join_maps(db, q, io);
 
     // The aggregation strategy is derived from column-header metadata only
     // (no charges) and shared read-only, so every morsel extracts codes in
@@ -316,15 +451,14 @@ pub(crate) fn execute_par(
 
     let pool = io.pool().clone();
     let results = run_morsels(n, par, |_, range| {
-        let rio = IoSession::recording(pool.clone());
-
         // Phase 2 over this morsel: every key predicate and fact predicate,
         // intersected into the morsel's surviving positions.
+        let rio2 = IoSession::recording(pool.clone());
         let mut pos: Option<Vec<u32>> = None;
         for (dim, key_pred) in &key_preds {
             let col = db.fact.column(dim.fact_fk_column());
             let frag = key_pred.with_scan_pred(|pred| {
-                scan_int_range(col, range.start, range.end, pred, cfg.block_iteration, &rio)
+                scan_int_range(col, range.start, range.end, pred, cfg.block_iteration, &rio2)
             });
             pos = Some(match pos {
                 None => frag,
@@ -334,58 +468,136 @@ pub(crate) fn execute_par(
         for p in &q.fact_predicates {
             let col = db.fact.column(p.column);
             let frag =
-                scan_pred_range(col, range.start, range.end, &p.pred, cfg.block_iteration, &rio);
+                scan_pred_range(col, range.start, range.end, &p.pred, cfg.block_iteration, &rio2);
             pos = Some(match pos {
                 None => frag,
                 Some(acc) => intersect_ascending(&acc, &frag),
             });
         }
-        let pos = PosList::explicit(pos.unwrap_or_else(|| range.collect()), n);
+        let pos_vec = pos.unwrap_or_else(|| range.collect());
+        let frag = capturing.then(|| pos_vec.clone());
+        let pos = PosList::explicit(pos_vec, n);
 
         // Phase 3 over this morsel: minimal out-of-order extraction at the
         // surviving positions, then partial aggregation on group ids.
-        let mut group_cols: Vec<GroupData> = Vec::with_capacity(q.group_by.len());
-        let mut fk_cache: std::collections::HashMap<Dim, Vec<u32>> =
-            std::collections::HashMap::new();
-        for (gi, g) in q.group_by.iter().enumerate() {
-            let dim = g.dim;
-            fk_cache.entry(dim).or_insert_with(|| {
-                let fk_col = db.fact.column(dim.fact_fk_column());
-                let fks = gather_ints(fk_col, &pos, &rio);
-                if db.dim(dim).dense_keys {
-                    fks.into_iter().map(|k| k as u32).collect()
-                } else {
-                    let map = &join_maps[&dim];
-                    fks.into_iter().map(|k| map.get(k).expect("fact FK must join DATE")).collect()
-                }
-            });
-            let dim_positions = &fk_cache[&dim];
-            let col = db.dim(dim).store.column(g.column);
-            group_cols.push(strat.extract_group_at(gi, col, dim_positions, &rio));
-        }
-
-        let measure_cols: Vec<Vec<i64>> = q
-            .aggregate
-            .fact_columns()
-            .iter()
-            .map(|c| gather_ints(db.fact.column(c), &pos, &rio))
-            .collect();
-        let mut partial = strat.new_partial();
-        partial.add_rows(q, &group_cols, &measure_cols, pos.count() as usize);
-        (rio.take_log(), partial)
+        let rio3 = IoSession::recording(pool.clone());
+        let partial = phase3_partial(db, q, &strat, Some(&join_maps), &pos, &rio3);
+        (rio2.take_log(), rio3.take_log(), frag, partial)
     });
 
     // Deterministic merge: partial aggregates fold in morsel order, and the
-    // per-morsel I/O logs replay op-major, reconstructing the serial plan's
-    // charge order (see `IoSession::replay_interleaved`).
+    // per-morsel I/O logs replay op-major — phase 2 then phase 3 —
+    // reconstructing the serial plan's charge order (see
+    // `IoSession::replay_interleaved`).
     let mut merged = strat.new_partial();
-    let mut logs = Vec::with_capacity(results.len());
-    for (log, partial) in results {
-        logs.push(log);
+    let mut logs2 = Vec::with_capacity(results.len());
+    let mut logs3 = Vec::with_capacity(results.len());
+    let mut frags = Vec::new();
+    for (l2, l3, frag, partial) in results {
+        logs2.push(l2);
+        logs3.push(l3);
+        if let Some(f) = frag {
+            frags.push(f);
+        }
         merged.merge(partial);
     }
-    io.replay_interleaved(&logs);
-    strat.finish(merged, q)
+    io.replay_interleaved(&logs2);
+    io.replay_interleaved(&logs3);
+    let out = strat.finish(merged, q);
+    let capture = capturing.then_some(FilterCapture {
+        coordinator_logs,
+        morsel_logs: logs2,
+        positions: CapturedPositions::Morsels(frags),
+    });
+    (out, capture)
+}
+
+/// Execute `q` cold (default options) and capture its filter phases for
+/// later [`execute_warm`] reuse. Charges on `io` are byte-identical to
+/// [`execute_par`] / [`execute`] at the same `par`.
+pub(crate) fn execute_capture(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    par: Parallelism,
+    io: &IoSession,
+) -> (QueryOutput, FilterCapture) {
+    if par.is_serial() {
+        let mut logs: Vec<IoLog> = Vec::new();
+        let pos = filter_serial(db, q, cfg, InvisibleOptions::default(), io, &mut Some(&mut logs));
+        let strat = AggStrategy::for_query(db, q);
+        let partial = phase3_partial(db, q, &strat, None, &pos, io);
+        let out = strat.finish(partial, q);
+        let capture = FilterCapture {
+            coordinator_logs: logs,
+            morsel_logs: Vec::new(),
+            positions: CapturedPositions::Serial(pos),
+        };
+        (out, capture)
+    } else {
+        let (out, capture) = execute_par_impl(db, q, cfg, par, io, true);
+        (out, capture.expect("parallel capture requested"))
+    }
+}
+
+/// Execute `q` warm: replay the captured filter charges, then run phase 3
+/// live over the captured positions. Output and accounting are
+/// byte-identical to a cold execution at the same `par`. Returns `None`
+/// when the capture's shape does not match this execution (serial capture
+/// vs parallel run or vice versa, or a different morsel grid) — the caller
+/// falls back to a cold execution.
+pub(crate) fn execute_warm(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    par: Parallelism,
+    io: &IoSession,
+    capture: &FilterCapture,
+) -> Option<QueryOutput> {
+    let n = db.fact_rows() as u32;
+    if par.is_serial() {
+        let CapturedPositions::Serial(pos) = &capture.positions else {
+            return None;
+        };
+        for log in &capture.coordinator_logs {
+            io.replay(log);
+        }
+        let strat = AggStrategy::for_query(db, q);
+        let partial = phase3_partial(db, q, &strat, None, pos, io);
+        Some(strat.finish(partial, q))
+    } else {
+        let CapturedPositions::Morsels(frags) = &capture.positions else {
+            return None;
+        };
+        let (_, count) = grid(n, par);
+        if frags.len() != count {
+            return None;
+        }
+        // Replay phases 1 and 2 from the capture; rebuild the join tables
+        // live between them, exactly where the cold plan charges them.
+        for log in &capture.coordinator_logs {
+            io.replay(log);
+        }
+        let join_maps = build_join_maps(db, q, io);
+        io.replay_interleaved(&capture.morsel_logs);
+        // Phase 3 live, over the same morsel grid and the captured
+        // surviving positions.
+        let strat = AggStrategy::for_query(db, q);
+        let pool = io.pool().clone();
+        let results = run_morsels(n, par, |i, _range| {
+            let rio = IoSession::recording(pool.clone());
+            let pos = PosList::explicit(frags[i].clone(), n);
+            let partial = phase3_partial(db, q, &strat, Some(&join_maps), &pos, &rio);
+            (rio.take_log(), partial)
+        });
+        let mut merged = strat.new_partial();
+        let mut logs = Vec::with_capacity(results.len());
+        for (log, partial) in results {
+            logs.push(log);
+            merged.merge(partial);
+        }
+        io.replay_interleaved(&logs);
+        Some(strat.finish(merged, q))
+    }
 }
 
 #[cfg(test)]
@@ -471,6 +683,53 @@ mod tests {
                 "{}",
                 q.id
             );
+        }
+    }
+
+    #[test]
+    fn warm_executions_are_byte_identical_to_cold() {
+        use cvr_storage::io::BufferPool;
+        let db = db();
+        for par in [Parallelism::serial(), Parallelism { threads: 4, morsel_rows: 512 }] {
+            for q in all_queries() {
+                let cold_io = IoSession::new(BufferPool::unbounded());
+                let cold = if par.is_serial() {
+                    execute(&db, &q, EngineConfig::FULL, &cold_io)
+                } else {
+                    execute_par(&db, &q, EngineConfig::FULL, par, &cold_io)
+                };
+                let cap_io = IoSession::new(BufferPool::unbounded());
+                let (captured, capture) =
+                    execute_capture(&db, &q, EngineConfig::FULL, par, &cap_io);
+                assert_eq!(captured, cold, "capture changed the answer on {}", q.id);
+                assert_eq!(cap_io.stats(), cold_io.stats(), "capture charges on {}", q.id);
+                let warm_io = IoSession::new(BufferPool::unbounded());
+                let warm =
+                    execute_warm(&db, &q, par, &warm_io, &capture).expect("matching capture shape");
+                assert_eq!(warm, cold, "warm answer on {}", q.id);
+                assert_eq!(warm_io.stats(), cold_io.stats(), "warm charges on {}", q.id);
+                assert!(capture.approx_bytes() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_rejects_mismatched_shapes() {
+        let db = db();
+        let io = IoSession::unmetered();
+        let q = query(3, 1);
+        let par = Parallelism { threads: 4, morsel_rows: 512 };
+        let (_, serial_cap) =
+            execute_capture(&db, &q, EngineConfig::FULL, Parallelism::serial(), &io);
+        let (_, par_cap) = execute_capture(&db, &q, EngineConfig::FULL, par, &io);
+        assert!(execute_warm(&db, &q, par, &io, &serial_cap).is_none());
+        assert!(execute_warm(&db, &q, Parallelism::serial(), &io, &par_cap).is_none());
+        // A different grid (different morsel size) is rejected too.
+        let other = Parallelism { threads: 4, morsel_rows: 1024 };
+        if crate::morsel::grid(db.fact_rows() as u32, other).1
+            != crate::morsel::grid(db.fact_rows() as u32, par).1
+        {
+            assert!(execute_warm(&db, &q, other, &io, &par_cap).is_none());
         }
     }
 

@@ -25,7 +25,10 @@
 //! * [`morsel`] — morsel-driven parallel execution: the fact position space
 //!   is split into morsels claimed by scoped worker threads, with partial
 //!   aggregates and per-morsel I/O logs merged deterministically in morsel
-//!   order ([`Parallelism`] / `CVR_THREADS` select the thread count).
+//!   order ([`Parallelism`] / `CVR_THREADS` select the thread count);
+//! * [`sched`] — the process-wide query scheduler: admission control plus
+//!   fair worker-lease sharing across concurrent morsel fan-outs
+//!   (`CVR_SCHED_WORKERS` / `CVR_SCHED_QUERIES`).
 //!
 //! ```
 //! use cvr_core::{ColumnEngine, EngineConfig};
@@ -57,11 +60,14 @@ pub mod poslist;
 pub mod projection;
 pub mod row_mv;
 pub mod scan;
+pub mod sched;
 
 pub use config::EngineConfig;
 pub use denorm::{DenormDb, DenormVariant};
 pub use engine::ColumnEngine;
+pub use invisible::FilterCapture;
 pub use morsel::Parallelism;
 pub use poslist::PosList;
 pub use projection::CStoreDb;
 pub use row_mv::RowMvDb;
+pub use sched::{QueryPermit, SchedStats, Scheduler, WorkerLease};

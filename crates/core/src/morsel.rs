@@ -93,19 +93,19 @@ pub fn run_morsels<T: Send>(
     par: Parallelism,
     task: impl Fn(usize, Range<u32>) -> T + Sync,
 ) -> Vec<T> {
-    // Aim for a few morsels per worker so claiming self-balances, without
-    // dropping below the minimum useful size. Morsel boundaries align to
-    // whole 64-position mask words so the scan kernels' selection masks
-    // never straddle a morsel edge.
-    let aim = n.div_ceil((par.threads * 4).max(1) as u32).max(MIN_MORSEL_ROWS);
-    let morsel = par.morsel_rows.min(aim).max(1).div_ceil(64) * 64;
-    let count = (n.div_ceil(morsel) as usize).max(1);
+    let (morsel, count) = grid(n, par);
     let range_of = |i: usize| {
         let start = i as u32 * morsel;
         start..((i as u32).saturating_add(1) * morsel).min(n)
     };
 
-    let workers = par.threads.min(count);
+    // Ask the shared scheduler (when one is installed — the server installs
+    // the process default) for a fair share of the machine's workers. The
+    // lease is held for the duration of the fan-out. Worker count never
+    // affects results or accounting — morsel-order merging guarantees
+    // byte-identity at any count — so throttling here is always safe.
+    let lease = crate::sched::lease(par.threads.min(count));
+    let workers = lease.granted().min(count);
     if workers <= 1 {
         return (0..count).map(|i| task(i, range_of(i))).collect();
     }
@@ -149,6 +149,22 @@ pub fn run_morsels<T: Send>(
     });
     tagged.sort_unstable_by_key(|(i, _)| *i);
     tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+/// The morsel grid [`run_morsels`] tiles `[0, n)` with under `par`:
+/// `(morsel_size, morsel_count)`. Deterministic in `(n, par)` — which is
+/// what lets a cached filter intermediate recorded at one execution be
+/// re-split identically on a later one.
+///
+/// Aim for a few morsels per worker so claiming self-balances, without
+/// dropping below the minimum useful size. Morsel boundaries align to
+/// whole 64-position mask words so the scan kernels' selection masks
+/// never straddle a morsel edge.
+pub fn grid(n: u32, par: Parallelism) -> (u32, usize) {
+    let aim = n.div_ceil((par.threads * 4).max(1) as u32).max(MIN_MORSEL_ROWS);
+    let morsel = par.morsel_rows.min(aim).max(1).div_ceil(64) * 64;
+    let count = (n.div_ceil(morsel) as usize).max(1);
+    (morsel, count)
 }
 
 /// Intersect two ascending position vectors (the per-morsel analogue of

@@ -59,6 +59,11 @@ pub struct CpuRates {
     pub value_clone: f64,
     /// One B+Tree leaf entry scanned (index-only plans).
     pub index_entry: f64,
+    /// One B+Tree leaf entry *streamed* by a key-range scan (clone the
+    /// key, push the rid, set a bitmap bit). Cheaper than `index_entry`
+    /// — a range scan walks leaves in order with no per-entry descent —
+    /// but still an allocation-bearing entry copy, not a bare load.
+    pub index_leaf_entry: f64,
     /// One position materialized into an explicit intermediate list (the
     /// late-materialized join's `to_vec`/clone/re-intersect traffic; the
     /// invisible join stays on bitmap words and never pays this).
@@ -87,6 +92,7 @@ impl Default for CpuRates {
             agg_code_row: 4.0e-9,
             value_clone: 1.5e-8,
             index_entry: 1.5e-7,
+            index_leaf_entry: 9.0e-8,
             poslist_touch: 1.5e-8,
         }
     }
@@ -220,6 +226,7 @@ impl CpuRates {
             agg_code_row: d.agg_code_row * scale,
             value_clone: d.value_clone * scale,
             index_entry: d.index_entry * scale,
+            index_leaf_entry: d.index_leaf_entry * scale,
             poslist_touch: d.poslist_touch * scale,
         }
     }

@@ -26,6 +26,19 @@ use crate::cost::{gather, seq_scan, CostBreakdown, CostParams, WorkingSet};
 use crate::explain::{write_json_string, Explain};
 use crate::stats::{Catalog, ColumnStats, EncodingKind};
 
+/// Entries per B+Tree leaf page in the row engine's indexes: bulk loads
+/// fill leaves to ~2/3 of the default order (2048), and every node
+/// occupies one full 32 KB page regardless of payload.
+const INDEX_ENTRIES_PER_LEAF: f64 = 2048.0 * 2.0 / 3.0;
+
+/// I/O a B+Tree range scan charges for `entries` consecutive leaf
+/// entries: whole leaf pages at the bulk-load fill factor, plus a
+/// two-page root descent. The 16-byte entry payload underprices this by
+/// ~1.6x — the executor reads node *pages*, not packed entries.
+fn index_scan_bytes(entries: f64) -> u64 {
+    (((entries / INDEX_ENTRIES_PER_LEAF).ceil() + 2.0) * cvr_storage::io::PAGE_SIZE as f64) as u64
+}
+
 /// The physical half of a plan: which engine, in which configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PhysicalChoice {
@@ -485,8 +498,13 @@ impl Planner {
             let col = dstats.column(g.column);
             let rows = dstats.rows;
             // Group columns extract as dictionary/FoR *codes* (no value
-            // clones); the gather itself is priced inside gather_col.
-            c.add(self.gather_col(col, compressed, k.min(rows), rows, 1.0, ws));
+            // clones); the gather itself is priced inside gather_col. The
+            // engine opens each group column's decode table even when the
+            // estimate says no row survives, so charge at least one page
+            // touch per group column (k = 0 priced these files as free,
+            // which made every near-empty column plan look cheaper than
+            // it measures).
+            c.add(self.gather_col(col, compressed, k.min(rows).max(1), rows, 1.0, ws));
         }
         for m in q.aggregate.fact_columns() {
             let col = self.catalog.fact.column(m);
@@ -734,29 +752,37 @@ impl Planner {
 
         // Shared tail: hash joins against filtered dimension heaps, in
         // selectivity order, then aggregation.
-        let join_tail =
-            |c: &mut CostBreakdown, explain: &mut Explain, ws: &mut WorkingSet, start_rows: f64| {
-                let mut dims = q.touched_dims();
-                dims.sort_by(|&a, &b| {
-                    self.catalog
-                        .dim_selectivity(q, a)
-                        .partial_cmp(&self.catalog.dim_selectivity(q, b))
-                        .unwrap()
-                });
-                let mut running = start_rows;
-                for d in dims {
-                    let dstats = self.catalog.dim(d);
-                    ws.touch(&format!("heap:{}", d.table_name()), sizes.dim_heap_bytes[&d]);
-                    c.add(seq_scan(sizes.dim_heap_bytes[&d]));
-                    c.cpu_seconds += dstats.rows as f64 * r.row_tuple;
-                    c.cpu_seconds += running * r.row_join_probe;
-                    running *= self.catalog.dim_selectivity(q, d);
-                    explain.push(
-                        Explain::node("hash-join", d.table_name()).rows(running.ceil() as u64),
-                    );
+        let join_tail = |c: &mut CostBreakdown,
+                         explain: &mut Explain,
+                         ws: &mut WorkingSet,
+                         start_rows: f64,
+                         skip: &[Dim]| {
+            let mut dims = q.touched_dims();
+            dims.sort_by(|&a, &b| {
+                self.catalog
+                    .dim_selectivity(q, a)
+                    .partial_cmp(&self.catalog.dim_selectivity(q, b))
+                    .unwrap()
+            });
+            let mut running = start_rows;
+            for d in dims {
+                // A dim already applied through a bitmap and
+                // contributing no group column is never joined by the
+                // executor — its heap is not read.
+                if skip.contains(&d) {
+                    continue;
                 }
-                c.cpu_seconds += k_final as f64 * r.agg_row;
-            };
+                let dstats = self.catalog.dim(d);
+                ws.touch(&format!("heap:{}", d.table_name()), sizes.dim_heap_bytes[&d]);
+                c.add(seq_scan(sizes.dim_heap_bytes[&d]));
+                c.cpu_seconds += dstats.rows as f64 * r.row_tuple;
+                c.cpu_seconds += running * r.row_join_probe;
+                running *= self.catalog.dim_selectivity(q, d);
+                explain
+                    .push(Explain::node("hash-join", d.table_name()).rows(running.ceil() as u64));
+            }
+            c.cpu_seconds += k_final as f64 * r.agg_row;
+        };
 
         match design {
             RowDesign::Traditional | RowDesign::MaterializedViews => {
@@ -788,49 +814,142 @@ impl Planner {
                     .rows(scanned.ceil() as u64)
                     .cost(c.seconds(&self.params)),
                 );
-                join_tail(&mut c, &mut explain, &mut ws, scanned * fact_sel);
+                join_tail(&mut c, &mut explain, &mut ws, scanned * fact_sel, &[]);
             }
             RowDesign::TraditionalBitmap => {
-                // Index bitmaps for fact predicates and the DATE key range,
-                // then random heap fetches for survivors.
-                let mut bitmap_sel = fact_sel;
+                // Index bitmaps for *indexed* fact predicates and the
+                // DATE key range, then random heap fetches for survivors.
+                // Only `BITMAP_COLUMNS` carry an index — a predicate on
+                // any other fact column (e.g. lo_tax) never enters the
+                // bitmap and filters tuples only after the fetch.
+                let mut indexed_fact_sel = 1.0;
+                let mut post_sel = 1.0;
                 let date_sel = self.catalog.dim_selectivity(q, Dim::Date);
-                if date_sel < 1.0 {
-                    bitmap_sel *= date_sel;
-                }
                 for &i in order {
                     let p = &q.fact_predicates[i];
-                    let entries = n as f64 * self.catalog.fact_pred_selectivity(p);
-                    ws.touch(&format!("idx:{}", p.column), (entries * 16.0) as u64);
-                    c.add(seq_scan((entries * 16.0) as u64));
-                    c.cpu_seconds += entries * r.index_entry;
+                    let psel = self.catalog.fact_pred_selectivity(p);
+                    if !cvr_row::designs::traditional::BITMAP_COLUMNS.contains(&p.column) {
+                        post_sel *= psel;
+                        continue;
+                    }
+                    indexed_fact_sel *= psel;
+                    let entries = n as f64 * psel;
+                    let bytes = index_scan_bytes(entries);
+                    ws.touch(&format!("idx:{}", p.column), bytes);
+                    c.add(seq_scan(bytes));
+                    c.cpu_seconds += entries * r.index_leaf_entry;
                     explain.push(
                         Explain::node("index-scan", format!("range scan {}", p.column))
                             .rows(entries.ceil() as u64),
                     );
                 }
+                let mut bitmap_sel = indexed_fact_sel;
+                if date_sel < 1.0 {
+                    bitmap_sel *= date_sel;
+                }
                 if date_sel < 1.0 {
                     let entries = n as f64 * date_sel;
-                    ws.touch("idx:lo_orderdate", (entries * 16.0) as u64);
-                    c.add(seq_scan((entries * 16.0) as u64));
-                    c.cpu_seconds += entries * r.index_entry;
+                    let bytes = index_scan_bytes(entries);
+                    ws.touch("idx:lo_orderdate", bytes);
+                    c.add(seq_scan(bytes));
+                    c.cpu_seconds += entries * r.index_leaf_entry;
                     explain.push(
                         Explain::node("index-scan", "range scan lo_orderdate")
                             .rows(entries.ceil() as u64),
                     );
                 }
+                // Non-DATE dimension restrictions also enter the bitmap,
+                // through per-key FK-index probes — the executor skips a
+                // dim only when its matching-key set exceeds its 2000-key
+                // optimizer threshold. Omitting these from the model left
+                // the heap fetch priced at fact_sel x date_sel while the
+                // real bitmap was thinned by the full query selectivity —
+                // the ~10x overpricing behind the Q9.3 regret tail. Each
+                // probe descends to one leaf, sorted-key probes visit
+                // leaves in ascending order, and internal pages stay
+                // pool-resident — so the probe phase is a Cardenas–Yao
+                // gather of `keys` starting points over the index's *leaf
+                // pages* (one 32 KB page per node, ~1365 entries each).
+                //
+                // `line_sel` tracks the per-LINE part of the bitmap:
+                // lo_partkey and lo_suppkey are drawn per line, while
+                // lo_custkey and lo_orderdate are constant across the
+                // lines of an order. The distinction drives the heap-fetch
+                // run model below.
+                let mut line_sel = indexed_fact_sel;
+                let mut applied: Vec<Dim> = Vec::new();
+                if date_sel < 1.0 {
+                    applied.push(Dim::Date);
+                }
+                for d in q.touched_dims() {
+                    if d == Dim::Date {
+                        continue;
+                    }
+                    let dsel = self.catalog.dim_selectivity(q, d);
+                    if dsel >= 1.0 {
+                        continue;
+                    }
+                    let keys = self.catalog.dim(d).rows as f64 * dsel;
+                    if keys > 2_000.0 {
+                        continue;
+                    }
+                    bitmap_sel *= dsel;
+                    if matches!(d, Dim::Part | Dim::Supplier) {
+                        line_sel *= dsel;
+                    }
+                    applied.push(d);
+                    if keys < 1.0 {
+                        // The estimated key set is empty: the bitmap ANDs
+                        // to nothing and no probe I/O happens.
+                        continue;
+                    }
+                    let entries = n as f64 * dsel;
+                    let index_bytes = index_scan_bytes(n as f64);
+                    let probe = gather(keys.ceil() as u64, n, index_bytes, &r);
+                    ws.touch(&format!("idx:{}", d.fact_fk_column()), probe.io_bytes);
+                    c.add(probe);
+                    c.cpu_seconds += entries * r.index_leaf_entry;
+                    explain.push(
+                        Explain::node("index-scan", format!("FK probes {}", d.fact_fk_column()))
+                            .rows(entries.ceil() as u64),
+                    );
+                }
+                // Bitmap-applied dims with no group column are never
+                // joined afterwards.
+                let skip: Vec<Dim> = applied
+                    .iter()
+                    .copied()
+                    .filter(|d| !q.group_by.iter().any(|g| g.dim == *d))
+                    .collect();
                 let k = ((n as f64 * bitmap_sel).ceil() as u64).min(n);
-                let heap_fetch = gather(k, n, sizes.fact_heap_bytes, &r);
+                // The heap sits in generation (orderkey) order — NOT
+                // date-sorted — so survivors scatter across the whole
+                // file and the fetch is a full-file gather. The lines of
+                // one order are adjacent, though, and share lo_orderdate
+                // and lo_custkey, so restrictions on those *per-order*
+                // columns leave survivors in runs of `lines_per_order`
+                // adjacent tuples: page and seek counts follow the run
+                // *seeds*, not k. Per-line thinning (fact measures,
+                // lo_partkey / lo_suppkey bitmaps) breaks runs apart and
+                // pushes the seed count back toward k.
+                let orders = self.catalog.fact.column("lo_orderkey").max.unwrap_or(1).max(1) as f64;
+                let lines_per_order = (n as f64 / orders).max(1.0);
+                let run = (lines_per_order * line_sel).max(1.0);
+                let seeds = ((k as f64 / run).ceil() as u64).min(k);
+                let heap_fetch = gather(seeds, n, sizes.fact_heap_bytes, &r);
                 ws.touch("heap:fact", heap_fetch.io_bytes.min(sizes.fact_heap_bytes));
                 let fetch_secs = heap_fetch.seconds(&self.params);
                 c.add(heap_fetch);
+                // Every surviving tuple is still parsed.
                 c.cpu_seconds += k as f64 * r.row_tuple;
                 explain.push(
                     Explain::node("bitmap-heap-fetch", "fetch surviving tuples")
                         .rows(k)
                         .cost(fetch_secs),
                 );
-                join_tail(&mut c, &mut explain, &mut ws, k as f64);
+                // Unindexed fact predicates filter the fetched tuples
+                // before the joins.
+                join_tail(&mut c, &mut explain, &mut ws, k as f64 * post_sel, &skip);
             }
             RowDesign::VerticalPartitioning | RowDesign::SuperVp => {
                 let cols = q.fact_columns();
@@ -869,7 +988,7 @@ impl Planner {
                     .rows(n)
                     .cost(c.seconds(&self.params)),
                 );
-                join_tail(&mut c, &mut explain, &mut ws, n as f64 * fact_sel);
+                join_tail(&mut c, &mut explain, &mut ws, n as f64 * fact_sel, &[]);
             }
             RowDesign::IndexOnly => {
                 let cols = q.fact_columns();
@@ -899,7 +1018,7 @@ impl Planner {
                     .rows(n)
                     .cost(c.seconds(&self.params)),
                 );
-                join_tail(&mut c, &mut explain, &mut ws, n as f64 * fact_sel);
+                join_tail(&mut c, &mut explain, &mut ws, n as f64 * fact_sel, &[]);
             }
         }
         (c, explain, ws)

@@ -45,6 +45,7 @@
 pub mod cost;
 pub mod enumerate;
 pub mod explain;
+pub mod key;
 pub mod stats;
 
 pub use cost::{CostBreakdown, CostParams, CpuRates};

@@ -45,8 +45,10 @@ impl Default for TraditionalOptions {
     }
 }
 
-/// Fact columns that bitmap plans may index.
-const BITMAP_COLUMNS: [&str; 6] =
+/// Fact columns that bitmap plans may index. Public so cost models can
+/// tell which fact predicates an index range scan can absorb — the rest
+/// filter tuples only after the heap fetch.
+pub const BITMAP_COLUMNS: [&str; 6] =
     ["lo_orderdate", "lo_custkey", "lo_suppkey", "lo_partkey", "lo_discount", "lo_quantity"];
 
 /// The traditional design: heap per table (+ optional extras).

@@ -1,0 +1,242 @@
+//! A bounded serving-layer cache: completed results plus reusable filter
+//! intermediates.
+//!
+//! Two tiers, both keyed by canonical strings from [`cvr_plan::key`]:
+//!
+//! * **Results** — a finished [`RowsResponse`] (output rows *and* the
+//!   [`cvr_storage::io::IoStats`] the cold execution charged), keyed by the
+//!   full descriptor + plan choice + store version. A hit returns the
+//!   stored response byte-for-byte; only the `cached` flag differs.
+//! * **Filters** — a [`FilterCapture`] (the invisible join's surviving
+//!   position list plus the filter phases' exact I/O charges), keyed by the
+//!   filter-only part of the descriptor. Different aggregations over the
+//!   same `WHERE` clause share one intermediate; a warm execution replays
+//!   the charges and runs only phase 3.
+//!
+//! Memory is bounded by a byte budget covering both tiers; eviction is LRU
+//! by a monotonic touch stamp across the union of entries, and an entry
+//! larger than the whole budget is simply not admitted. All counters are
+//! monotonic and readable without the entry lock ([`QueryCache::stats`]).
+//!
+//! Determinism: a hit never changes a single reply byte — the differential
+//! harness pins `{cold, warm, concurrent}` executions to one serial cold
+//! reference, outputs and `IoStats` alike.
+
+use crate::session::RowsResponse;
+use cvr_core::FilterCapture;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Monotonic cache counters plus the current footprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Result-tier hits.
+    pub result_hits: u64,
+    /// Result-tier misses.
+    pub result_misses: u64,
+    /// Filter-tier hits (warm executions).
+    pub filter_hits: u64,
+    /// Filter-tier misses (cold executions that captured).
+    pub filter_misses: u64,
+    /// Entries inserted (both tiers).
+    pub inserted: u64,
+    /// Entries evicted to stay within budget.
+    pub evicted: u64,
+    /// Current footprint in bytes (both tiers).
+    pub bytes: usize,
+    /// Configured byte budget.
+    pub budget: usize,
+}
+
+/// One cached value with its accounted size and last-touch stamp.
+struct Entry<T> {
+    value: T,
+    bytes: usize,
+    stamp: u64,
+}
+
+/// Entry maps and the shared footprint/clock, under one lock.
+#[derive(Default)]
+struct Inner {
+    results: HashMap<String, Entry<RowsResponse>>,
+    filters: HashMap<String, Entry<Arc<FilterCapture>>>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl Inner {
+    fn next_stamp(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evict least-recently-touched entries (across both tiers) until the
+    /// footprint fits `budget`. Returns how many entries were evicted.
+    fn evict_to(&mut self, budget: usize) -> u64 {
+        let mut evicted = 0;
+        while self.bytes > budget {
+            let oldest_result = self.results.iter().min_by_key(|(_, e)| e.stamp);
+            let oldest_filter = self.filters.iter().min_by_key(|(_, e)| e.stamp);
+            let victim = match (oldest_result, oldest_filter) {
+                (Some((k, r)), Some((fk, f))) => {
+                    if r.stamp <= f.stamp {
+                        (true, k.clone())
+                    } else {
+                        (false, fk.clone())
+                    }
+                }
+                (Some((k, _)), None) => (true, k.clone()),
+                (None, Some((fk, _))) => (false, fk.clone()),
+                (None, None) => break,
+            };
+            let freed = if victim.0 {
+                self.results.remove(&victim.1).map(|e| e.bytes)
+            } else {
+                self.filters.remove(&victim.1).map(|e| e.bytes)
+            };
+            self.bytes = self.bytes.saturating_sub(freed.unwrap_or(0));
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// The serving-layer cache; see the module docs.
+pub struct QueryCache {
+    inner: Mutex<Inner>,
+    budget: usize,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
+    filter_hits: AtomicU64,
+    filter_misses: AtomicU64,
+    inserted: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl QueryCache {
+    /// A cache bounded to `budget` bytes across both tiers.
+    pub fn new(budget: usize) -> QueryCache {
+        QueryCache {
+            inner: Mutex::new(Inner::default()),
+            budget,
+            result_hits: AtomicU64::new(0),
+            result_misses: AtomicU64::new(0),
+            filter_hits: AtomicU64::new(0),
+            filter_misses: AtomicU64::new(0),
+            inserted: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // The maps are valid at every point (no invariant spans a panic),
+        // so a poisoned lock is recoverable.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up a completed result; counts a hit or miss and refreshes the
+    /// entry's LRU stamp. The returned response has `cached == false` — the
+    /// caller flips it for the wire.
+    pub fn get_result(&self, key: &str) -> Option<RowsResponse> {
+        let mut inner = self.lock();
+        let stamp = inner.next_stamp();
+        match inner.results.get_mut(key) {
+            Some(e) => {
+                e.stamp = stamp;
+                self.result_hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.value.clone())
+            }
+            None => {
+                self.result_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a completed result under `key`.
+    pub fn put_result(&self, key: String, value: &RowsResponse) {
+        let bytes = result_bytes(value);
+        self.put(
+            |inner, stamp| {
+                let mut value = value.clone();
+                value.cached = false;
+                inner.bytes += bytes;
+                inner.results.insert(key, Entry { value, bytes, stamp });
+            },
+            bytes,
+        );
+    }
+
+    /// Look up a filter intermediate; counts a hit or miss and refreshes
+    /// the entry's LRU stamp.
+    pub fn get_filter(&self, key: &str) -> Option<Arc<FilterCapture>> {
+        let mut inner = self.lock();
+        let stamp = inner.next_stamp();
+        match inner.filters.get_mut(key) {
+            Some(e) => {
+                e.stamp = stamp;
+                self.filter_hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.value.clone())
+            }
+            None => {
+                self.filter_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store a filter intermediate under `key`.
+    pub fn put_filter(&self, key: String, value: Arc<FilterCapture>) {
+        let bytes = value.approx_bytes();
+        self.put(
+            |inner, stamp| {
+                inner.bytes += bytes;
+                inner.filters.insert(key, Entry { value, bytes, stamp });
+            },
+            bytes,
+        );
+    }
+
+    /// Presence check without touching counters or LRU stamps (`EXPLAIN`).
+    pub fn peek(&self, result_key: &str, filter_key: &str) -> (bool, bool) {
+        let inner = self.lock();
+        (inner.results.contains_key(result_key), inner.filters.contains_key(filter_key))
+    }
+
+    fn put(&self, insert: impl FnOnce(&mut Inner, u64), bytes: usize) {
+        if bytes > self.budget {
+            return; // would evict the entire cache and still not fit
+        }
+        let mut inner = self.lock();
+        let stamp = inner.next_stamp();
+        insert(&mut inner, stamp);
+        self.inserted.fetch_add(1, Ordering::Relaxed);
+        let evicted = inner.evict_to(self.budget);
+        if evicted > 0 {
+            self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Counter snapshot plus current footprint.
+    pub fn stats(&self) -> CacheStats {
+        let bytes = self.lock().bytes;
+        CacheStats {
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            result_misses: self.result_misses.load(Ordering::Relaxed),
+            filter_hits: self.filter_hits.load(Ordering::Relaxed),
+            filter_misses: self.filter_misses.load(Ordering::Relaxed),
+            inserted: self.inserted.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            bytes,
+            budget: self.budget,
+        }
+    }
+}
+
+/// Accounted size of a cached result: the encoded output plus column
+/// metadata and map overhead.
+fn result_bytes(r: &RowsResponse) -> usize {
+    let cols: usize = r.columns.iter().map(|c| c.name.len() + 16).sum();
+    r.output.to_bytes().len() + cols + 160
+}

@@ -9,6 +9,9 @@
 //!   planner on exactly the same footing as hand-built descriptors.
 //! * [`session`] — [`Session`], the unified API: one object owning
 //!   statistics, planning, and both engines, answering `query(&str)`.
+//! * [`cache`] — the bounded result/filter-intermediate cache behind
+//!   `Session`; hits are byte-identical to cold executions (outputs *and*
+//!   `IoStats`) and marked by the wire protocol's `cached` flag.
 //! * [`protocol`] — a length-prefixed binary wire format with typed
 //!   result sets, structured errors, and `EXPLAIN` payloads.
 //! * [`server`] / [`client`] — a threaded TCP accept loop and the
@@ -24,12 +27,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod client;
 pub mod parser;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
+pub use cache::{CacheStats, QueryCache};
 pub use client::Client;
 pub use parser::{parse, parse_query, render_sql, ParseError, Statement};
 pub use protocol::{Request, Response, ResultSet};

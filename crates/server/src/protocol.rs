@@ -13,8 +13,9 @@
 //! * `QUERY`: `u32` length + UTF-8 SQL.
 //! * `CLOSE`: tag only; the server hangs up after reading it.
 //! * `RESULT`: query id (`u8` flight, `u8` number), plan label
-//!   (`u16` length + UTF-8), [`IoStats`] (`u64` bytes, pages, seeks,
-//!   pool hits),
+//!   (`u16` length + UTF-8), a `cached` flag (`u8`, 1 when served from the
+//!   session's result cache — the only byte a cache hit may change),
+//!   [`IoStats`] (`u64` bytes, pages, seeks, pool hits),
 //!   column metadata (`u16` count, each `u16` length + UTF-8 name +
 //!   `u8` type tag, 0 = int / 1 = str), then the result rows: `u32`
 //!   length + `QueryOutput::to_bytes`, shipped verbatim — the bytes the
@@ -77,6 +78,10 @@ pub struct ResultSet {
     pub query_id: QueryId,
     /// The planner's chosen plan label.
     pub plan: String,
+    /// Whether this result came from the session's result cache. By the
+    /// determinism contract it is the only field that may differ between a
+    /// cold execution and a hit (see [`Response::normalized`]).
+    pub cached: bool,
     /// I/O accounting of the execution.
     pub io: IoStats,
     /// Column metadata: group columns, then the aggregate.
@@ -97,6 +102,7 @@ pub fn result_response(r: &RowsResponse) -> Response {
     Response::Result(ResultSet {
         query_id: r.query_id,
         plan: r.plan.clone(),
+        cached: r.cached,
         io: r.io,
         columns: r.columns.clone(),
         output_bytes: r.output.to_bytes(),
@@ -192,6 +198,20 @@ impl Request {
 }
 
 impl Response {
+    /// This response with the `cached` flag cleared — the form the
+    /// differential harnesses compare, since a hit must match its cold
+    /// reference in every *other* byte.
+    pub fn normalized(&self) -> Response {
+        match self {
+            Response::Result(rs) => {
+                let mut rs = rs.clone();
+                rs.cached = false;
+                Response::Result(rs)
+            }
+            other => other.clone(),
+        }
+    }
+
     /// Encode to a frame payload.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -201,6 +221,7 @@ impl Response {
                 out.push(rs.query_id.flight);
                 out.push(rs.query_id.number);
                 put_str16(&mut out, &rs.plan);
+                out.push(rs.cached as u8);
                 out.extend_from_slice(&rs.io.bytes_read.to_le_bytes());
                 out.extend_from_slice(&rs.io.pages_read.to_le_bytes());
                 out.extend_from_slice(&rs.io.seeks.to_le_bytes());
@@ -237,6 +258,11 @@ impl Response {
             TAG_RESULT => {
                 let query_id = QueryId::new(r.u8()?, r.u8()?);
                 let plan = r.str16()?;
+                let cached = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(format!("invalid cached flag {t}")),
+                };
                 let io = IoStats {
                     bytes_read: r.u64()?,
                     pages_read: r.u64()?,
@@ -256,7 +282,7 @@ impl Response {
                 }
                 let n = r.u32()? as usize;
                 let output_bytes = r.take(n)?.to_vec();
-                Response::Result(ResultSet { query_id, plan, io, columns, output_bytes })
+                Response::Result(ResultSet { query_id, plan, cached, io, columns, output_bytes })
             }
             TAG_ERROR => Response::Error { code: r.u16()?, message: r.str32()? },
             TAG_EXPLAIN => Response::Explain { text: r.str32()?, json: r.str32()? },
@@ -339,6 +365,7 @@ mod tests {
         Response::Result(ResultSet {
             query_id: QueryId::new(2, 1),
             plan: "tICL".to_string(),
+            cached: true,
             io: IoStats { bytes_read: 1024, pages_read: 16, seeks: 3, pool_hits: 9 },
             columns: vec![
                 ColumnMeta { name: "d_year".into(), dtype: DataType::Int },
@@ -378,6 +405,30 @@ mod tests {
         assert_eq!(rows.rows.len(), 2);
         assert_eq!(rows.rows[0].1, 42_000_000);
         assert_eq!(back.io.pool_hits, 9);
+        assert!(back.cached, "cached flag survives the round trip");
+    }
+
+    #[test]
+    fn normalized_clears_only_the_cached_flag() {
+        let hit = sample_result();
+        let normalized = hit.normalized();
+        assert_ne!(hit, normalized);
+        let Response::Result(n) = &normalized else { panic!("expected RESULT") };
+        assert!(!n.cached);
+        // Identical everywhere else: re-set the flag and compare.
+        let mut back = n.clone();
+        back.cached = true;
+        assert_eq!(Response::Result(back), hit);
+        // Already-cold responses and non-results are unchanged.
+        assert_eq!(normalized.normalized(), normalized);
+        let err = Response::Error { code: 1, message: "x".into() };
+        assert_eq!(err.normalized(), err);
+        // A corrupt flag byte is rejected, not misread.
+        let mut bytes = hit.encode();
+        let flag_at = 1 + 2 + 2 + "tICL".len(); // tag, id, str16 len, label
+        assert_eq!(bytes[flag_at], 1);
+        bytes[flag_at] = 7;
+        assert!(Response::decode(&bytes).is_err());
     }
 
     #[test]

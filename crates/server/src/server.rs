@@ -38,6 +38,10 @@ pub fn serve(session: Arc<Session>, addr: impl ToSocketAddrs) -> io::Result<Serv
                 break;
             }
             let Ok(stream) = stream else { continue };
+            // Responses are one small write each; without TCP_NODELAY the
+            // reply sits in Nagle's buffer until the client's delayed ACK
+            // (~40 ms per statement on loopback).
+            let _ = stream.set_nodelay(true);
             let session = session.clone();
             let _ = std::thread::Builder::new()
                 .name("cvr-conn".into())
@@ -77,6 +81,11 @@ impl Drop for Server {
     }
 }
 
+/// Error code for a query that panicked inside the engine — distinct from
+/// every `ParseError::code` so clients can tell "your SQL is wrong" from
+/// "the server hit a bug".
+pub const ERROR_CODE_PANIC: u16 = 99;
+
 /// Serve one connection: a loop of frame → request → response frame.
 fn serve_connection(session: &Session, mut stream: TcpStream) {
     loop {
@@ -86,14 +95,31 @@ fn serve_connection(session: &Session, mut stream: TcpStream) {
         };
         let response = match Request::decode(&payload) {
             Ok(Request::Close) => return,
-            Ok(Request::Query(sql)) => match session.query(&sql) {
-                Ok(answer) => response_for(&answer),
-                Err(e) => Response::Error { code: e.code(), message: e.to_string() },
-            },
+            Ok(Request::Query(sql)) => answer_query(session, &sql),
             Err(e) => Response::Error { code: 0, message: format!("malformed request: {e}") },
         };
         if write_frame(&mut stream, &response.encode()).is_err() {
             return;
+        }
+    }
+}
+
+/// Answer one statement, containing panics: a panic inside `Session::query`
+/// must surface as a structured `ERROR` frame on a still-usable connection,
+/// not unwind the connection thread and drop the socket into an opaque EOF.
+/// `Session` holds no lock-free invariants across a panic (its mutexes
+/// recover from poisoning), so resuming after the unwind is sound.
+fn answer_query(session: &Session, sql: &str) -> Response {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.query(sql))) {
+        Ok(Ok(answer)) => response_for(&answer),
+        Ok(Err(e)) => Response::Error { code: e.code(), message: e.to_string() },
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Response::Error { code: ERROR_CODE_PANIC, message: format!("query panicked: {msg}") }
         }
     }
 }

@@ -15,18 +15,20 @@
 //! concurrently. "N concurrent queries ≡ the same N serial, byte-identical"
 //! is a test, not an aspiration.
 
+use crate::cache::{CacheStats, QueryCache};
 use crate::parser::{self, ParseError, Statement};
 use cvr_core::morsel::Parallelism;
+use cvr_core::sched::{self, Scheduler};
 use cvr_core::ColumnEngine;
 use cvr_data::gen::SsbTables;
 use cvr_data::queries::{QueryId, SsbQuery};
 use cvr_data::result::QueryOutput;
 use cvr_data::value::DataType;
-use cvr_plan::{Catalog, PhysicalChoice, Plan, Planner};
+use cvr_plan::{key, Catalog, PhysicalChoice, Plan, Planner};
 use cvr_row::designs::{RowDb, RowDesign};
 use cvr_storage::io::{BufferPool, IoSession, IoStats};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A failure answering a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,8 +84,12 @@ pub struct RowsResponse {
     /// The rows, in normalized (ascending group-key) order.
     pub output: QueryOutput,
     /// I/O accounting of this execution (fresh session per query, so this
-    /// is deterministic for a given query + plan).
+    /// is deterministic for a given query + plan). A cache hit reports the
+    /// stats the cold execution charged — byte-identical by contract.
     pub io: IoStats,
+    /// Whether this response was served from the result cache. The *only*
+    /// field a cache hit may change.
+    pub cached: bool,
 }
 
 /// What a statement returned.
@@ -113,6 +119,30 @@ pub struct Session {
     /// Row-engine physical designs, built lazily the first time a plan
     /// picks one and cached for the session's lifetime.
     row_dbs: Mutex<HashMap<RowDesign, Arc<RowDb>>>,
+    /// The shared scheduler every query passes through: admission first,
+    /// then fair worker leases inside the morsel fan-outs.
+    sched: Arc<Scheduler>,
+    /// Result/intermediate cache; `None` when disabled
+    /// (`CVR_CACHE_BYTES=0`).
+    cache: Option<QueryCache>,
+    /// Memoized plans keyed by [`key::plan_key`]. Planning is pure — the
+    /// catalog is fixed for a session's lifetime — so a repeated
+    /// descriptor reuses the enumerated plan instead of re-costing the
+    /// whole candidate grid; on the cache-hit path this is most of the
+    /// remaining work.
+    plans: Mutex<HashMap<String, Arc<Plan>>>,
+    /// Version of the store the cache keys embed. The SSB tables are
+    /// immutable for a session's lifetime today; bumping this on any future
+    /// mutation invalidates every cached entry at once.
+    store_version: u64,
+    /// Test-only fault injection: `query` panics when the SQL contains
+    /// this needle (see `inject_panic_on`).
+    fault: Mutex<Option<String>>,
+}
+
+/// Cache budget from `CVR_CACHE_BYTES` (default 64 MiB; `0` disables).
+fn cache_budget_from_env() -> usize {
+    std::env::var("CVR_CACHE_BYTES").ok().and_then(|v| v.parse::<usize>().ok()).unwrap_or(64 << 20)
 }
 
 impl Session {
@@ -126,9 +156,72 @@ impl Session {
     /// engine's morsel pool. Results and I/O accounting are byte-identical
     /// at every thread count.
     pub fn with_parallelism(tables: Arc<SsbTables>, par: Parallelism) -> Session {
+        Session::with_cache_budget(tables, par, cache_budget_from_env())
+    }
+
+    /// Build a session with an explicit cache byte budget (`0` disables
+    /// caching entirely — every query executes cold).
+    pub fn with_cache_budget(
+        tables: Arc<SsbTables>,
+        par: Parallelism,
+        cache_bytes: usize,
+    ) -> Session {
         let engine = ColumnEngine::new(tables.clone());
         let planner = Planner::new(Catalog::build(&engine));
-        Session { engine, planner, tables, par, row_dbs: Mutex::new(HashMap::new()) }
+        // Sessions share the process-default scheduler: concurrent queries
+        // split the machine's workers instead of each spawning a full pool.
+        let sched = Scheduler::process_default();
+        sched::install(sched.clone());
+        Session {
+            engine,
+            planner,
+            tables,
+            par,
+            row_dbs: Mutex::new(HashMap::new()),
+            sched,
+            cache: (cache_bytes > 0).then(|| QueryCache::new(cache_bytes)),
+            plans: Mutex::new(HashMap::new()),
+            store_version: 0,
+            fault: Mutex::new(None),
+        }
+    }
+
+    /// Plan `q`, memoized per descriptor. Plans are a few KB each; the
+    /// memo is cleared wholesale past a generous entry cap rather than
+    /// tracked byte-by-byte.
+    fn plan_cached(&self, q: &SsbQuery) -> Arc<Plan> {
+        const MAX_MEMOIZED_PLANS: usize = 4096;
+        let pkey = key::plan_key(q, self.store_version);
+        if let Some(plan) = self.plans.lock().unwrap_or_else(PoisonError::into_inner).get(&pkey) {
+            return plan.clone();
+        }
+        // Plan outside the lock — enumeration is pure, so two threads
+        // racing the same key just insert the same plan twice.
+        let plan = Arc::new(self.planner.plan(q));
+        let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
+        if plans.len() >= MAX_MEMOIZED_PLANS {
+            plans.clear();
+        }
+        plans.insert(pkey, plan.clone());
+        plan
+    }
+
+    /// Cache counters, or `None` when the cache is disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(QueryCache::stats)
+    }
+
+    /// The shared scheduler this session admits queries through.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Make `query` panic whenever the SQL contains `needle` — test-only
+    /// fault injection for the serving layer's panic-containment tests.
+    #[doc(hidden)]
+    pub fn inject_panic_on(&self, needle: &str) {
+        let mut slot = self.fault.lock().unwrap_or_else(PoisonError::into_inner);
+        *slot = Some(needle.to_string());
     }
 
     /// The planner (statistics + cost model) this session plans with.
@@ -138,19 +231,65 @@ impl Session {
 
     /// Parse and answer one SQL statement.
     pub fn query(&self, sql: &str) -> Result<QueryResponse, SessionError> {
+        if let Some(needle) = &*self.fault.lock().unwrap_or_else(PoisonError::into_inner) {
+            if sql.contains(needle.as_str()) {
+                panic!("injected fault: statement contains {needle:?}");
+            }
+        }
         match parser::parse(sql)? {
             Statement::Select(q) => Ok(QueryResponse::Rows(self.run(&q))),
             Statement::Explain(q) => {
                 let plan = self.explain(&q);
-                Ok(QueryResponse::Explain { text: plan.render(), json: plan.to_json() })
+                let (text, json) = self.render_explain(&q, &plan);
+                Ok(QueryResponse::Explain { text, json })
             }
         }
+    }
+
+    /// `EXPLAIN` rendering: the plan tree plus the cache's view of this
+    /// query — whether a result or filter intermediate is resident right
+    /// now (a pure peek; counters and LRU order are untouched).
+    fn render_explain(&self, q: &SsbQuery, plan: &Plan) -> (String, String) {
+        let mut text = plan.render();
+        let mut json = plan.to_json();
+        match &self.cache {
+            None => {
+                text.push_str("\ncache: off");
+                inject_json_field(&mut json, r#""cache": {"enabled": false}"#);
+            }
+            Some(cache) => {
+                let label = plan.choice.label();
+                let rkey = key::descriptor_key(q, &label, &plan.fact_order, self.store_version);
+                let fkey = key::filter_key(q, &label, &plan.fact_order, self.store_version);
+                let (result, filter) = cache.peek(&rkey, &fkey);
+                let s = cache.stats();
+                let hit = |b: bool| if b { "hit" } else { "miss" };
+                text.push_str(&format!(
+                    "\ncache: result={} filter={} ({} / {} bytes)",
+                    hit(result),
+                    hit(filter),
+                    s.bytes,
+                    s.budget
+                ));
+                inject_json_field(
+                    &mut json,
+                    &format!(
+                        r#""cache": {{"enabled": true, "result": "{}", "filter": "{}", "bytes": {}, "budget": {}}}"#,
+                        hit(result),
+                        hit(filter),
+                        s.bytes,
+                        s.budget
+                    ),
+                );
+            }
+        }
+        (text, json)
     }
 
     /// Plan `q` without executing it — the `EXPLAIN` path, also entered
     /// with a descriptor.
     pub fn explain(&self, q: &SsbQuery) -> Plan {
-        self.planner.plan(q)
+        (*self.plan_cached(q)).clone()
     }
 
     /// Plan and execute a descriptor: the direct-descriptor path.
@@ -159,31 +298,99 @@ impl Session {
     /// query and its descriptor produce byte-identical outputs and
     /// [`IoStats`].
     pub fn run(&self, q: &SsbQuery) -> RowsResponse {
-        let plan = self.planner.plan(q);
+        let plan = self.plan_cached(q);
+        let label = plan.choice.label();
+
+        // Result-cache lookup happens before admission: a hit costs no
+        // execution, so it should not wait behind executing queries.
+        let result_key = self
+            .cache
+            .as_ref()
+            .map(|_| key::descriptor_key(q, &label, &plan.fact_order, self.store_version));
+        if let (Some(cache), Some(rkey)) = (&self.cache, &result_key) {
+            if let Some(mut hit) = cache.get_result(rkey) {
+                hit.cached = true;
+                return hit;
+            }
+        }
+
+        // Admission: bound how many queries execute at once; the morsel
+        // fan-outs inside then lease a fair share of the worker budget.
+        let _permit = self.sched.admit();
         let io = IoSession::new(BufferPool::unbounded());
         let output = match plan.choice {
-            PhysicalChoice::Column(cfg) => {
-                self.engine.execute_planned(q, cfg, &plan.fact_order, self.par, &io)
-            }
+            PhysicalChoice::Column(cfg) => self.run_column(q, cfg, &plan, &label, &io),
             PhysicalChoice::Row(design) => {
                 self.row_db(design).execute_planned(q, &plan.fact_order, &io)
             }
         };
-        RowsResponse {
+        let response = RowsResponse {
             query_id: q.id,
-            plan: plan.choice.label(),
+            plan: label,
             columns: response_columns(q),
             output,
             io: io.stats(),
+            cached: false,
+        };
+        if let (Some(cache), Some(rkey)) = (&self.cache, result_key) {
+            cache.put_result(rkey, &response);
         }
+        response
+    }
+
+    /// Column-engine execution with filter-intermediate reuse: a cached
+    /// [`cvr_core::FilterCapture`] for this filter + plan replays the
+    /// filter phases' charges and runs only phase 3; a miss executes cold
+    /// while capturing the filter for the next query that shares it.
+    fn run_column(
+        &self,
+        q: &SsbQuery,
+        cfg: cvr_core::EngineConfig,
+        plan: &Plan,
+        label: &str,
+        io: &IoSession,
+    ) -> QueryOutput {
+        let Some(cache) = &self.cache else {
+            return self.engine.execute_planned(q, cfg, &plan.fact_order, self.par, io);
+        };
+        let fkey = key::filter_key(q, label, &plan.fact_order, self.store_version);
+        if let Some(capture) = cache.get_filter(&fkey) {
+            if let Some(out) =
+                self.engine.execute_planned_warm(q, cfg, &plan.fact_order, self.par, io, &capture)
+            {
+                return out;
+            }
+            // Shape mismatch (cannot happen with a fixed per-session
+            // parallelism, but the contract is "fall back cold, never
+            // fail"): `execute_planned_warm` bails before charging.
+            return self.engine.execute_planned(q, cfg, &plan.fact_order, self.par, io);
+        }
+        let (out, capture) =
+            self.engine.execute_planned_capture(q, cfg, &plan.fact_order, self.par, io);
+        if let Some(capture) = capture {
+            cache.put_filter(fkey, Arc::new(capture));
+        }
+        out
     }
 
     fn row_db(&self, design: RowDesign) -> Arc<RowDb> {
-        let mut dbs = self.row_dbs.lock().expect("row_dbs mutex poisoned");
+        // Recover from poison: the map holds only fully-built databases
+        // (no invariant spans a panic), so a panic elsewhere while holding
+        // the lock must not take down every later row-plan query.
+        let mut dbs = self.row_dbs.lock().unwrap_or_else(PoisonError::into_inner);
         dbs.entry(design)
             .or_insert_with(|| Arc::new(RowDb::build(self.tables.clone(), design)))
             .clone()
     }
+}
+
+/// Splice `field` into a `Plan::to_json` object, before the closing brace.
+fn inject_json_field(json: &mut String, field: &str) {
+    debug_assert!(json.ends_with('}'));
+    json.truncate(json.len() - 1);
+    json.push_str(", ");
+    json.push_str(field);
+    json.push('}');
 }
 
 /// Result-set metadata for `q`: the group columns (with their schema
@@ -201,4 +408,85 @@ fn response_columns(q: &SsbQuery) -> Vec<ColumnMeta> {
         .collect();
     cols.push(ColumnMeta { name: parser::agg_sql(q.aggregate).to_string(), dtype: DataType::Int });
     cols
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cvr_data::gen::SsbConfig;
+
+    /// Regression: one panicking query poisoning `row_dbs` used to
+    /// permanently fail every later row-plan query on every connection.
+    #[test]
+    fn row_db_recovers_from_a_poisoned_mutex() {
+        let session = Session::new(Arc::new(SsbConfig::with_scale(0.0005).generate()));
+        // Poison the mutex: a thread panics while holding the lock.
+        let poisoner = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = session.row_dbs.lock().unwrap();
+                panic!("poison row_dbs");
+            })
+            .join()
+        });
+        assert!(poisoner.is_err(), "the poisoning thread must panic");
+        assert!(session.row_dbs.lock().is_err(), "mutex must actually be poisoned");
+        // Both the build path (first use) and the cached path still work.
+        let a = session.row_db(RowDesign::Traditional);
+        let b = session.row_db(RowDesign::Traditional);
+        assert!(Arc::ptr_eq(&a, &b), "the design is built once and cached");
+    }
+
+    /// `EXPLAIN` output carries the cache's view without disturbing it.
+    #[test]
+    fn explain_surfaces_cache_state() {
+        let tables = Arc::new(SsbConfig::with_scale(0.002).generate());
+        let session = Session::with_cache_budget(tables, Parallelism::serial(), 16 << 20);
+        // Prefer a query the planner answers with the invisible join, so
+        // the filter tier participates; any query shows the result tier.
+        let queries = cvr_data::queries::all_queries();
+        let invisible_plan = |q: &SsbQuery| {
+            matches!(session.explain(q).choice,
+                PhysicalChoice::Column(cfg) if cfg.late_materialization && cfg.invisible_join)
+        };
+        let q = queries.iter().find(|q| invisible_plan(q)).unwrap_or(&queries[0]);
+        let captures = invisible_plan(q);
+        let sql = crate::parser::render_sql(q);
+
+        let QueryResponse::Explain { text, json } =
+            session.query(&format!("EXPLAIN {sql}")).unwrap()
+        else {
+            panic!("expected EXPLAIN")
+        };
+        assert!(text.contains("cache: result=miss filter=miss"), "{text}");
+        assert!(json.contains(r#""cache": {"enabled": true, "result": "miss""#), "{json}");
+
+        session.query(&sql).unwrap(); // cold execution populates the cache
+        let QueryResponse::Explain { text, .. } = session.query(&format!("EXPLAIN {sql}")).unwrap()
+        else {
+            panic!("expected EXPLAIN")
+        };
+        assert!(text.contains("cache: result=hit"), "{text}");
+        if captures {
+            assert!(text.contains("filter=hit"), "{text}");
+        }
+
+        // EXPLAIN peeks must not have counted as result-cache traffic.
+        let stats = session.cache_stats().unwrap();
+        assert_eq!(stats.result_hits, 0);
+        assert_eq!(stats.result_misses, 1);
+    }
+
+    /// A disabled cache (budget 0) reports `cache: off` and still answers.
+    #[test]
+    fn zero_budget_disables_the_cache() {
+        let tables = Arc::new(SsbConfig::with_scale(0.0005).generate());
+        let session = Session::with_cache_budget(tables, Parallelism::serial(), 0);
+        assert!(session.cache_stats().is_none());
+        let q = cvr_data::queries::query(1, 1);
+        let cold = session.run(&q);
+        let again = session.run(&q);
+        assert!(!again.cached);
+        assert_eq!(cold.output, again.output);
+        assert_eq!(cold.io, again.io);
+    }
 }

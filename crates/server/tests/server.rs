@@ -52,7 +52,8 @@ fn adhoc_sql_matches_descriptor_path() {
 }
 
 /// N concurrent connections ≡ the same N serial: the encoded response
-/// frames are byte-identical.
+/// frames are byte-identical up to the `cached` flag (the serial reference
+/// warms the cache, so later connections legitimately hit it).
 #[test]
 fn concurrent_connections_match_serial_byte_for_byte() {
     let session = small_session();
@@ -63,8 +64,10 @@ fn concurrent_connections_match_serial_byte_for_byte() {
     let statements: Vec<String> =
         all_queries().into_iter().map(|q| parser::render_sql(&q)).collect();
     let mut client = Client::connect(addr).expect("connect");
-    let serial: Vec<Vec<u8>> =
-        statements.iter().map(|sql| client.query(sql).expect("query").encode()).collect();
+    let serial: Vec<Vec<u8>> = statements
+        .iter()
+        .map(|sql| client.query(sql).expect("query").normalized().encode())
+        .collect();
     client.close().expect("close");
 
     // 8 concurrent connections, each running all 13 queries.
@@ -77,7 +80,7 @@ fn concurrent_connections_match_serial_byte_for_byte() {
                     let mut client = Client::connect(addr).expect("connect");
                     let got: Vec<Vec<u8>> = statements
                         .iter()
-                        .map(|sql| client.query(sql).expect("query").encode())
+                        .map(|sql| client.query(sql).expect("query").normalized().encode())
                         .collect();
                     client.close().expect("close");
                     got
@@ -89,6 +92,61 @@ fn concurrent_connections_match_serial_byte_for_byte() {
         let got = worker.join().expect("client thread");
         assert_eq!(got, serial, "connection {w} diverged from the serial reference");
     }
+    server.shutdown();
+}
+
+/// Repeated statements come back from the result cache: the `cached` flag
+/// flips, and nothing else in the frame changes.
+#[test]
+fn repeated_statements_hit_the_result_cache() {
+    let session = small_session();
+    let server = serve(session.clone(), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let sql = parser::render_sql(&cvr_data::queries::query(2, 2));
+
+    let cold = client.query(&sql).expect("cold");
+    let Response::Result(cold_rs) = &cold else { panic!("expected RESULT") };
+    assert!(!cold_rs.cached, "first execution must be cold");
+
+    let warm = client.query(&sql).expect("warm");
+    let Response::Result(warm_rs) = &warm else { panic!("expected RESULT") };
+    assert!(warm_rs.cached, "repeat must be served from the cache");
+    assert_eq!(
+        warm.normalized().encode(),
+        cold.normalized().encode(),
+        "hit must be byte-identical"
+    );
+
+    let stats = session.cache_stats().expect("cache enabled");
+    assert!(stats.result_hits >= 1, "{stats:?}");
+    client.close().expect("close");
+    server.shutdown();
+}
+
+/// A panic inside `Session::query` becomes a structured ERROR frame on a
+/// connection that keeps serving — it must not unwind the connection
+/// thread into an opaque EOF (and the shared session must stay healthy
+/// for other queries, including after mutex poisoning).
+#[test]
+fn panics_become_error_frames_and_the_connection_survives() {
+    let session = small_session();
+    session.inject_panic_on("lo_quantity < 42");
+    let server = serve(session.clone(), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let healthy = parser::render_sql(&cvr_data::queries::query(1, 1));
+
+    assert!(matches!(client.query(&healthy).expect("pre"), Response::Result(_)));
+    let poisoned = "SELECT SUM(lo_revenue) FROM lineorder WHERE lo_quantity < 42";
+    match client.query(poisoned).expect("panic must still produce a frame") {
+        Response::Error { code, message } => {
+            assert_eq!(code, cvr_server::server::ERROR_CODE_PANIC);
+            assert!(message.contains("panicked"), "{message}");
+        }
+        other => panic!("expected ERROR, got {other:?}"),
+    }
+    // Same connection, same shared session: still serving.
+    assert!(matches!(client.query(&healthy).expect("post"), Response::Result(_)));
+    client.close().expect("close");
     server.shutdown();
 }
 

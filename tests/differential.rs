@@ -399,3 +399,108 @@ fn concurrent_sessions_are_byte_identical_to_serial() {
         }
     }
 }
+
+#[test]
+fn cache_grid_is_byte_identical_to_serial_cold() {
+    // The cache-correctness grid: repeated and interleaved queries over
+    // {cold, warm, concurrent×8} must all be byte-identical — output bytes
+    // AND IoStats — to a serial cold reference taken from a cache-disabled
+    // session. A result-cache hit and a filter-intermediate warm execution
+    // may change latency, never a byte.
+    use cvr::server::session::QueryResponse;
+    use cvr::server::{parser, Session};
+    use cvr::storage::io::IoStats;
+
+    let tables = Arc::new(SsbConfig { sf: 0.0015, seed: 99 }.generate());
+    let mut queries: Vec<SsbQuery> = all_queries();
+    queries.extend(WorkloadConfig { seed: 9, count: 8 }.generate());
+
+    // Serial cold reference: cache disabled, so every run executes.
+    let cold = Session::with_cache_budget(tables.clone(), Parallelism::from_env(), 0);
+    let reference: Vec<(Vec<u8>, IoStats)> = queries
+        .iter()
+        .map(|q| {
+            let r = cold.run(q);
+            assert!(!r.cached);
+            (r.output.to_bytes(), r.io)
+        })
+        .collect();
+
+    // Cold then warm, interleaved (q0 q1 ... q0 q1 ...): the first round
+    // executes and populates the cache, the second round must hit it.
+    let session =
+        Arc::new(Session::with_cache_budget(tables.clone(), Parallelism::from_env(), 64 << 20));
+    for round in 0..2 {
+        for (q, (ref_bytes, ref_io)) in queries.iter().zip(&reference) {
+            let r = session.run(q);
+            assert_eq!(r.output.to_bytes(), *ref_bytes, "round {round}: {} bytes", q.id);
+            assert_eq!(r.io, *ref_io, "round {round}: {} IoStats", q.id);
+            assert_eq!(r.cached, round == 1, "round {round}: {} cached flag", q.id);
+        }
+    }
+
+    // Concurrent×8 over the warmed session, staggered so streams interleave
+    // different statements — hits under contention are still identical.
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            let session = session.clone();
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                queries
+                    .iter()
+                    .cycle()
+                    .skip(w * 3)
+                    .take(queries.len())
+                    .map(|q| {
+                        let sql = parser::render_sql(q);
+                        match session.query(&sql).expect("parse") {
+                            QueryResponse::Rows(r) => (q.id, r.output.to_bytes(), r.io),
+                            QueryResponse::Explain { .. } => unreachable!(),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for (w, worker) in workers.into_iter().enumerate() {
+        for (id, bytes, io) in worker.join().expect("stream") {
+            let idx = queries.iter().position(|q| q.id == id).unwrap();
+            let (ref_bytes, ref_io) = &reference[idx];
+            assert_eq!(&bytes, ref_bytes, "stream {w}: {id} output diverged on cache grid");
+            assert_eq!(&io, ref_io, "stream {w}: {id} IoStats diverged on cache grid");
+        }
+    }
+    let stats = session.cache_stats().expect("cache enabled");
+    assert!(stats.result_hits > 0, "the grid must actually exercise hits: {stats:?}");
+}
+
+#[test]
+fn eviction_under_a_tiny_budget_stays_correct() {
+    // Squeeze the cache hard enough that entries are evicted (or refused)
+    // constantly; every answer must still match the uncached reference.
+    use cvr::server::Session;
+    use cvr::storage::io::IoStats;
+
+    let tables = Arc::new(SsbConfig { sf: 0.0015, seed: 99 }.generate());
+    let queries: Vec<SsbQuery> = all_queries();
+    let cold = Session::with_cache_budget(tables.clone(), Parallelism::from_env(), 0);
+    let reference: Vec<(Vec<u8>, IoStats)> = queries
+        .iter()
+        .map(|q| {
+            let r = cold.run(q);
+            (r.output.to_bytes(), r.io)
+        })
+        .collect();
+
+    let tiny = Session::with_cache_budget(tables, Parallelism::from_env(), 2 << 10);
+    for round in 0..3 {
+        for (q, (ref_bytes, ref_io)) in queries.iter().zip(&reference) {
+            let r = tiny.run(q);
+            assert_eq!(r.output.to_bytes(), *ref_bytes, "round {round}: {} bytes", q.id);
+            assert_eq!(r.io, *ref_io, "round {round}: {} IoStats", q.id);
+        }
+    }
+    let stats = tiny.cache_stats().expect("cache enabled");
+    assert!(stats.bytes <= stats.budget, "footprint must respect the budget: {stats:?}");
+    assert!(stats.evicted > 0, "a 2 KiB budget over 13 queries must evict: {stats:?}");
+}
