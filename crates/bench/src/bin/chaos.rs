@@ -1,0 +1,353 @@
+//! Fault-injection harness against the `cvr-server` front door.
+//!
+//! Starts a real TCP server over a generated database, computes a serial
+//! byte-identity reference with faults disarmed, then arms the `--fault`
+//! spec (injected page-read failures, worker panics, morsel stalls, frame
+//! truncation) and drives the server with `--connections` concurrent
+//! [`RetryClient`] workers. Three phases, four gates:
+//!
+//! 1. **Workload** — every statement must *eventually* (client retries plus
+//!    a bounded harness-level retry for contained worker panics) produce a
+//!    `RESULT` byte-identical to its reference. Gates: zero byte mismatches
+//!    and availability ≥ `--min-availability`.
+//! 2. **Cancel probes** — with every morsel stalled, `--cancels` queries
+//!    are cancelled from a second connection; the time from the cancel
+//!    being acknowledged to the runner receiving `ERROR 100` is the
+//!    cancel-to-ERROR latency. Gate: p99 ≤ `--max-cancel-p99-ms` (when at
+//!    least 10 probes yield a sample). A few `deadline_ms = 1` probes ride
+//!    along and must come back as `ERROR 101`.
+//! 3. **Recovery** — faults disarmed, every statement once more: all must
+//!    answer byte-identically (the server took no lasting damage).
+//!
+//! A watchdog exits 2 when the whole run exceeds `--watchdog` seconds — a
+//! hang is a gate failure, not a stuck CI job. Writes `BENCH_chaos.json`.
+//!
+//! ```text
+//! cargo run --release -p cvr-bench --bin chaos -- --sf 0.02
+//! cargo run --release -p cvr-bench --bin chaos -- --sf 0.005 --fault io:0.05,panic:0.05
+//! ```
+
+use cvr_bench::HarnessArgs;
+use cvr_core::morsel::Parallelism;
+use cvr_core::QueryError;
+use cvr_data::queries::all_queries;
+use cvr_data::workload::WorkloadConfig;
+use cvr_plan::PhysicalChoice;
+use cvr_server::parser::render_sql;
+use cvr_server::protocol::Response;
+use cvr_server::{serve, Client, ClientConfig, RetryClient, Session};
+use cvr_storage::fault::{self, FaultConfig, InjectedFault};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Harness-level retries per statement on top of the client's own: worker
+/// panics (code 99) are not client-retryable by design, but the harness
+/// knows they are injected and bounded.
+const OUTER_RETRIES: usize = 6;
+
+static DONE: AtomicBool = AtomicBool::new(false);
+
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Silence the default panic hook for *injected* panics — with `panic:P`
+/// armed, every contained worker crash would otherwise dump a backtrace.
+fn install_quiet_panic_hook() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let injected = payload.downcast_ref::<InjectedFault>().is_some()
+            || payload.downcast_ref::<&str>().is_some_and(|s| s.contains("injected fault"))
+            || payload.downcast_ref::<String>().is_some_and(|s| s.contains("injected fault"));
+        if !injected {
+            prev(info);
+        }
+    }));
+}
+
+/// One worker's share of the chaos workload. Returns
+/// `(answered, mismatches, gave_up, injected_retries)`.
+fn run_worker(
+    addr: SocketAddr,
+    sqls: Arc<Vec<String>>,
+    reference: Arc<HashMap<String, Vec<u8>>>,
+    worker_idx: usize,
+    statements: usize,
+) -> (usize, usize, usize, usize) {
+    let mut client = RetryClient::new(addr, ClientConfig::default());
+    let (mut answered, mut mismatches, mut gave_up, mut injected_retries) = (0, 0, 0, 0);
+    for i in 0..statements {
+        let sql = &sqls[(worker_idx + i) % sqls.len()];
+        let mut ok = false;
+        for _ in 0..=OUTER_RETRIES {
+            match client.query(sql) {
+                Ok(resp @ Response::Error { .. }) => {
+                    // Contained worker panic (99) or a retryable error that
+                    // outlived the client's own budget: both are injected
+                    // and bounded — retry at the harness level.
+                    let Response::Error { code, message } = &resp else { unreachable!() };
+                    let injected = (*code == cvr_server::server::ERROR_CODE_PANIC
+                        && message.contains("injected"))
+                        || QueryError::retryable_code(*code);
+                    assert!(injected, "unexpected error for `{sql}`: {code} {message}");
+                    injected_retries += 1;
+                }
+                Ok(resp) => {
+                    if resp.normalized().encode() == reference[sql] {
+                        answered += 1;
+                    } else {
+                        mismatches += 1;
+                    }
+                    ok = true;
+                    break;
+                }
+                Err(_) => injected_retries += 1, // transport failure past the client's budget
+            }
+        }
+        if !ok {
+            gave_up += 1;
+        }
+    }
+    (answered, mismatches, gave_up, injected_retries)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    install_quiet_panic_hook();
+    let watchdog_secs = args.watchdog.max(1);
+    std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(watchdog_secs);
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(250));
+            if DONE.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+        eprintln!("FAIL: watchdog fired after {watchdog_secs}s — the chaos run hung");
+        std::process::exit(2);
+    });
+
+    eprintln!("# generating tables + building session (sf {}) ...", args.sf);
+    // Cache disabled and small morsels: every statement must *execute* (a
+    // cache hit never reaches a fault site), and more morsel boundaries
+    // mean more fault/cancellation windows.
+    let par = Parallelism { threads: args.threads.max(2), morsel_rows: 1024 };
+    let session = Arc::new(Session::with_cache_budget(args.tables(), par, 0));
+    let server = serve(session.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    // Statement mix: the 13 paper queries + generated ad-hoc ones.
+    let mut queries = all_queries();
+    queries.extend(
+        (WorkloadConfig { seed: args.seed ^ 0xC4A0, count: args.queries.min(255) }).generate(),
+    );
+    let mut seen = std::collections::HashSet::new();
+    let sqls: Arc<Vec<String>> =
+        Arc::new(queries.iter().map(render_sql).filter(|s| seen.insert(s.clone())).collect());
+
+    // Serial reference with faults disarmed: the bytes every later answer
+    // must match.
+    fault::install(None);
+    let mut serial = Client::connect(addr).expect("connect");
+    let reference: Arc<HashMap<String, Vec<u8>>> = Arc::new(
+        sqls.iter()
+            .map(|sql| {
+                let resp = serial.query(sql).expect("reference query");
+                assert!(matches!(resp, Response::Result(_)), "reference failed for `{sql}`");
+                (sql.clone(), resp.normalized().encode())
+            })
+            .collect(),
+    );
+    eprintln!("# reference: {} distinct statements", sqls.len());
+
+    // Phase 1: the faulted workload.
+    let spec = FaultConfig::parse(&args.fault).expect("--fault spec");
+    eprintln!(
+        "# arming faults: {} ({} connections x {} statements)",
+        args.fault, args.connections, args.statements
+    );
+    fault::install(Some(spec));
+    let wall_start = Instant::now();
+    let workers: Vec<_> = (0..args.connections)
+        .map(|w| {
+            let (sqls, reference) = (sqls.clone(), reference.clone());
+            let statements = args.statements;
+            std::thread::Builder::new()
+                .name(format!("chaos-client-{w}"))
+                .spawn(move || run_worker(addr, sqls, reference, w, statements))
+                .expect("spawn worker")
+        })
+        .collect();
+    let (mut answered, mut mismatches, mut gave_up, mut injected_retries) = (0, 0, 0, 0);
+    for w in workers {
+        let (a, m, g, r) = w.join().expect("worker thread");
+        answered += a;
+        mismatches += m;
+        gave_up += g;
+        injected_retries += r;
+    }
+    let workload_wall = wall_start.elapsed();
+    let total = args.connections * args.statements;
+    let availability = answered as f64 / total as f64;
+    eprintln!(
+        "# workload: {answered}/{total} answered byte-identically ({injected_retries} retries, {gave_up} gave up, {mismatches} mismatches)"
+    );
+
+    // Phase 2: cancel probes under a deterministic stall — every morsel
+    // sleeps, so the query is mid-run when the cancel lands and the
+    // cancel-to-ERROR latency is dominated by the poll interval.
+    fault::install(Some(FaultConfig::parse("stall:1.0:3").expect("stall spec")));
+    let cancel_sql = {
+        let q = all_queries()
+            .into_iter()
+            .find(|q| matches!(session.explain(q).choice, PhysicalChoice::Column(_)))
+            .expect("a column-plan paper query");
+        render_sql(&q)
+    };
+    let mut cancel_lat: Vec<Duration> = Vec::new();
+    let mut cancels_missed = 0usize;
+    let mut canceller = Client::connect(addr).expect("connect canceller");
+    for probe in 0..args.cancels {
+        let token = 0xCA0 + probe as u64 + 1;
+        let sql = cancel_sql.clone();
+        let runner = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("connect runner");
+            let resp = client.query_opts(&sql, token, 0).expect("probe answers");
+            (resp, Instant::now())
+        });
+        let mut found_at = None;
+        while found_at.is_none() && !runner.is_finished() {
+            if canceller.cancel(token).expect("cancel round-trip") {
+                found_at = Some(Instant::now());
+            }
+        }
+        let (resp, done_at) = runner.join().expect("runner thread");
+        match (found_at, resp) {
+            (Some(t0), Response::Error { code, .. }) if code == QueryError::CODE_CANCELLED => {
+                cancel_lat.push(done_at.saturating_duration_since(t0));
+            }
+            // The query outran the cancel (or the cancel never found it):
+            // not a failure, just no latency sample.
+            _ => cancels_missed += 1,
+        }
+    }
+    cancel_lat.sort();
+    let (cancel_p50, cancel_p99) = (quantile(&cancel_lat, 0.50), quantile(&cancel_lat, 0.99));
+    eprintln!(
+        "# cancel probes: {}/{} sampled, p99 {:.1}ms",
+        cancel_lat.len(),
+        args.cancels,
+        cancel_p99.as_secs_f64() * 1e3
+    );
+
+    // Deadline probes: a 1 ms deadline under the same stall must trip.
+    let mut deadline_hits = 0usize;
+    let deadline_probes = 8usize;
+    for _ in 0..deadline_probes {
+        match canceller.query_opts(&cancel_sql, 0, 1).expect("deadline probe") {
+            Response::Error { code, .. } if code == QueryError::CODE_DEADLINE => deadline_hits += 1,
+            _ => {}
+        }
+    }
+    canceller.close().expect("close");
+
+    // Phase 3: recovery — faults cleared, every statement byte-identical.
+    fault::install(None);
+    let mut recovered = Client::connect(addr).expect("reconnect");
+    for sql in sqls.iter() {
+        let resp = recovered.query(sql).expect("recovery query");
+        assert_eq!(
+            resp.normalized().encode(),
+            reference[sql],
+            "post-chaos answer diverged for `{sql}`"
+        );
+    }
+    let stats = recovered.stats().expect("stats frame");
+    recovered.close().expect("close");
+    eprintln!("# recovery: all {} statements byte-identical after disarm", sqls.len());
+    server.shutdown();
+    DONE.store(true, Ordering::Relaxed);
+
+    println!("\nChaos harness (sf {})", args.sf);
+    println!("========================\n");
+    println!("fault spec:       {}", args.fault);
+    println!("connections:      {}", args.connections);
+    println!("statements/conn:  {}", args.statements);
+    println!("total statements: {total}");
+    println!("workload wall:    {:.2}s", workload_wall.as_secs_f64());
+    println!("availability:     {:.4} ({answered}/{total})", availability);
+    println!("byte mismatches:  {mismatches}");
+    println!("gave up:          {gave_up}");
+    println!("injected retries: {injected_retries}");
+    println!(
+        "cancel samples:   {}/{} ({cancels_missed} outran the cancel)",
+        cancel_lat.len(),
+        args.cancels
+    );
+    println!("cancel p50:       {:.3}ms", cancel_p50.as_secs_f64() * 1e3);
+    println!("cancel p99:       {:.3}ms", cancel_p99.as_secs_f64() * 1e3);
+    println!("deadline hits:    {deadline_hits}/{deadline_probes}");
+    println!(
+        "scheduler:        admitted {} shed {} abandoned {} throttled {}",
+        stats.sched.admitted, stats.sched.shed, stats.sched.abandoned, stats.sched.throttled
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"chaos\",\n");
+    let _ = writeln!(json, "  \"sf\": {},", args.sf);
+    let _ = writeln!(json, "  \"fault\": \"{}\",", args.fault);
+    let _ = writeln!(json, "  \"connections\": {},", args.connections);
+    let _ = writeln!(json, "  \"statements_per_connection\": {},", args.statements);
+    let _ = writeln!(json, "  \"total_statements\": {total},");
+    let _ = writeln!(json, "  \"workload_wall_seconds\": {:.6},", workload_wall.as_secs_f64());
+    let _ = writeln!(json, "  \"answered\": {answered},");
+    let _ = writeln!(json, "  \"availability\": {availability:.6},");
+    let _ = writeln!(json, "  \"byte_mismatches\": {mismatches},");
+    let _ = writeln!(json, "  \"gave_up\": {gave_up},");
+    let _ = writeln!(json, "  \"injected_retries\": {injected_retries},");
+    let _ = writeln!(json, "  \"cancel_probes\": {},", args.cancels);
+    let _ = writeln!(json, "  \"cancel_samples\": {},", cancel_lat.len());
+    let _ = writeln!(json, "  \"cancel_p50_ms\": {:.4},", cancel_p50.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"cancel_p99_ms\": {:.4},", cancel_p99.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"deadline_hits\": {deadline_hits},");
+    let _ = writeln!(json, "  \"deadline_probes\": {deadline_probes},");
+    let _ = writeln!(json, "  \"sched_admitted\": {},", stats.sched.admitted);
+    let _ = writeln!(json, "  \"sched_shed\": {},", stats.sched.shed);
+    let _ = writeln!(json, "  \"sched_abandoned\": {},", stats.sched.abandoned);
+    let _ = writeln!(json, "  \"sched_throttled\": {}", stats.sched.throttled);
+    json.push_str("}\n");
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    eprintln!("\n# wrote BENCH_chaos.json");
+
+    let mut failed = false;
+    if mismatches > 0 {
+        eprintln!("FAIL: {mismatches} responses diverged from the serial reference");
+        failed = true;
+    }
+    if availability < args.min_availability {
+        eprintln!(
+            "FAIL: availability {availability:.4} below the --min-availability {:.4} gate",
+            args.min_availability
+        );
+        failed = true;
+    }
+    if cancel_lat.len() >= 10 && cancel_p99.as_secs_f64() * 1e3 > args.max_cancel_p99_ms {
+        eprintln!(
+            "FAIL: cancel p99 {:.1}ms above the --max-cancel-p99-ms {:.1} gate",
+            cancel_p99.as_secs_f64() * 1e3,
+            args.max_cancel_p99_ms
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -188,6 +188,12 @@ fn main() {
         cache_hits += hits;
     }
     let wall = wall_start.elapsed();
+
+    // Scheduler and cache counters over the wire (the STATS frame): the
+    // same numbers an operator would poll in production.
+    let mut stats_client = Client::connect(addr).expect("connect for stats");
+    let report = stats_client.stats().expect("stats frame");
+    stats_client.close().expect("close");
     server.shutdown();
 
     latencies.sort();
@@ -217,6 +223,16 @@ fn main() {
     println!("warm speedup p50: {speedup_p50:.1}x");
     println!("cache hit-rate:   {:.1}% ({cache_hits}/{total_statements})", hit_rate * 100.0);
     println!(
+        "scheduler:        admitted {} queued {} shed {} throttled {}",
+        report.sched.admitted, report.sched.queued, report.sched.shed, report.sched.throttled
+    );
+    if let Some(cache) = &report.cache {
+        println!(
+            "cache (server):   {} hits / {} misses, {} / {} bytes",
+            cache.result_hits, cache.result_misses, cache.bytes, cache.budget
+        );
+    }
+    println!(
         "\nbyte-identity: all {total_statements} concurrent responses matched the serial reference"
     );
 
@@ -238,6 +254,9 @@ fn main() {
     let _ = writeln!(json, "  \"warm_p99_ms\": {:.4},", warm_p99.as_secs_f64() * 1e3);
     let _ = writeln!(json, "  \"warm_speedup_p50\": {speedup_p50:.2},");
     let _ = writeln!(json, "  \"cache_hit_rate\": {hit_rate:.4},");
+    let _ = writeln!(json, "  \"sched_admitted\": {},", report.sched.admitted);
+    let _ = writeln!(json, "  \"sched_shed\": {},", report.sched.shed);
+    let _ = writeln!(json, "  \"sched_throttled\": {},", report.sched.throttled);
     let _ = writeln!(json, "  \"byte_identical\": {total_statements}");
     json.push_str("}\n");
     std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");

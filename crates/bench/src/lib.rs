@@ -41,6 +41,7 @@
 //! | `kernels` | scan kernels: scalar vs word-parallel per encoding × selectivity (emits `BENCH_kernels.json`) |
 //! | `planner` | cost-based planner regret vs the measured best-of-grid, paper + generated queries (emits `BENCH_planner.json`) |
 //! | `server_bench` | closed-loop TCP client harness against `cvr-server`: N connections, p50/p99 latency, QPS, concurrent-vs-serial byte-identity (emits `BENCH_server.json`) |
+//! | `chaos` | fault-injection harness: drives the server with I/O faults, worker panics, stalls, and frame truncation armed; gates availability, byte-identity, cancel latency, and zero hangs (emits `BENCH_chaos.json`) |
 //! | `all` | the full evaluation in one run |
 //!
 //! ## Threads
@@ -114,6 +115,24 @@ pub struct HarnessArgs {
     /// concurrent repeated-workload run's result-cache hit-rate falls below
     /// this fraction (`--min-hit-rate`, default 0.0 ⇒ no gate).
     pub min_hit_rate: f64,
+    /// Fault spec the `chaos` binary arms during its workload phase
+    /// (`--fault`, [`cvr_storage::fault::FaultConfig::parse`] grammar).
+    pub fault: String,
+    /// Watchdog for the `chaos` binary: the process exits 2 when the run
+    /// has not finished after this many seconds (`--watchdog`) — a hang is
+    /// a gate failure, not a stuck CI job.
+    pub watchdog: u64,
+    /// Availability gate for the `chaos` binary: fail when fewer than this
+    /// fraction of statements eventually produce a byte-identical answer
+    /// (`--min-availability`, default 0.99).
+    pub min_availability: f64,
+    /// Cancel-latency gate for the `chaos` binary: fail when the p99 of
+    /// cancel-to-ERROR latency exceeds this many milliseconds
+    /// (`--max-cancel-p99-ms`, default 50; gated only when ≥ 10 probes
+    /// produce a sample).
+    pub max_cancel_p99_ms: f64,
+    /// Cancel probes the `chaos` binary fires (`--cancels`, default 24).
+    pub cancels: usize,
 }
 
 impl Default for HarnessArgs {
@@ -131,6 +150,11 @@ impl Default for HarnessArgs {
             connections: 8,
             statements: 64,
             min_hit_rate: 0.0,
+            fault: "io:0.00001,panic:0.001,stall:0.1:2,trunc:0.02".to_string(),
+            watchdog: 120,
+            min_availability: 0.99,
+            max_cancel_p99_ms: 50.0,
+            cancels: 24,
         }
     }
 }
@@ -177,13 +201,29 @@ impl HarnessArgs {
                 "--min-hit-rate" => {
                     args.min_hit_rate = take(&mut i).parse().expect("--min-hit-rate takes a float")
                 }
+                "--fault" => args.fault = take(&mut i),
+                "--watchdog" => {
+                    args.watchdog = take(&mut i).parse().expect("--watchdog takes seconds")
+                }
+                "--min-availability" => {
+                    args.min_availability =
+                        take(&mut i).parse().expect("--min-availability takes a float")
+                }
+                "--max-cancel-p99-ms" => {
+                    args.max_cancel_p99_ms =
+                        take(&mut i).parse().expect("--max-cancel-p99-ms takes a float")
+                }
+                "--cancels" => args.cancels = take(&mut i).parse().expect("--cancels takes an int"),
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--sf F] [--seed N] [--runs N] [--pool-fraction F] [--cpu-scale F] [--threads N]\n\
                          \x20      [--explain] [--queries N] [--max-regret F] [--connections N] [--statements N]\n\
-                         \x20      [--min-hit-rate F]\n\
+                         \x20      [--min-hit-rate F] [--fault SPEC] [--watchdog SECS] [--min-availability F]\n\
+                         \x20      [--max-cancel-p99-ms F] [--cancels N]\n\
                          defaults: --sf 0.02 --runs 3 --pool-fraction 0.08 --cpu-scale 5.0 --threads CVR_THREADS|auto\n\
-                         \x20         --queries 30 --max-regret 1.5 --connections 8 --statements 64 --min-hit-rate 0.0"
+                         \x20         --queries 30 --max-regret 1.5 --connections 8 --statements 64 --min-hit-rate 0.0\n\
+                         \x20         --fault io:0.00001,panic:0.001,stall:0.1:2,trunc:0.02 --watchdog 120\n\
+                         \x20         --min-availability 0.99 --max-cancel-p99-ms 50 --cancels 24"
                     );
                     std::process::exit(0);
                 }

@@ -20,6 +20,7 @@
 
 use crate::agg::{aggregate_columns, AggPartial, CodeDecoder, CodeGrouper, GroupData, GroupLayout};
 use crate::config::EngineConfig;
+use crate::ctx::{QueryCtx, QueryError};
 use crate::extract::{gather_codes, gather_ints, gather_values, CodeSpace};
 use crate::poslist::PosList;
 use crate::projection::{sort_permutation, FACT_SORT};
@@ -197,6 +198,20 @@ impl DenormDb {
 
     /// Execute `q` join-free over the denormalized table.
     pub fn execute(&self, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -> QueryOutput {
+        self.try_execute(q, cfg, io, &QueryCtx::unbounded())
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`DenormDb::execute`]: checks `ctx` between predicate scans
+    /// and charges the position list plus the gathered group/measure arrays
+    /// against its memory budget.
+    pub fn try_execute(
+        &self,
+        q: &SsbQuery,
+        cfg: EngineConfig,
+        io: &IoSession,
+        ctx: &QueryCtx,
+    ) -> Result<QueryOutput, QueryError> {
         let n = self.rows as u32;
         let mut pos: Option<PosList> = None;
         let and_with = |pl: PosList, pos: &mut Option<PosList>| {
@@ -208,11 +223,13 @@ impl DenormDb {
 
         // Fact predicates.
         for p in &q.fact_predicates {
+            ctx.check()?;
             let pl = scan_pred(self.store.column(p.column), &p.pred, cfg.block_iteration, io);
             and_with(pl, &mut pos);
         }
         // Dimension predicates, now direct column predicates.
         for p in &q.dim_predicates {
+            ctx.check()?;
             let col = self.store.column(p.column);
             let pl = if self.variant == DenormVariant::IntCompression
                 && self.dicts.contains_key(p.column)
@@ -243,6 +260,10 @@ impl DenormDb {
             and_with(pl, &mut pos);
         }
         let pos = pos.unwrap_or_else(|| PosList::all(n));
+        // The gathers below materialize one value per passing row per group
+        // column and measure; charge them up front, before allocating.
+        let width = (q.group_by.len() + q.aggregate.fact_columns().len()).max(1);
+        ctx.charge((pos.count() as usize).saturating_mul(8 * width))?;
 
         // Group columns + measures straight off the fact table. Dictionary
         // and integer-code columns aggregate at the code level (decoding
@@ -300,7 +321,7 @@ impl DenormDb {
                 let mut partial = AggPartial::Code(CodeGrouper::for_layout(&layout));
                 partial.add_rows(q, &group, &measures, pos.count() as usize);
                 match partial {
-                    AggPartial::Code(g) => g.finish(&layout, q),
+                    AggPartial::Code(g) => Ok(g.finish(&layout, q)),
                     AggPartial::Value(_) => unreachable!("partial built as code-level"),
                 }
             }
@@ -339,7 +360,7 @@ impl DenormDb {
                         q.aggregate.term(&inputs)
                     })
                     .collect();
-                aggregate_columns(q, &group_cols, &terms)
+                Ok(aggregate_columns(q, &group_cols, &terms))
             }
         }
     }

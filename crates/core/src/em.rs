@@ -12,8 +12,9 @@
 
 use crate::agg::{AggPartial, CodeDecoder, CodeGrouper, GroupLayout, Grouper};
 use crate::config::EngineConfig;
+use crate::ctx::{QueryCtx, QueryError};
 use crate::extract::decode_all;
-use crate::morsel::{run_morsels, Parallelism};
+use crate::morsel::{try_run_morsels, Parallelism};
 use crate::projection::CStoreDb;
 use cvr_data::queries::SsbQuery;
 use cvr_data::result::QueryOutput;
@@ -84,14 +85,30 @@ struct RowPlan<'q> {
     group_row_codes: Vec<Vec<u32>>,
 }
 
-fn build_plan<'q>(db: &CStoreDb, q: &'q SsbQuery, io: &IoSession) -> RowPlan<'q> {
+fn build_plan<'q>(
+    db: &CStoreDb,
+    q: &'q SsbQuery,
+    io: &IoSession,
+    ctx: &QueryCtx,
+) -> Result<RowPlan<'q>, QueryError> {
     let fact_columns = q.fact_columns();
-    let decoded: Vec<Vec<Value>> =
-        fact_columns.iter().map(|c| decode_all(db.fact.column(c), io)).collect();
+    // Tuple construction decompresses every needed fact column in full —
+    // this is the plan's dominant allocation, so charge it column by column
+    // and honour cancellation between columns.
+    let mut decoded: Vec<Vec<Value>> = Vec::with_capacity(fact_columns.len());
+    for c in &fact_columns {
+        ctx.check()?;
+        let col = decode_all(db.fact.column(c), io);
+        ctx.charge(col.len().saturating_mul(std::mem::size_of::<Value>()))?;
+        decoded.push(col);
+    }
     let col_of: HashMap<&str, usize> =
         fact_columns.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-    let dims: HashMap<Dim, DimTable> =
-        q.touched_dims().into_iter().map(|d| (d, build_dim_table(db, q, d, io))).collect();
+    let mut dims: HashMap<Dim, DimTable> = HashMap::new();
+    for d in q.touched_dims() {
+        ctx.check()?;
+        dims.insert(d, build_dim_table(db, q, d, io));
+    }
     let mut cols = Vec::with_capacity(q.group_by.len());
     let mut group_row_codes = Vec::with_capacity(q.group_by.len());
     for (gi, g) in q.group_by.iter().enumerate() {
@@ -106,7 +123,7 @@ fn build_plan<'q>(db: &CStoreDb, q: &'q SsbQuery, io: &IoSession) -> RowPlan<'q>
         group_row_codes.push(codes);
     }
     let layout = if crate::agg::value_keyed_forced() { None } else { GroupLayout::try_new(cols) };
-    RowPlan {
+    Ok(RowPlan {
         decoded,
         pred_idx: q.fact_predicates.iter().map(|p| (col_of[p.column], &p.pred)).collect(),
         fk_idx: q.touched_dims().into_iter().map(|d| (d, col_of[d.fact_fk_column()])).collect(),
@@ -115,7 +132,7 @@ fn build_plan<'q>(db: &CStoreDb, q: &'q SsbQuery, io: &IoSession) -> RowPlan<'q>
         dims,
         layout,
         group_row_codes,
-    }
+    })
 }
 
 impl RowPlan<'_> {
@@ -177,16 +194,25 @@ fn run_rows(
     partial
 }
 
-/// Execute `q` with early materialization.
-pub(crate) fn execute(
+/// Execute `q` with early materialization (infallible test shorthand).
+#[cfg(test)]
+fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -> QueryOutput {
+    try_execute(db, q, cfg, io, &QueryCtx::unbounded()).unwrap_or_else(|e| std::panic::panic_any(e))
+}
+
+/// Execute `q` with early materialization: honours `ctx` in the
+/// column-decoding prelude.
+pub(crate) fn try_execute(
     db: &CStoreDb,
     q: &SsbQuery,
     cfg: EngineConfig,
     io: &IoSession,
-) -> QueryOutput {
-    let plan = build_plan(db, q, io);
+    ctx: &QueryCtx,
+) -> Result<QueryOutput, QueryError> {
+    let plan = build_plan(db, q, io, ctx)?;
+    ctx.check()?;
     let partial = run_rows(&plan, q, cfg, 0..db.fact_rows());
-    plan.finish(partial, q)
+    Ok(plan.finish(partial, q))
 }
 
 /// Execute `q` with early materialization across `par.threads` morsel
@@ -195,28 +221,30 @@ pub(crate) fn execute(
 /// All I/O happens in the shared serial prelude ([`build_plan`]) — tuple
 /// construction decompresses every needed column in full, and the dimension
 /// join tables are built row-style on the coordinator — so the charges on
-/// `io` are identical to [`execute`] by construction. The row pipeline
+/// `io` are identical to [`try_execute`] by construction. The row pipeline
 /// ([`run_rows`]) is pure CPU and fans out over morsels of the
-/// constructed-tuple space; partial aggregates merge in morsel order.
-pub(crate) fn execute_par(
+/// constructed-tuple space; partial aggregates merge in morsel order. `ctx`
+/// is honoured in the serial prelude and at every morsel boundary.
+pub(crate) fn try_execute_par(
     db: &CStoreDb,
     q: &SsbQuery,
     cfg: EngineConfig,
     par: Parallelism,
     io: &IoSession,
-) -> QueryOutput {
+    ctx: &QueryCtx,
+) -> Result<QueryOutput, QueryError> {
     if par.is_serial() {
-        return execute(db, q, cfg, io);
+        return try_execute(db, q, cfg, io, ctx);
     }
-    let plan = build_plan(db, q, io);
-    let partials = run_morsels(db.fact_rows() as u32, par, |_, range| {
-        run_rows(&plan, q, cfg, range.start as usize..range.end as usize)
-    });
+    let plan = build_plan(db, q, io, ctx)?;
+    let partials = try_run_morsels(db.fact_rows() as u32, par, ctx, |_, range| {
+        Ok(run_rows(&plan, q, cfg, range.start as usize..range.end as usize))
+    })?;
     let mut merged = plan.new_partial();
     for partial in partials {
         merged.merge(partial);
     }
-    plan.finish(merged, q)
+    Ok(plan.finish(merged, q))
 }
 
 /// Predicate + join filtering for one constructed tuple.

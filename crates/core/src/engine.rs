@@ -1,6 +1,7 @@
 //! The column engine facade: one entry point over every plan shape.
 
 use crate::config::EngineConfig;
+use crate::ctx::{catch_injected, QueryCtx, QueryError};
 use crate::morsel::Parallelism;
 use crate::projection::CStoreDb;
 use crate::{em, invisible, lmjoin};
@@ -59,22 +60,40 @@ impl ColumnEngine {
         par: Parallelism,
         io: &IoSession,
     ) -> QueryOutput {
+        self.try_execute_with(q, config, par, io, &QueryCtx::unbounded())
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`ColumnEngine::execute_with`]: the selected plan shape
+    /// checks `ctx` at phase and morsel boundaries and aborts with a typed
+    /// [`QueryError`] on cancellation, deadline expiry, or a blown memory
+    /// budget. Injected storage faults surface as [`QueryError::Io`].
+    pub fn try_execute_with(
+        &self,
+        q: &SsbQuery,
+        config: EngineConfig,
+        par: Parallelism,
+        io: &IoSession,
+        ctx: &QueryCtx,
+    ) -> Result<QueryOutput, QueryError> {
         let db = self.db(config);
-        if par.is_serial() {
-            if !config.late_materialization {
-                em::execute(db, q, config, io)
+        catch_injected(|| {
+            if par.is_serial() {
+                if !config.late_materialization {
+                    em::try_execute(db, q, config, io, ctx)
+                } else if config.invisible_join {
+                    invisible::try_execute(db, q, config, io, ctx)
+                } else {
+                    lmjoin::try_execute(db, q, config, io, ctx)
+                }
+            } else if !config.late_materialization {
+                em::try_execute_par(db, q, config, par, io, ctx)
             } else if config.invisible_join {
-                invisible::execute(db, q, config, io)
+                invisible::try_execute_par(db, q, config, par, io, ctx)
             } else {
-                lmjoin::execute(db, q, config, io)
+                lmjoin::try_execute_par(db, q, config, par, io, ctx)
             }
-        } else if !config.late_materialization {
-            em::execute_par(db, q, config, par, io)
-        } else if config.invisible_join {
-            invisible::execute_par(db, q, config, par, io)
-        } else {
-            lmjoin::execute_par(db, q, config, par, io)
-        }
+        })?
     }
 
     /// Execute `q` with the invisible join under explicit ablation
@@ -113,6 +132,19 @@ impl ColumnEngine {
         self.execute_with(&q.with_fact_order(fact_order), config, par, io)
     }
 
+    /// Fallible [`ColumnEngine::execute_planned`].
+    pub fn try_execute_planned(
+        &self,
+        q: &SsbQuery,
+        config: EngineConfig,
+        fact_order: &[usize],
+        par: Parallelism,
+        io: &IoSession,
+        ctx: &QueryCtx,
+    ) -> Result<QueryOutput, QueryError> {
+        self.try_execute_with(&q.with_fact_order(fact_order), config, par, io, ctx)
+    }
+
     /// [`ColumnEngine::execute_planned`], additionally capturing the filter
     /// phases for later warm reuse when the plan shape supports it (the
     /// invisible join under late materialization). Charges on `io` are
@@ -125,12 +157,28 @@ impl ColumnEngine {
         par: Parallelism,
         io: &IoSession,
     ) -> (QueryOutput, Option<crate::invisible::FilterCapture>) {
+        self.try_execute_planned_capture(q, config, fact_order, par, io, &QueryCtx::unbounded())
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`ColumnEngine::execute_planned_capture`].
+    pub fn try_execute_planned_capture(
+        &self,
+        q: &SsbQuery,
+        config: EngineConfig,
+        fact_order: &[usize],
+        par: Parallelism,
+        io: &IoSession,
+        ctx: &QueryCtx,
+    ) -> Result<(QueryOutput, Option<crate::invisible::FilterCapture>), QueryError> {
         if config.late_materialization && config.invisible_join {
             let q = q.with_fact_order(fact_order);
-            let (out, cap) = invisible::execute_capture(self.db(config), &q, config, par, io);
-            (out, Some(cap))
+            let (out, cap) = catch_injected(|| {
+                invisible::try_execute_capture(self.db(config), &q, config, par, io, ctx)
+            })??;
+            Ok((out, Some(cap)))
         } else {
-            (self.execute_planned(q, config, fact_order, par, io), None)
+            Ok((self.try_execute_planned(q, config, fact_order, par, io, ctx)?, None))
         }
     }
 
@@ -148,11 +196,35 @@ impl ColumnEngine {
         io: &IoSession,
         capture: &crate::invisible::FilterCapture,
     ) -> Option<QueryOutput> {
+        self.try_execute_planned_warm(
+            q,
+            config,
+            fact_order,
+            par,
+            io,
+            capture,
+            &QueryCtx::unbounded(),
+        )
+        .unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// Fallible [`ColumnEngine::execute_planned_warm`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_execute_planned_warm(
+        &self,
+        q: &SsbQuery,
+        config: EngineConfig,
+        fact_order: &[usize],
+        par: Parallelism,
+        io: &IoSession,
+        capture: &crate::invisible::FilterCapture,
+        ctx: &QueryCtx,
+    ) -> Result<Option<QueryOutput>, QueryError> {
         if !(config.late_materialization && config.invisible_join) {
-            return None;
+            return Ok(None);
         }
         let q = q.with_fact_order(fact_order);
-        invisible::execute_warm(self.db(config), &q, par, io, capture)
+        catch_injected(|| invisible::try_execute_warm(self.db(config), &q, par, io, capture, ctx))?
     }
 }
 

@@ -21,8 +21,9 @@
 
 use crate::agg::{AggStrategy, GroupData};
 use crate::config::EngineConfig;
+use crate::ctx::{QueryCtx, QueryError};
 use crate::extract::gather_ints;
-use crate::morsel::{grid, intersect_ascending, run_morsels, Parallelism};
+use crate::morsel::{grid, intersect_ascending, try_run_morsels, Parallelism};
 use crate::poslist::PosList;
 use crate::projection::CStoreDb;
 use crate::scan::{scan_int, scan_int_range, scan_pred, scan_pred_range, IntScanPred};
@@ -250,10 +251,12 @@ fn filter_serial(
     opts: InvisibleOptions,
     io: &IoSession,
     capture: &mut Option<&mut Vec<IoLog>>,
-) -> PosList {
+    ctx: &QueryCtx,
+) -> Result<PosList, QueryError> {
     let n = db.fact_rows() as u32;
     let mut pos: Option<PosList> = None;
     for dim in q.restricted_dims() {
+        ctx.check()?;
         let key_pred = charge_step(io, capture, |s| {
             phase1_key_pred_opts(db, q, dim, cfg, opts, s).expect("restricted dim has predicates")
         });
@@ -264,6 +267,7 @@ fn filter_serial(
         });
     }
     for p in &q.fact_predicates {
+        ctx.check()?;
         let col = db.fact.column(p.column);
         let pl = charge_step(io, capture, |s| scan_pred(col, &p.pred, cfg.block_iteration, s));
         pos = Some(match pos {
@@ -271,14 +275,23 @@ fn filter_serial(
             Some(acc) => acc.intersect(&pl),
         });
     }
-    pos.unwrap_or_else(|| PosList::all(n))
+    let pos = pos.unwrap_or_else(|| PosList::all(n));
+    // Account the surviving position list — the filter's materialized
+    // intermediate (upper bound for range/bitmap representations).
+    ctx.charge(pos.count() as usize * 4)?;
+    Ok(pos)
 }
 
 /// Key → position join tables for non-dense grouped dimensions (DATE),
 /// charged on `io`. The serial plan builds these lazily inside phase 3;
 /// parallel and warm executions build them up front so morsels share them
 /// read-only.
-fn build_join_maps(db: &CStoreDb, q: &SsbQuery, io: &IoSession) -> HashMap<Dim, IntHashMap> {
+fn build_join_maps(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    io: &IoSession,
+    ctx: &QueryCtx,
+) -> Result<HashMap<Dim, IntHashMap>, QueryError> {
     let mut group_dims: Vec<Dim> = Vec::new();
     for g in &q.group_by {
         if !group_dims.contains(&g.dim) {
@@ -288,16 +301,18 @@ fn build_join_maps(db: &CStoreDb, q: &SsbQuery, io: &IoSession) -> HashMap<Dim, 
     let mut join_maps: HashMap<Dim, IntHashMap> = HashMap::new();
     for &dim in &group_dims {
         if !db.dim(dim).dense_keys {
+            ctx.check()?;
             let keycol = db.dim(dim).store.column(dim.key_column());
             keycol.charge_scan(io);
             let keys = keycol.column.as_int().decode();
+            ctx.charge(keys.len() * 12)?; // decoded keys + hash-table entries
             join_maps.insert(
                 dim,
                 IntHashMap::from_pairs(keys.iter().enumerate().map(|(p, &k)| (k, p as u32))),
             );
         }
     }
-    join_maps
+    Ok(join_maps)
 }
 
 /// Phase 3 over one position list: minimal out-of-order extraction of group
@@ -313,7 +328,12 @@ fn phase3_partial(
     join_maps: Option<&HashMap<Dim, IntHashMap>>,
     pos: &PosList,
     io: &IoSession,
-) -> crate::agg::AggPartial {
+    ctx: &QueryCtx,
+) -> Result<crate::agg::AggPartial, QueryError> {
+    ctx.check()?;
+    // Account the gathered group/measure arrays this phase materializes.
+    let width = q.group_by.len() + q.aggregate.fact_columns().len();
+    ctx.charge((pos.count() as usize).saturating_mul(8 * width.max(1)))?;
     let mut group_cols: Vec<GroupData> = Vec::with_capacity(q.group_by.len());
     let mut fk_cache: HashMap<Dim, Vec<u32>> = HashMap::new();
     for (gi, g) in q.group_by.iter().enumerate() {
@@ -350,10 +370,11 @@ fn phase3_partial(
         .collect();
     let mut partial = strat.new_partial();
     partial.add_rows(q, &group_cols, &measure_cols, pos.count() as usize);
-    partial
+    Ok(partial)
 }
 
-/// Execute `q` with the invisible join (default options).
+/// Execute `q` with the invisible join (infallible test shorthand).
+#[cfg(test)]
 pub(crate) fn execute(
     db: &CStoreDb,
     q: &SsbQuery,
@@ -371,27 +392,44 @@ pub(crate) fn execute_opts(
     opts: InvisibleOptions,
     io: &IoSession,
 ) -> QueryOutput {
+    try_execute_opts(db, q, cfg, opts, io, &QueryCtx::unbounded())
+        .unwrap_or_else(|e| std::panic::panic_any(e))
+}
+
+/// Execute `q` with the invisible join (default options), honouring `ctx`.
+pub(crate) fn try_execute(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    io: &IoSession,
+    ctx: &QueryCtx,
+) -> Result<QueryOutput, QueryError> {
+    try_execute_opts(db, q, cfg, InvisibleOptions::default(), io, ctx)
+}
+
+/// Fallible, lifecycle-aware form of [`execute_opts`]: checks `ctx` between
+/// filter steps and phases, charging materialized intermediates against its
+/// memory budget.
+pub(crate) fn try_execute_opts(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    opts: InvisibleOptions,
+    io: &IoSession,
+    ctx: &QueryCtx,
+) -> Result<QueryOutput, QueryError> {
     // Phases 1+2 per restricted dimension, then fact predicates.
-    let pos = filter_serial(db, q, cfg, opts, io, &mut None);
+    let pos = filter_serial(db, q, cfg, opts, io, &mut None, ctx)?;
     // Phase 3: dimension attribute extraction at the final position list —
     // as codes when every group column has a code space (see
     // [`AggStrategy`]), so no strings are materialized per row.
     let strat = AggStrategy::for_query(db, q);
-    let partial = phase3_partial(db, q, &strat, None, &pos, io);
-    strat.finish(partial, q)
+    let partial = phase3_partial(db, q, &strat, None, &pos, io, ctx)?;
+    Ok(strat.finish(partial, q))
 }
 
-/// Execute `q` with the invisible join across `par.threads` morsel workers.
-///
-/// Phase 1 (dimension predicate → key predicate) stays on the coordinator —
-/// dimension tables are small and its charges must precede the fact probes,
-/// exactly as in [`execute`]. Phases 2 and 3 run as one pipelined fan-out:
-/// each morsel probes every foreign-key predicate over its slice of the fact
-/// position space, applies the fact predicates, extracts group and measure
-/// values at its surviving positions, and partially aggregates. The
-/// coordinator replays per-morsel I/O logs and merges partial aggregates in
-/// morsel order, making both the result and the accounting byte-identical
-/// to the serial path.
+/// Parallel invisible join with an unbounded lifecycle (test shorthand).
+#[cfg(test)]
 pub(crate) fn execute_par(
     db: &CStoreDb,
     q: &SsbQuery,
@@ -399,10 +437,34 @@ pub(crate) fn execute_par(
     par: Parallelism,
     io: &IoSession,
 ) -> QueryOutput {
+    try_execute_par(db, q, cfg, par, io, &QueryCtx::unbounded())
+        .unwrap_or_else(|e| std::panic::panic_any(e))
+}
+
+/// Execute `q` with the invisible join across `par.threads` morsel workers.
+///
+/// Phase 1 (dimension predicate → key predicate) stays on the coordinator —
+/// dimension tables are small and its charges must precede the fact probes,
+/// exactly as in [`try_execute`]. Phases 2 and 3 run as one pipelined fan-out:
+/// each morsel probes every foreign-key predicate over its slice of the fact
+/// position space, applies the fact predicates, extracts group and measure
+/// values at its surviving positions, and partially aggregates. The
+/// coordinator replays per-morsel I/O logs and merges partial aggregates in
+/// morsel order, making both the result and the accounting byte-identical
+/// to the serial path. Workers poll `ctx` at morsel boundaries and the
+/// whole fan-out aborts on the first failure.
+pub(crate) fn try_execute_par(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    par: Parallelism,
+    io: &IoSession,
+    ctx: &QueryCtx,
+) -> Result<QueryOutput, QueryError> {
     if par.is_serial() {
-        return execute(db, q, cfg, io);
+        return try_execute(db, q, cfg, io, ctx);
     }
-    execute_par_impl(db, q, cfg, par, io, false).0
+    Ok(execute_par_impl(db, q, cfg, par, io, false, ctx)?.0)
 }
 
 /// The parallel plan, optionally capturing its filter phases. Each morsel
@@ -418,7 +480,8 @@ fn execute_par_impl(
     par: Parallelism,
     io: &IoSession,
     capturing: bool,
-) -> (QueryOutput, Option<FilterCapture>) {
+    ctx: &QueryCtx,
+) -> Result<(QueryOutput, Option<FilterCapture>), QueryError> {
     let n = db.fact_rows() as u32;
 
     // Phase 1 (serial): dimension predicates rewritten to fact key
@@ -426,15 +489,15 @@ fn execute_par_impl(
     let mut coordinator_logs: Vec<IoLog> = Vec::new();
     let key_preds: Vec<(Dim, FactKeyPred)> = {
         let mut cap = if capturing { Some(&mut coordinator_logs) } else { None };
-        q.restricted_dims()
-            .into_iter()
-            .map(|dim| {
-                let kp = charge_step(io, &mut cap, |s| {
-                    phase1_key_pred(db, q, dim, cfg, s).expect("restricted dim has predicates")
-                });
-                (dim, kp)
-            })
-            .collect()
+        let mut preds = Vec::new();
+        for dim in q.restricted_dims() {
+            ctx.check()?;
+            let kp = charge_step(io, &mut cap, |s| {
+                phase1_key_pred(db, q, dim, cfg, s).expect("restricted dim has predicates")
+            });
+            preds.push((dim, kp));
+        }
+        preds
     };
 
     // Non-dense grouped dimensions (DATE) need a key → position join table;
@@ -442,7 +505,7 @@ fn execute_par_impl(
     // up front so every morsel can share it read-only. Never captured: it
     // depends on the group-by, not the filter, and is rebuilt live (with
     // identical charges) on warm executions.
-    let join_maps = build_join_maps(db, q, io);
+    let join_maps = build_join_maps(db, q, io, ctx)?;
 
     // The aggregation strategy is derived from column-header metadata only
     // (no charges) and shared read-only, so every morsel extracts codes in
@@ -450,7 +513,7 @@ fn execute_par_impl(
     let strat = AggStrategy::for_query(db, q);
 
     let pool = io.pool().clone();
-    let results = run_morsels(n, par, |_, range| {
+    let results = try_run_morsels(n, par, ctx, |_, range| {
         // Phase 2 over this morsel: every key predicate and fact predicate,
         // intersected into the morsel's surviving positions.
         let rio2 = IoSession::recording(pool.clone());
@@ -475,15 +538,16 @@ fn execute_par_impl(
             });
         }
         let pos_vec = pos.unwrap_or_else(|| range.collect());
+        ctx.charge(pos_vec.len() * 4)?; // this morsel's surviving positions
         let frag = capturing.then(|| pos_vec.clone());
         let pos = PosList::explicit(pos_vec, n);
 
         // Phase 3 over this morsel: minimal out-of-order extraction at the
         // surviving positions, then partial aggregation on group ids.
         let rio3 = IoSession::recording(pool.clone());
-        let partial = phase3_partial(db, q, &strat, Some(&join_maps), &pos, &rio3);
-        (rio2.take_log(), rio3.take_log(), frag, partial)
-    });
+        let partial = phase3_partial(db, q, &strat, Some(&join_maps), &pos, &rio3, ctx)?;
+        Ok((rio2.take_log(), rio3.take_log(), frag, partial))
+    })?;
 
     // Deterministic merge: partial aggregates fold in morsel order, and the
     // per-morsel I/O logs replay op-major — phase 2 then phase 3 —
@@ -509,12 +573,11 @@ fn execute_par_impl(
         morsel_logs: logs2,
         positions: CapturedPositions::Morsels(frags),
     });
-    (out, capture)
+    Ok((out, capture))
 }
 
-/// Execute `q` cold (default options) and capture its filter phases for
-/// later [`execute_warm`] reuse. Charges on `io` are byte-identical to
-/// [`execute_par`] / [`execute`] at the same `par`.
+/// Cold capture with an unbounded lifecycle (test shorthand).
+#[cfg(test)]
 pub(crate) fn execute_capture(
     db: &CStoreDb,
     q: &SsbQuery,
@@ -522,30 +585,42 @@ pub(crate) fn execute_capture(
     par: Parallelism,
     io: &IoSession,
 ) -> (QueryOutput, FilterCapture) {
+    try_execute_capture(db, q, cfg, par, io, &QueryCtx::unbounded())
+        .unwrap_or_else(|e| std::panic::panic_any(e))
+}
+
+/// Execute `q` cold (default options) and capture its filter phases for
+/// later [`try_execute_warm`] reuse. Charges on `io` are byte-identical to
+/// [`try_execute_par`] / [`try_execute`] at the same `par`.
+pub(crate) fn try_execute_capture(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    cfg: EngineConfig,
+    par: Parallelism,
+    io: &IoSession,
+    ctx: &QueryCtx,
+) -> Result<(QueryOutput, FilterCapture), QueryError> {
     if par.is_serial() {
         let mut logs: Vec<IoLog> = Vec::new();
-        let pos = filter_serial(db, q, cfg, InvisibleOptions::default(), io, &mut Some(&mut logs));
+        let pos =
+            filter_serial(db, q, cfg, InvisibleOptions::default(), io, &mut Some(&mut logs), ctx)?;
         let strat = AggStrategy::for_query(db, q);
-        let partial = phase3_partial(db, q, &strat, None, &pos, io);
+        let partial = phase3_partial(db, q, &strat, None, &pos, io, ctx)?;
         let out = strat.finish(partial, q);
         let capture = FilterCapture {
             coordinator_logs: logs,
             morsel_logs: Vec::new(),
             positions: CapturedPositions::Serial(pos),
         };
-        (out, capture)
+        Ok((out, capture))
     } else {
-        let (out, capture) = execute_par_impl(db, q, cfg, par, io, true);
-        (out, capture.expect("parallel capture requested"))
+        let (out, capture) = execute_par_impl(db, q, cfg, par, io, true, ctx)?;
+        Ok((out, capture.expect("parallel capture requested")))
     }
 }
 
-/// Execute `q` warm: replay the captured filter charges, then run phase 3
-/// live over the captured positions. Output and accounting are
-/// byte-identical to a cold execution at the same `par`. Returns `None`
-/// when the capture's shape does not match this execution (serial capture
-/// vs parallel run or vice versa, or a different morsel grid) — the caller
-/// falls back to a cold execution.
+/// Warm re-execution with an unbounded lifecycle (test shorthand).
+#[cfg(test)]
 pub(crate) fn execute_warm(
     db: &CStoreDb,
     q: &SsbQuery,
@@ -553,42 +628,60 @@ pub(crate) fn execute_warm(
     io: &IoSession,
     capture: &FilterCapture,
 ) -> Option<QueryOutput> {
+    try_execute_warm(db, q, par, io, capture, &QueryCtx::unbounded())
+        .unwrap_or_else(|e| std::panic::panic_any(e))
+}
+
+/// Execute `q` warm: replay the captured filter charges, then run phase 3
+/// live over the captured positions. Output and accounting are
+/// byte-identical to a cold execution at the same `par`. The outer `Err`
+/// is a lifecycle abort; the inner `None` is a capture-shape mismatch
+/// (serial capture vs parallel run or vice versa, or a different morsel
+/// grid) — the caller falls back to a cold execution.
+pub(crate) fn try_execute_warm(
+    db: &CStoreDb,
+    q: &SsbQuery,
+    par: Parallelism,
+    io: &IoSession,
+    capture: &FilterCapture,
+    ctx: &QueryCtx,
+) -> Result<Option<QueryOutput>, QueryError> {
     let n = db.fact_rows() as u32;
     if par.is_serial() {
         let CapturedPositions::Serial(pos) = &capture.positions else {
-            return None;
+            return Ok(None);
         };
         for log in &capture.coordinator_logs {
             io.replay(log);
         }
         let strat = AggStrategy::for_query(db, q);
-        let partial = phase3_partial(db, q, &strat, None, pos, io);
-        Some(strat.finish(partial, q))
+        let partial = phase3_partial(db, q, &strat, None, pos, io, ctx)?;
+        Ok(Some(strat.finish(partial, q)))
     } else {
         let CapturedPositions::Morsels(frags) = &capture.positions else {
-            return None;
+            return Ok(None);
         };
         let (_, count) = grid(n, par);
         if frags.len() != count {
-            return None;
+            return Ok(None);
         }
         // Replay phases 1 and 2 from the capture; rebuild the join tables
         // live between them, exactly where the cold plan charges them.
         for log in &capture.coordinator_logs {
             io.replay(log);
         }
-        let join_maps = build_join_maps(db, q, io);
+        let join_maps = build_join_maps(db, q, io, ctx)?;
         io.replay_interleaved(&capture.morsel_logs);
         // Phase 3 live, over the same morsel grid and the captured
         // surviving positions.
         let strat = AggStrategy::for_query(db, q);
         let pool = io.pool().clone();
-        let results = run_morsels(n, par, |i, _range| {
+        let results = try_run_morsels(n, par, ctx, |i, _range| {
             let rio = IoSession::recording(pool.clone());
             let pos = PosList::explicit(frags[i].clone(), n);
-            let partial = phase3_partial(db, q, &strat, Some(&join_maps), &pos, &rio);
-            (rio.take_log(), partial)
-        });
+            let partial = phase3_partial(db, q, &strat, Some(&join_maps), &pos, &rio, ctx)?;
+            Ok((rio.take_log(), partial))
+        })?;
         let mut merged = strat.new_partial();
         let mut logs = Vec::with_capacity(results.len());
         for (log, partial) in results {
@@ -596,7 +689,7 @@ pub(crate) fn execute_warm(
             merged.merge(partial);
         }
         io.replay_interleaved(&logs);
-        Some(strat.finish(merged, q))
+        Ok(Some(strat.finish(merged, q)))
     }
 }
 

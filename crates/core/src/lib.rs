@@ -28,7 +28,11 @@
 //!   order ([`Parallelism`] / `CVR_THREADS` select the thread count);
 //! * [`sched`] — the process-wide query scheduler: admission control plus
 //!   fair worker-lease sharing across concurrent morsel fan-outs
-//!   (`CVR_SCHED_WORKERS` / `CVR_SCHED_QUERIES`).
+//!   (`CVR_SCHED_WORKERS` / `CVR_SCHED_QUERIES`), with queue-depth and
+//!   deadline-aware load shedding (`CVR_SCHED_QUEUE_MAX`);
+//! * [`ctx`] — the query lifecycle control block ([`QueryCtx`]: cooperative
+//!   cancellation, deadlines, memory budgets) and the typed [`QueryError`]
+//!   every abort path funnels into.
 //!
 //! ```
 //! use cvr_core::{ColumnEngine, EngineConfig};
@@ -48,6 +52,7 @@
 
 pub mod agg;
 pub mod config;
+pub mod ctx;
 pub mod denorm;
 pub mod em;
 pub mod engine;
@@ -63,6 +68,7 @@ pub mod scan;
 pub mod sched;
 
 pub use config::EngineConfig;
+pub use ctx::{QueryCtx, QueryError};
 pub use denorm::{DenormDb, DenormVariant};
 pub use engine::ColumnEngine;
 pub use invisible::FilterCapture;

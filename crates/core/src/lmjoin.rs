@@ -20,8 +20,9 @@
 
 use crate::agg::{AggStrategy, GroupData};
 use crate::config::EngineConfig;
+use crate::ctx::{QueryCtx, QueryError};
 use crate::extract::gather_ints;
-use crate::morsel::{intersect_ascending, run_morsels, Parallelism};
+use crate::morsel::{intersect_ascending, try_run_morsels, Parallelism};
 use crate::poslist::PosList;
 use crate::projection::CStoreDb;
 use crate::scan::{scan_pred, scan_pred_range};
@@ -190,18 +191,28 @@ fn probe_full_scan(
     probe_span(col.column.as_int(), 0, n, map, cfg.block_iteration)
 }
 
-/// Execute `q` with late-materialized hash joins (invisible join disabled).
-pub(crate) fn execute(
+/// Late-materialized join with an unbounded lifecycle (test shorthand).
+#[cfg(test)]
+fn execute(db: &CStoreDb, q: &SsbQuery, cfg: EngineConfig, io: &IoSession) -> QueryOutput {
+    try_execute(db, q, cfg, io, &QueryCtx::unbounded()).unwrap_or_else(|e| std::panic::panic_any(e))
+}
+
+/// Execute `q` with late-materialized hash joins (invisible join disabled):
+/// polls `ctx` between column operations and joins, charging materialized
+/// intermediates.
+pub(crate) fn try_execute(
     db: &CStoreDb,
     q: &SsbQuery,
     cfg: EngineConfig,
     io: &IoSession,
-) -> QueryOutput {
+    ctx: &QueryCtx,
+) -> Result<QueryOutput, QueryError> {
     let strat = AggStrategy::for_query(db, q);
 
     // Fact-column predicates first (flight 1): ordinary column scans.
     let mut pos: Option<Vec<u32>> = None;
     for p in &q.fact_predicates {
+        ctx.check()?;
         let pl = scan_pred(db.fact.column(p.column), &p.pred, cfg.block_iteration, io);
         pos = Some(match pos {
             None => pl.to_vec(),
@@ -219,6 +230,7 @@ pub(crate) fn execute(
 
     // Restricted dimensions, most selective first.
     for dim in restricted_in_order(db, q) {
+        ctx.check()?;
         let map = dim_hash(db, q, dim, cfg, io);
         let (new_pos, dim_positions) = match pos {
             None => probe_full_scan(db, dim, &map, cfg, io),
@@ -257,10 +269,14 @@ pub(crate) fn execute(
     }
 
     let pos = pos.unwrap_or_else(|| (0..db.fact_rows() as u32).collect());
+    // Account the surviving positions plus the aligned per-row arrays the
+    // eager extraction keeps live.
+    ctx.charge(pos.len().saturating_mul(8 * (q.group_by.len() + 1)))?;
     let pl = PosList::from_ascending(pos.clone(), db.fact_rows() as u32);
 
     // Group-only dimensions (no predicates): join via full-key hash.
     for dim in q.touched_dims() {
+        ctx.check()?;
         let missing: Vec<usize> = q
             .group_by
             .iter()
@@ -292,7 +308,7 @@ pub(crate) fn execute(
         group_vals.into_iter().map(|v| v.expect("all group columns extracted")).collect();
     let mut partial = strat.new_partial();
     partial.add_rows(q, &group_cols, &measure_cols, pos.len());
-    strat.finish(partial, q)
+    Ok(strat.finish(partial, q))
 }
 
 /// Execute `q` with late-materialized hash joins across `par.threads`
@@ -300,20 +316,21 @@ pub(crate) fn execute(
 ///
 /// The dimension hash tables are built once on the coordinator (they are
 /// small, and their charges land on the main session exactly as in
-/// [`execute`]); each morsel then pipelines its slice of the fact position
-/// space through the same join order — fact predicates, restricted
+/// [`try_execute`]); each morsel then pipelines its slice of the fact
+/// position space through the same join order — fact predicates, restricted
 /// dimensions by selectivity with eager out-of-order extraction, group-only
 /// dimensions, measures, partial aggregation. Per-morsel I/O logs replay
 /// and partial aggregates merge in morsel order.
-pub(crate) fn execute_par(
+pub(crate) fn try_execute_par(
     db: &CStoreDb,
     q: &SsbQuery,
     cfg: EngineConfig,
     par: Parallelism,
     io: &IoSession,
-) -> QueryOutput {
+    ctx: &QueryCtx,
+) -> Result<QueryOutput, QueryError> {
     if par.is_serial() {
-        return execute(db, q, cfg, io);
+        return try_execute(db, q, cfg, io, ctx);
     }
     let n = db.fact_rows() as u32;
 
@@ -323,11 +340,13 @@ pub(crate) fn execute_par(
     let order = restricted_in_order(db, q);
     let mut maps: std::collections::HashMap<Dim, IntHashMap> = std::collections::HashMap::new();
     for &dim in &order {
+        ctx.check()?;
         maps.insert(dim, dim_hash(db, q, dim, cfg, io));
     }
     for dim in q.touched_dims() {
         let grouped = q.group_by.iter().any(|g| g.dim == dim);
         if grouped && !maps.contains_key(&dim) {
+            ctx.check()?;
             maps.insert(dim, dim_hash(db, q, dim, cfg, io));
         }
     }
@@ -336,7 +355,7 @@ pub(crate) fn execute_par(
     let strat = AggStrategy::for_query(db, q);
 
     let pool = io.pool().clone();
-    let results = run_morsels(n, par, |_, range| {
+    let results = try_run_morsels(n, par, ctx, |_, range| {
         let rio = IoSession::recording(pool.clone());
 
         // Fact-column predicates over this morsel.
@@ -393,6 +412,8 @@ pub(crate) fn execute_par(
         }
 
         let pos = pos.unwrap_or_else(|| range.clone().collect());
+        // This morsel's share of the positions + aligned extracted arrays.
+        ctx.charge(pos.len().saturating_mul(8 * (q.group_by.len() + 1)))?;
         let pl = PosList::explicit(pos.clone(), n);
 
         // Group-only dimensions (no predicates).
@@ -428,8 +449,8 @@ pub(crate) fn execute_par(
             group_vals.into_iter().map(|v| v.expect("all group columns extracted")).collect();
         let mut partial = strat.new_partial();
         partial.add_rows(q, &group_cols, &measure_cols, pos.len());
-        (rio.take_log(), partial)
-    });
+        Ok((rio.take_log(), partial))
+    })?;
 
     // Partial aggregates fold in morsel order; I/O logs replay op-major,
     // reconstructing the serial plan's charge order (see
@@ -441,7 +462,7 @@ pub(crate) fn execute_par(
         merged.merge(partial);
     }
     io.replay_interleaved(&logs);
-    strat.finish(merged, q)
+    Ok(strat.finish(merged, q))
 }
 
 #[cfg(test)]

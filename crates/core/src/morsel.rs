@@ -21,6 +21,7 @@
 //! the `CVR_THREADS` environment variable, or (default) the machine's
 //! available parallelism.
 
+use crate::ctx::{QueryCtx, QueryError};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -93,6 +94,37 @@ pub fn run_morsels<T: Send>(
     par: Parallelism,
     task: impl Fn(usize, Range<u32>) -> T + Sync,
 ) -> Vec<T> {
+    match try_run_morsels(n, par, &QueryCtx::unbounded(), |i, r| Ok(task(i, r))) {
+        Ok(out) => out,
+        // Unreachable under an unbounded ctx unless a fault was injected;
+        // transport the typed error up to the nearest containment boundary.
+        Err(e) => std::panic::panic_any(e),
+    }
+}
+
+/// How a morsel fan-out aborted: a typed error (first one wins) or a foreign
+/// panic to re-raise once every worker has stopped.
+enum Abort {
+    Error(QueryError),
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
+/// The fallible, cancellable form of [`run_morsels`].
+///
+/// Between morsels every worker polls `ctx` ([`QueryCtx::check`]) and a
+/// shared abort flag, so cancellation/deadline/budget failures — and any
+/// `Err` returned by `task` — stop the whole fan-out at the next morsel
+/// boundary. Worker panics are contained per-morsel: an
+/// [`cvr_storage::fault::InjectedFault`] payload becomes
+/// [`QueryError::Io`], anything else is re-raised on the coordinator after
+/// all workers have parked (so a crashing worker can never leak a detached
+/// thread or deadlock the scope join).
+pub fn try_run_morsels<T: Send>(
+    n: u32,
+    par: Parallelism,
+    ctx: &QueryCtx,
+    task: impl Fn(usize, Range<u32>) -> Result<T, QueryError> + Sync,
+) -> Result<Vec<T>, QueryError> {
     let (morsel, count) = grid(n, par);
     let range_of = |i: usize| {
         let start = i as u32 * morsel;
@@ -106,49 +138,108 @@ pub fn run_morsels<T: Send>(
     // byte-identity at any count — so throttling here is always safe.
     let lease = crate::sched::lease(par.threads.min(count));
     let workers = lease.granted().min(count);
-    if workers <= 1 {
-        return (0..count).map(|i| task(i, range_of(i))).collect();
-    }
 
-    profile::begin_fanout();
-    let next = AtomicUsize::new(0);
-    let work = |out: &mut Vec<(usize, T)>, coordinator: bool| {
-        let started = thread_cpu_time();
-        loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= count {
-                break;
-            }
-            out.push((i, task(i, range_of(i))));
-            // Rotate the run queue between morsels: when the machine has
-            // fewer cores than workers (CI containers), the first scheduled
-            // worker would otherwise drain the whole queue inside one
-            // timeslice, serializing the "parallel" execution. On idle
-            // multicore hardware this yield is a no-op costing ~1µs per
-            // multi-hundred-µs morsel.
-            std::thread::yield_now();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let failure: Mutex<Option<Abort>> = Mutex::new(None);
+    let fail = |abort: Abort| {
+        stop.store(true, Ordering::Relaxed);
+        let mut slot = failure.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(abort);
         }
-        profile::record(thread_cpu_time().saturating_sub(started), coordinator);
+    };
+    // One morsel, panic-contained. `Err(())` means "stop claiming".
+    let run_one = |out: &mut Vec<(usize, T)>, i: usize| -> Result<(), ()> {
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cvr_storage::fault::before_morsel();
+            task(i, range_of(i))
+        }));
+        match attempt {
+            Ok(Ok(t)) => {
+                out.push((i, t));
+                Ok(())
+            }
+            Ok(Err(e)) => {
+                fail(Abort::Error(e));
+                Err(())
+            }
+            Err(payload) => {
+                fail(match payload.downcast::<cvr_storage::fault::InjectedFault>() {
+                    Ok(f) => Abort::Error(QueryError::Io { detail: f.0 }),
+                    Err(payload) => Abort::Panic(payload),
+                });
+                Err(())
+            }
+        }
     };
 
     let mut tagged: Vec<(usize, T)> = Vec::with_capacity(count);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (1..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    work(&mut out, false);
-                    out
-                })
-            })
-            .collect();
-        work(&mut tagged, true);
-        for h in handles {
-            tagged.extend(h.join().expect("morsel worker panicked"));
+    if workers <= 1 {
+        for i in 0..count {
+            if let Err(e) = ctx.check() {
+                fail(Abort::Error(e));
+                break;
+            }
+            if run_one(&mut tagged, i).is_err() {
+                break;
+            }
         }
-    });
-    tagged.sort_unstable_by_key(|(i, _)| *i);
-    tagged.into_iter().map(|(_, t)| t).collect()
+    } else {
+        profile::begin_fanout();
+        let next = AtomicUsize::new(0);
+        let work = |out: &mut Vec<(usize, T)>, coordinator: bool| {
+            let started = thread_cpu_time();
+            loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Err(e) = ctx.check() {
+                    fail(Abort::Error(e));
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                if run_one(out, i).is_err() {
+                    break;
+                }
+                // Rotate the run queue between morsels: when the machine has
+                // fewer cores than workers (CI containers), the first
+                // scheduled worker would otherwise drain the whole queue
+                // inside one timeslice, serializing the "parallel"
+                // execution. On idle multicore hardware this yield is a
+                // no-op costing ~1µs per multi-hundred-µs morsel.
+                std::thread::yield_now();
+            }
+            profile::record(thread_cpu_time().saturating_sub(started), coordinator);
+        };
+
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (1..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        work(&mut out, false);
+                        out
+                    })
+                })
+                .collect();
+            work(&mut tagged, true);
+            for h in handles {
+                tagged.extend(h.join().expect("morsel worker panicked"));
+            }
+        });
+    }
+
+    match failure.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
+        Some(Abort::Panic(payload)) => std::panic::resume_unwind(payload),
+        Some(Abort::Error(e)) => Err(e),
+        None => {
+            tagged.sort_unstable_by_key(|(i, _)| *i);
+            Ok(tagged.into_iter().map(|(_, t)| t).collect())
+        }
+    }
 }
 
 /// The morsel grid [`run_morsels`] tiles `[0, n)` with under `par`:
@@ -325,6 +416,68 @@ mod tests {
         let sums = run_morsels(10_000, par, |_, r| r.map(|p| p as u64).sum::<u64>());
         let total: u64 = sums.iter().sum();
         assert_eq!(total, 9_999 * 10_000 / 2);
+    }
+
+    #[test]
+    fn cancellation_stops_the_fanout_at_a_morsel_boundary() {
+        for threads in [1, 4] {
+            let par = Parallelism { threads, morsel_rows: 64 };
+            let ctx = QueryCtx::unbounded();
+            let ran = AtomicUsize::new(0);
+            let got = try_run_morsels(100_000, par, &ctx, |_, r| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                ctx.cancel(); // first morsel cancels everyone
+                Ok(r.len())
+            });
+            assert_eq!(got, Err(QueryError::Cancelled), "threads={threads}");
+            let ran = ran.load(Ordering::Relaxed);
+            assert!(ran <= threads + 1, "cancelled after {ran} morsels with {threads} workers");
+        }
+    }
+
+    #[test]
+    fn task_errors_abort_and_win_over_later_work() {
+        let par = Parallelism { threads: 4, morsel_rows: 64 };
+        let budget = QueryError::MemoryBudgetExceeded { used: 9, budget: 1 };
+        let err = budget.clone();
+        let got = try_run_morsels(100_000, par, &QueryCtx::unbounded(), move |i, _| {
+            if i == 0 {
+                Err(err.clone())
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(got, Err(budget));
+    }
+
+    #[test]
+    fn injected_fault_panics_become_io_errors() {
+        for threads in [1, 4] {
+            let par = Parallelism { threads, morsel_rows: 64 };
+            let got = try_run_morsels(10_000, par, &QueryCtx::unbounded(), |i, r| {
+                if i == 2 {
+                    std::panic::panic_any(cvr_storage::fault::InjectedFault("page 3".into()));
+                }
+                Ok(r.len())
+            });
+            assert_eq!(got, Err(QueryError::Io { detail: "page 3".into() }), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn foreign_worker_panics_resume_on_the_coordinator() {
+        let par = Parallelism { threads: 4, morsel_rows: 64 };
+        let caught = std::panic::catch_unwind(|| {
+            let _ = try_run_morsels(10_000, par, &QueryCtx::unbounded(), |i, r| {
+                if i == 1 {
+                    panic!("genuine worker bug");
+                }
+                Ok(r.len())
+            });
+        });
+        let payload = caught.expect_err("the panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "genuine worker bug");
     }
 
     #[test]

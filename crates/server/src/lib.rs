@@ -13,9 +13,13 @@
 //!   `Session`; hits are byte-identical to cold executions (outputs *and*
 //!   `IoStats`) and marked by the wire protocol's `cached` flag.
 //! * [`protocol`] — a length-prefixed binary wire format with typed
-//!   result sets, structured errors, and `EXPLAIN` payloads.
-//! * [`server`] / [`client`] — a threaded TCP accept loop and the
-//!   matching blocking client.
+//!   result sets, structured errors, `EXPLAIN` payloads, out-of-band
+//!   cancellation, and a `STATS` introspection frame.
+//! * [`server`] / [`client`] — a threaded TCP accept loop (per-statement
+//!   [`cvr_core::QueryCtx`] lifecycles, cancel registry, socket timeouts,
+//!   drain-on-shutdown) and the matching blocking client, plus
+//!   [`RetryClient`] with capped exponential backoff over exactly the
+//!   failures the server marks retryable.
 //!
 //! The load-bearing invariant, inherited from the engines and preserved
 //! here: a query's output bytes and [`IoStats`] are identical whether it
@@ -35,8 +39,8 @@ pub mod server;
 pub mod session;
 
 pub use cache::{CacheStats, QueryCache};
-pub use client::Client;
+pub use client::{Client, ClientConfig, ClientError, RetryClient};
 pub use parser::{parse, parse_query, render_sql, ParseError, Statement};
-pub use protocol::{Request, Response, ResultSet};
-pub use server::{serve, Server};
+pub use protocol::{Request, Response, ResultSet, StatsReport};
+pub use server::{serve, CancelRegistry, Server};
 pub use session::{ColumnMeta, QueryResponse, RowsResponse, Session, SessionError};

@@ -7,11 +7,22 @@
 //! requests            responses
 //! 0x01 QUERY          0x81 RESULT
 //! 0x02 CLOSE          0x82 ERROR
-//!                     0x83 EXPLAIN
+//! 0x03 QUERY_OPTS     0x83 EXPLAIN
+//! 0x04 CANCEL         0x84 CANCEL_ACK
+//! 0x05 STATS          0x85 STATS
 //! ```
 //!
 //! * `QUERY`: `u32` length + UTF-8 SQL.
 //! * `CLOSE`: tag only; the server hangs up after reading it.
+//! * `QUERY_OPTS`: `u64` cancel token (0 = not cancellable), `u32`
+//!   deadline in milliseconds (0 = none), then `u32` length + UTF-8 SQL.
+//!   While the statement runs, a *second* connection may send `CANCEL`
+//!   with the same token to abort it (the Postgres out-of-band shape).
+//! * `CANCEL`: `u64` token. Answered with `CANCEL_ACK` (`u8` flag: 1 if a
+//!   query holding that token was found and signalled).
+//! * `STATS`: tag only; answered with a `STATS` response carrying the
+//!   scheduler counters and, when the session keeps one, the result-cache
+//!   counters (see [`StatsReport`]).
 //! * `RESULT`: query id (`u8` flight, `u8` number), plan label
 //!   (`u16` length + UTF-8), a `cached` flag (`u8`, 1 when served from the
 //!   session's result cache — the only byte a cache hit may change),
@@ -31,15 +42,32 @@
 //!
 //! [`ParseError::code`]: crate::parser::ParseError::code
 
+use crate::cache::CacheStats;
 use crate::session::{ColumnMeta, QueryResponse, RowsResponse};
+use cvr_core::SchedStats;
 use cvr_data::queries::QueryId;
 use cvr_data::result::QueryOutput;
 use cvr_data::value::DataType;
 use cvr_storage::io::IoStats;
 use std::io::{Read, Write};
+use std::sync::OnceLock;
 
-/// Frames larger than this are rejected as malformed (64 MB).
-pub const MAX_FRAME_BYTES: usize = 64 << 20;
+/// Default frame-size cap when `CVR_MAX_FRAME` is unset (16 MiB).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Frames larger than this are rejected as malformed before any payload
+/// allocation. `CVR_MAX_FRAME` (bytes, read once) overrides the 16 MiB
+/// default; malformed or zero values fall back to it.
+pub fn max_frame_bytes() -> usize {
+    static LIMIT: OnceLock<usize> = OnceLock::new();
+    *LIMIT.get_or_init(|| frame_limit_from(std::env::var("CVR_MAX_FRAME").ok().as_deref()))
+}
+
+fn frame_limit_from(var: Option<&str>) -> usize {
+    var.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_MAX_FRAME_BYTES)
+}
 
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +76,19 @@ pub enum Request {
     Query(String),
     /// Orderly hang-up.
     Close,
+    /// Execute one SQL statement with lifecycle options.
+    QueryOpts {
+        /// Cancel token; `0` means the statement is not cancellable.
+        token: u64,
+        /// Deadline in milliseconds from receipt; `0` means none.
+        deadline_ms: u32,
+        /// The statement.
+        sql: String,
+    },
+    /// Cancel the in-flight statement registered under this token.
+    Cancel(u64),
+    /// Ask for scheduler and cache counters.
+    Stats,
 }
 
 /// A server → client message.
@@ -69,6 +110,22 @@ pub enum Response {
         /// Stable-field JSON (`Plan::to_json`).
         json: String,
     },
+    /// Answer to [`Request::Cancel`].
+    CancelAck {
+        /// Whether a query registered under the token was found.
+        found: bool,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReport),
+}
+
+/// The counters shipped in a `STATS` response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsReport {
+    /// Scheduler counters and gauges.
+    pub sched: SchedStats,
+    /// Result-cache counters; `None` when the session runs cache-disabled.
+    pub cache: Option<CacheStats>,
 }
 
 /// A result set as shipped on the wire.
@@ -139,10 +196,11 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
         Err(e) => return Err(e),
     }
     let len = u32::from_le_bytes(len) as usize;
-    if len > MAX_FRAME_BYTES {
+    let limit = max_frame_bytes();
+    if len > limit {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+            format!("frame of {len} bytes exceeds the {limit}-byte limit"),
         ));
     }
     let mut payload = vec![0u8; len];
@@ -156,9 +214,14 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
 
 const TAG_QUERY: u8 = 0x01;
 const TAG_CLOSE: u8 = 0x02;
+const TAG_QUERY_OPTS: u8 = 0x03;
+const TAG_CANCEL: u8 = 0x04;
+const TAG_STATS_REQ: u8 = 0x05;
 const TAG_RESULT: u8 = 0x81;
 const TAG_ERROR: u8 = 0x82;
 const TAG_EXPLAIN: u8 = 0x83;
+const TAG_CANCEL_ACK: u8 = 0x84;
+const TAG_STATS: u8 = 0x85;
 
 fn put_str16(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u16).to_le_bytes());
@@ -180,6 +243,17 @@ impl Request {
                 put_str32(&mut out, sql);
             }
             Request::Close => out.push(TAG_CLOSE),
+            Request::QueryOpts { token, deadline_ms, sql } => {
+                out.push(TAG_QUERY_OPTS);
+                out.extend_from_slice(&token.to_le_bytes());
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+                put_str32(&mut out, sql);
+            }
+            Request::Cancel(token) => {
+                out.push(TAG_CANCEL);
+                out.extend_from_slice(&token.to_le_bytes());
+            }
+            Request::Stats => out.push(TAG_STATS_REQ),
         }
         out
     }
@@ -190,6 +264,11 @@ impl Request {
         let req = match r.u8()? {
             TAG_QUERY => Request::Query(r.str32()?),
             TAG_CLOSE => Request::Close,
+            TAG_QUERY_OPTS => {
+                Request::QueryOpts { token: r.u64()?, deadline_ms: r.u32()?, sql: r.str32()? }
+            }
+            TAG_CANCEL => Request::Cancel(r.u64()?),
+            TAG_STATS_REQ => Request::Stats,
             t => return Err(format!("unknown request tag 0x{t:02x}")),
         };
         r.finish()?;
@@ -247,6 +326,44 @@ impl Response {
                 put_str32(&mut out, text);
                 put_str32(&mut out, json);
             }
+            Response::CancelAck { found } => {
+                out.push(TAG_CANCEL_ACK);
+                out.push(*found as u8);
+            }
+            Response::Stats(report) => {
+                out.push(TAG_STATS);
+                let s = &report.sched;
+                for v in [
+                    s.admitted,
+                    s.queued,
+                    s.shed,
+                    s.abandoned,
+                    s.leases,
+                    s.throttled,
+                    s.active,
+                    s.queue_depth,
+                ] {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                match &report.cache {
+                    None => out.push(0),
+                    Some(c) => {
+                        out.push(1);
+                        for v in [
+                            c.result_hits,
+                            c.result_misses,
+                            c.filter_hits,
+                            c.filter_misses,
+                            c.inserted,
+                            c.evicted,
+                            c.bytes as u64,
+                            c.budget as u64,
+                        ] {
+                            out.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                }
+            }
         }
         out
     }
@@ -286,6 +403,40 @@ impl Response {
             }
             TAG_ERROR => Response::Error { code: r.u16()?, message: r.str32()? },
             TAG_EXPLAIN => Response::Explain { text: r.str32()?, json: r.str32()? },
+            TAG_CANCEL_ACK => Response::CancelAck {
+                found: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    t => return Err(format!("invalid cancel-ack flag {t}")),
+                },
+            },
+            TAG_STATS => {
+                let sched = SchedStats {
+                    admitted: r.u64()?,
+                    queued: r.u64()?,
+                    shed: r.u64()?,
+                    abandoned: r.u64()?,
+                    leases: r.u64()?,
+                    throttled: r.u64()?,
+                    active: r.u64()?,
+                    queue_depth: r.u64()?,
+                };
+                let cache = match r.u8()? {
+                    0 => None,
+                    1 => Some(CacheStats {
+                        result_hits: r.u64()?,
+                        result_misses: r.u64()?,
+                        filter_hits: r.u64()?,
+                        filter_misses: r.u64()?,
+                        inserted: r.u64()?,
+                        evicted: r.u64()?,
+                        bytes: r.u64()? as usize,
+                        budget: r.u64()? as usize,
+                    }),
+                    t => return Err(format!("invalid cache-stats flag {t}")),
+                };
+                Response::Stats(StatsReport { sched, cache })
+            }
             t => return Err(format!("unknown response tag 0x{t:02x}")),
         };
         r.finish()?;
@@ -378,21 +529,115 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        for req in [Request::Query("SELECT SUM(lo_revenue) FROM lineorder".into()), Request::Close]
-        {
+        for req in [
+            Request::Query("SELECT SUM(lo_revenue) FROM lineorder".into()),
+            Request::Close,
+            Request::QueryOpts { token: 0xDEAD_BEEF, deadline_ms: 250, sql: "SELECT 1".into() },
+            Request::QueryOpts { token: 0, deadline_ms: 0, sql: "EXPLAIN SELECT 1".into() },
+            Request::Cancel(42),
+            Request::Stats,
+        ] {
             assert_eq!(Request::decode(&req.encode()), Ok(req));
         }
     }
 
     #[test]
     fn responses_round_trip() {
+        let sched = SchedStats {
+            admitted: 10,
+            queued: 3,
+            shed: 2,
+            abandoned: 1,
+            leases: 12,
+            throttled: 4,
+            active: 1,
+            queue_depth: 0,
+        };
+        let cache = CacheStats {
+            result_hits: 7,
+            result_misses: 9,
+            filter_hits: 5,
+            filter_misses: 6,
+            inserted: 9,
+            evicted: 2,
+            bytes: 4096,
+            budget: 1 << 20,
+        };
         let responses = [
             sample_result(),
             Response::Error { code: 2, message: "unknown column: lo_color".into() },
             Response::Explain { text: "plan=tICL".into(), json: "{\"plan\": \"tICL\"}".into() },
+            Response::CancelAck { found: true },
+            Response::CancelAck { found: false },
+            Response::Stats(StatsReport { sched, cache: Some(cache) }),
+            Response::Stats(StatsReport { sched, cache: None }),
         ];
         for resp in responses {
             assert_eq!(Response::decode(&resp.encode()), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn frame_limit_parses_and_falls_back() {
+        assert_eq!(frame_limit_from(None), DEFAULT_MAX_FRAME_BYTES);
+        assert_eq!(frame_limit_from(Some("1048576")), 1 << 20);
+        assert_eq!(frame_limit_from(Some(" 4096 ")), 4096);
+        for bad in ["", "0", "-1", "lots", "1e9"] {
+            assert_eq!(frame_limit_from(Some(bad)), DEFAULT_MAX_FRAME_BYTES, "{bad:?}");
+        }
+    }
+
+    /// Decoders must reject arbitrary garbage with an `Err`, never a panic
+    /// or an over-allocation: random byte soup, plus structured mutations
+    /// of valid frames (truncations and single-byte flips), at every tag.
+    #[test]
+    fn byte_soup_never_panics_the_decoders() {
+        let mut state = 0x243F_6A88_85A3_08D3u64; // deterministic PRNG seed
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..2000 {
+            let len = (next() % 64) as usize;
+            let mut bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            // Half the rounds: aim the soup at a real tag so the field
+            // decoders run, not just the tag dispatch.
+            if round % 2 == 0 && !bytes.is_empty() {
+                let tags = [0x01, 0x02, 0x03, 0x04, 0x05, 0x81, 0x82, 0x83, 0x84, 0x85];
+                bytes[0] = tags[(next() % tags.len() as u64) as usize];
+            }
+            let _ = Request::decode(&bytes);
+            let _ = Response::decode(&bytes);
+        }
+        // Truncations and bit flips of every well-formed frame.
+        let frames: Vec<Vec<u8>> = vec![
+            Request::QueryOpts { token: 7, deadline_ms: 9, sql: "SELECT 1".into() }.encode(),
+            Request::Cancel(7).encode(),
+            Request::Stats.encode(),
+            Response::CancelAck { found: true }.encode(),
+            Response::Stats(StatsReport { sched: SchedStats::default(), cache: None }).encode(),
+            sample_result().encode(),
+        ];
+        for f in &frames {
+            for cut in 0..f.len() {
+                let _ = Request::decode(&f[..cut]);
+                let _ = Response::decode(&f[..cut]);
+            }
+            for i in 0..f.len() {
+                let mut m = f.clone();
+                m[i] ^= 0xFF;
+                let _ = Request::decode(&m);
+                let _ = Response::decode(&m);
+            }
+        }
+        // The framing layer itself: random wire prefixes either yield a
+        // frame, a clean EOF, or an error — never a panic.
+        for _ in 0..500 {
+            let len = (next() % 24) as usize;
+            let wire: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            let _ = read_frame(&mut wire.as_slice());
         }
     }
 

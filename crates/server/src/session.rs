@@ -17,9 +17,10 @@
 
 use crate::cache::{CacheStats, QueryCache};
 use crate::parser::{self, ParseError, Statement};
+use cvr_core::ctx::catch_injected;
 use cvr_core::morsel::Parallelism;
 use cvr_core::sched::{self, Scheduler};
-use cvr_core::ColumnEngine;
+use cvr_core::{ColumnEngine, QueryCtx, QueryError};
 use cvr_data::gen::SsbTables;
 use cvr_data::queries::{QueryId, SsbQuery};
 use cvr_data::result::QueryOutput;
@@ -35,6 +36,10 @@ use std::sync::{Arc, Mutex, PoisonError};
 pub enum SessionError {
     /// The SQL failed to parse or analyze.
     Parse(ParseError),
+    /// The statement parsed but its execution was aborted by the query
+    /// lifecycle: cancelled, past its deadline, over its memory budget,
+    /// shed at admission, or killed by an I/O fault.
+    Query(QueryError),
 }
 
 impl SessionError {
@@ -42,6 +47,7 @@ impl SessionError {
     pub fn code(&self) -> u16 {
         match self {
             SessionError::Parse(e) => e.code(),
+            SessionError::Query(e) => e.code(),
         }
     }
 }
@@ -50,6 +56,7 @@ impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::Query(e) => write!(f, "{e}"),
         }
     }
 }
@@ -59,6 +66,12 @@ impl std::error::Error for SessionError {}
 impl From<ParseError> for SessionError {
     fn from(e: ParseError) -> SessionError {
         SessionError::Parse(e)
+    }
+}
+
+impl From<QueryError> for SessionError {
+    fn from(e: QueryError) -> SessionError {
+        SessionError::Query(e)
     }
 }
 
@@ -229,15 +242,23 @@ impl Session {
         &self.planner
     }
 
-    /// Parse and answer one SQL statement.
+    /// Parse and answer one SQL statement under an unbounded lifecycle.
     pub fn query(&self, sql: &str) -> Result<QueryResponse, SessionError> {
+        self.query_ctx(sql, &QueryCtx::unbounded())
+    }
+
+    /// Parse and answer one SQL statement under `ctx`: the execution polls
+    /// the context's cancellation flag, deadline, and memory budget at
+    /// phase and morsel boundaries, and admission may shed under load —
+    /// every abort surfaces as [`SessionError::Query`].
+    pub fn query_ctx(&self, sql: &str, ctx: &QueryCtx) -> Result<QueryResponse, SessionError> {
         if let Some(needle) = &*self.fault.lock().unwrap_or_else(PoisonError::into_inner) {
             if sql.contains(needle.as_str()) {
                 panic!("injected fault: statement contains {needle:?}");
             }
         }
         match parser::parse(sql)? {
-            Statement::Select(q) => Ok(QueryResponse::Rows(self.run(&q))),
+            Statement::Select(q) => Ok(QueryResponse::Rows(self.run_ctx(&q, ctx)?)),
             Statement::Explain(q) => {
                 let plan = self.explain(&q);
                 let (text, json) = self.render_explain(&q, &plan);
@@ -298,8 +319,29 @@ impl Session {
     /// query and its descriptor produce byte-identical outputs and
     /// [`IoStats`].
     pub fn run(&self, q: &SsbQuery) -> RowsResponse {
+        // Unbounded and non-sheddable: this path keeps its infallible
+        // signature, so the only failures it can see are injected faults —
+        // re-raised as panics exactly like any other engine panic.
+        self.run_inner(q, &QueryCtx::unbounded(), false).unwrap_or_else(|e| {
+            std::panic::panic_any(e);
+        })
+    }
+
+    /// [`Session::run`] under a [`QueryCtx`]: the fallible, sheddable form
+    /// every network-submitted query goes through.
+    pub fn run_ctx(&self, q: &SsbQuery, ctx: &QueryCtx) -> Result<RowsResponse, QueryError> {
+        self.run_inner(q, ctx, true)
+    }
+
+    fn run_inner(
+        &self,
+        q: &SsbQuery,
+        ctx: &QueryCtx,
+        sheddable: bool,
+    ) -> Result<RowsResponse, QueryError> {
         let plan = self.plan_cached(q);
         let label = plan.choice.label();
+        ctx.check()?;
 
         // Result-cache lookup happens before admission: a hit costs no
         // execution, so it should not wait behind executing queries.
@@ -310,20 +352,27 @@ impl Session {
         if let (Some(cache), Some(rkey)) = (&self.cache, &result_key) {
             if let Some(mut hit) = cache.get_result(rkey) {
                 hit.cached = true;
-                return hit;
+                return Ok(hit);
             }
         }
 
         // Admission: bound how many queries execute at once; the morsel
         // fan-outs inside then lease a fair share of the worker budget.
-        let _permit = self.sched.admit();
+        // The sheddable path can be rejected here (queue full, hopeless
+        // deadline) or abandon its ticket while queued (cancelled).
+        let _permit = if sheddable { self.sched.try_admit(ctx)? } else { self.sched.admit() };
         let io = IoSession::new(BufferPool::unbounded());
         let output = match plan.choice {
-            PhysicalChoice::Column(cfg) => self.run_column(q, cfg, &plan, &label, &io),
+            PhysicalChoice::Column(cfg) => self.run_column(q, cfg, &plan, &label, &io, ctx)?,
             PhysicalChoice::Row(design) => {
-                self.row_db(design).execute_planned(q, &plan.fact_order, &io)
+                ctx.check()?;
+                // The row engines have no morsel boundaries to poll, but
+                // injected storage faults still surface as typed errors.
+                catch_injected(|| self.row_db(design).execute_planned(q, &plan.fact_order, &io))?
             }
         };
+        // Deliberately no post-execution `ctx.check()`: completed work
+        // ships even when a cancel races the finish line.
         let response = RowsResponse {
             query_id: q.id,
             plan: label,
@@ -335,7 +384,7 @@ impl Session {
         if let (Some(cache), Some(rkey)) = (&self.cache, result_key) {
             cache.put_result(rkey, &response);
         }
-        response
+        Ok(response)
     }
 
     /// Column-engine execution with filter-intermediate reuse: a cached
@@ -349,28 +398,35 @@ impl Session {
         plan: &Plan,
         label: &str,
         io: &IoSession,
-    ) -> QueryOutput {
+        ctx: &QueryCtx,
+    ) -> Result<QueryOutput, QueryError> {
         let Some(cache) = &self.cache else {
-            return self.engine.execute_planned(q, cfg, &plan.fact_order, self.par, io);
+            return self.engine.try_execute_planned(q, cfg, &plan.fact_order, self.par, io, ctx);
         };
         let fkey = key::filter_key(q, label, &plan.fact_order, self.store_version);
         if let Some(capture) = cache.get_filter(&fkey) {
-            if let Some(out) =
-                self.engine.execute_planned_warm(q, cfg, &plan.fact_order, self.par, io, &capture)
-            {
-                return out;
+            if let Some(out) = self.engine.try_execute_planned_warm(
+                q,
+                cfg,
+                &plan.fact_order,
+                self.par,
+                io,
+                &capture,
+                ctx,
+            )? {
+                return Ok(out);
             }
             // Shape mismatch (cannot happen with a fixed per-session
             // parallelism, but the contract is "fall back cold, never
             // fail"): `execute_planned_warm` bails before charging.
-            return self.engine.execute_planned(q, cfg, &plan.fact_order, self.par, io);
+            return self.engine.try_execute_planned(q, cfg, &plan.fact_order, self.par, io, ctx);
         }
         let (out, capture) =
-            self.engine.execute_planned_capture(q, cfg, &plan.fact_order, self.par, io);
+            self.engine.try_execute_planned_capture(q, cfg, &plan.fact_order, self.par, io, ctx)?;
         if let Some(capture) = capture {
             cache.put_filter(fkey, Arc::new(capture));
         }
-        out
+        Ok(out)
     }
 
     fn row_db(&self, design: RowDesign) -> Arc<RowDb> {

@@ -1,0 +1,223 @@
+//! Deterministic fault injection for the chaos harness.
+//!
+//! Faults are **off by default** and cost one relaxed atomic load per hook
+//! when disabled. [`install`] (or [`install_from_env`], reading `CVR_FAULT`)
+//! arms a process-global [`FaultConfig`]; each hook then draws from a
+//! counter-seeded `splitmix64` stream, so a given `(seed, fault spec)` pair
+//! injects the *same* fault sequence on every run — chaos failures
+//! reproduce.
+//!
+//! Four fault classes, matching the spec grammar
+//! `io:P,panic:P,stall:P:MS,trunc:P,seed:N`:
+//!
+//! * `io` — probability per page touch that [`maybe_io_fault`] panics with
+//!   an [`InjectedFault`] payload. Engines downcast this payload at morsel
+//!   and pipeline boundaries into a typed I/O error; it must never surface
+//!   as a crash.
+//! * `panic` — probability per morsel that [`before_morsel`] raises a plain
+//!   panic (payload contains `"injected fault"`), exercising the worker
+//!   panic-containment path.
+//! * `stall` — probability per morsel that [`before_morsel`] sleeps `MS`
+//!   milliseconds, widening cancellation races.
+//! * `trunc` — probability per response frame that the server cuts the
+//!   frame short and drops the connection ([`take_frame_truncation`]).
+//!
+//! This lives in `cvr-storage` — the bottom of the dependency graph — so
+//! both the execution engines and the server can reach the same switch.
+
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{PoisonError, RwLock};
+use std::time::Duration;
+
+/// Panic payload carried by injected I/O faults. Engines catch and downcast
+/// this at containment boundaries; any other payload is a real bug and is
+/// re-raised.
+#[derive(Debug, Clone)]
+pub struct InjectedFault(pub String);
+
+/// Probabilities (per hook site) and the seed of the decision stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability an I/O page touch fails.
+    pub io: f64,
+    /// Probability a morsel panics before running.
+    pub panic: f64,
+    /// Probability a morsel stalls before running.
+    pub stall: f64,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u64,
+    /// Probability a response frame is truncated.
+    pub trunc: f64,
+    /// Seed of the deterministic decision stream.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig { io: 0.0, panic: 0.0, stall: 0.0, stall_ms: 10, trunc: 0.0, seed: 0x5EED }
+    }
+}
+
+impl FaultConfig {
+    /// Parse a `CVR_FAULT` spec: comma-separated `io:P`, `panic:P`,
+    /// `stall:P:MS`, `trunc:P`, `seed:N`. Empty string parses to all-off.
+    pub fn parse(spec: &str) -> Result<FaultConfig, String> {
+        let mut cfg = FaultConfig::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let fields: Vec<&str> = part.split(':').collect();
+            let prob = |s: &str| -> Result<f64, String> {
+                let p: f64 = s.parse().map_err(|_| format!("bad probability {s:?} in {part:?}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability {p} out of [0, 1] in {part:?}"));
+                }
+                Ok(p)
+            };
+            match fields.as_slice() {
+                ["io", p] => cfg.io = prob(p)?,
+                ["panic", p] => cfg.panic = prob(p)?,
+                ["trunc", p] => cfg.trunc = prob(p)?,
+                ["stall", p] => cfg.stall = prob(p)?,
+                ["stall", p, ms] => {
+                    cfg.stall = prob(p)?;
+                    cfg.stall_ms =
+                        ms.parse().map_err(|_| format!("bad stall ms {ms:?} in {part:?}"))?;
+                }
+                ["seed", n] => {
+                    cfg.seed = n.parse().map_err(|_| format!("bad seed {n:?} in {part:?}"))?
+                }
+                _ => return Err(format!("unknown fault clause {part:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    fn is_off(&self) -> bool {
+        self.io <= 0.0 && self.panic <= 0.0 && self.stall <= 0.0 && self.trunc <= 0.0
+    }
+}
+
+/// Fast path: a single relaxed load decides "no faults installed".
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CONFIG: RwLock<Option<FaultConfig>> = RwLock::new(None);
+/// Global draw counter; `splitmix64(seed ^ n)` is the n-th decision.
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Install (or, with `None`, clear) the process-global fault configuration
+/// and reset the decision stream.
+pub fn install(cfg: Option<FaultConfig>) {
+    let armed = cfg.as_ref().is_some_and(|c| !c.is_off());
+    *CONFIG.write().unwrap_or_else(PoisonError::into_inner) = cfg;
+    COUNTER.store(0, Ordering::Relaxed);
+    ENABLED.store(armed, Ordering::Relaxed);
+}
+
+/// Install from the `CVR_FAULT` environment variable if set. Returns whether
+/// a non-empty config was armed. Malformed specs panic: a chaos run with a
+/// typo'd spec silently testing nothing is worse than a crash.
+pub fn install_from_env() -> bool {
+    match std::env::var("CVR_FAULT") {
+        Ok(spec) => {
+            let cfg = FaultConfig::parse(&spec).expect("CVR_FAULT");
+            install(Some(cfg));
+            active()
+        }
+        Err(_) => false,
+    }
+}
+
+/// Whether any fault class is currently armed.
+pub fn active() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draw the next decision from the deterministic stream: true with
+/// probability `p`.
+fn roll(seed: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let h = splitmix64(seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    ((h >> 11) as f64 / (1u64 << 53) as f64) < p
+}
+
+fn snapshot() -> Option<FaultConfig> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    *CONFIG.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Hook at the storage pool's single I/O choke point: may panic with an
+/// [`InjectedFault`] payload describing the failed page.
+pub fn maybe_io_fault(file: u64, page: u32) {
+    if let Some(cfg) = snapshot() {
+        if roll(cfg.seed, cfg.io) {
+            panic_any(InjectedFault(format!(
+                "injected fault: I/O error reading file {file} page {page}"
+            )));
+        }
+    }
+}
+
+/// Hook at the top of every morsel: may stall (slow-worker fault) and may
+/// raise a plain panic (worker-crash fault).
+pub fn before_morsel() {
+    if let Some(cfg) = snapshot() {
+        if roll(cfg.seed.rotate_left(17), cfg.stall) {
+            std::thread::sleep(Duration::from_millis(cfg.stall_ms));
+        }
+        if roll(cfg.seed.rotate_left(31), cfg.panic) {
+            panic!("injected fault: morsel worker panic");
+        }
+    }
+}
+
+/// Hook before a response frame is written: true means the server should
+/// truncate the frame and drop the connection.
+pub fn take_frame_truncation() -> bool {
+    match snapshot() {
+        Some(cfg) => roll(cfg.seed.rotate_left(47), cfg.trunc),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_reject_garbage() {
+        let cfg = FaultConfig::parse("io:0.25,panic:0.01,stall:0.5:20,trunc:0.1,seed:7").unwrap();
+        assert_eq!(cfg.io, 0.25);
+        assert_eq!(cfg.stall_ms, 20);
+        assert_eq!(cfg.seed, 7);
+        assert!(FaultConfig::parse("").unwrap().is_off());
+        assert!(FaultConfig::parse("io:2.0").is_err());
+        assert!(FaultConfig::parse("blorp:0.1").is_err());
+        assert!(FaultConfig::parse("stall:0.1:abc").is_err());
+    }
+
+    #[test]
+    fn the_decision_stream_is_deterministic() {
+        let draws = |seed| -> Vec<bool> {
+            COUNTER.store(0, Ordering::Relaxed);
+            (0..64).map(|_| roll(seed, 0.5)).collect()
+        };
+        let a = draws(42);
+        let b = draws(42);
+        let c = draws(43);
+        assert_eq!(a, b, "same seed must replay the same decisions");
+        assert_ne!(a, c, "different seeds must diverge");
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!((8..=56).contains(&hits), "p=0.5 over 64 draws was {hits}");
+    }
+}

@@ -335,6 +335,7 @@ impl IoSession {
     /// Touch `page` whose on-disk size is `bytes` (≤ [`PAGE_SIZE`]; the last
     /// page of a file may be short).
     pub fn read_page(&self, page: PageId, bytes: u64) {
+        crate::fault::maybe_io_fault(page.file.0, page.page);
         if let Some(log) = &self.log {
             let mut log = log.borrow_mut();
             if log.ops.is_empty() {
