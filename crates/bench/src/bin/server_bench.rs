@@ -27,30 +27,90 @@
 //! Reports per-statement latency (p50 / p95 / p99 / max), aggregate QPS,
 //! cold-vs-warm latency, hit-rate, and writes `BENCH_server.json`.
 //!
+//! `--trace-overhead` switches to the observability gate: the 13 paper
+//! queries run over a *cache-disabled* session (every execution cold, so
+//! the delta is operator-span bookkeeping, not cache plumbing) in
+//! interleaved untraced/traced in-process passes; the median across
+//! queries of per-query p50 ratios is gated by `--max-trace-overhead`
+//! (CI uses 0.05) and written to `BENCH_obs.json`. A separate wire pass exercises the `TRACE` frame
+//! end-to-end and reports — without gating — what shipping the rendered
+//! span tree costs per statement (that cost is a payload feature paid
+//! only by requests that set `FLAG_TRACE`, not recording overhead).
+//! `--hold-ms N` keeps the server — and its Prometheus endpoint, when
+//! `CVR_METRICS_ADDR` bound one — alive after the run so an external
+//! prober can scrape it.
+//!
 //! ```text
 //! cargo run --release -p cvr-bench --bin server_bench -- --sf 0.005
 //! cargo run --release -p cvr-bench --bin server_bench -- --connections 16 --min-hit-rate 0.9
+//! cargo run --release -p cvr-bench --bin server_bench -- --trace-overhead --sf 0.005
 //! ```
 
 use cvr_bench::HarnessArgs;
+use cvr_core::QueryCtx;
 use cvr_data::queries::all_queries;
 use cvr_data::workload::WorkloadConfig;
+use cvr_obs::Histogram;
 use cvr_server::parser::render_sql;
 use cvr_server::protocol::Response;
-use cvr_server::{serve, Client, Session};
+use cvr_server::{serve, Client, Server, Session};
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::net::SocketAddr;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Latency at quantile `q` (0..=1) of a sorted sample.
-fn quantile(sorted: &[Duration], q: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
+/// A latency histogram in the shared `cvr-obs` registry (so the series
+/// also shows up on the metrics endpoint during `--hold-ms`). Geometric
+/// buckets at 2% steps: the default 1–2–5 scale would quantize a 5%
+/// overhead gate out of existence.
+fn latency_hist(name: &str) -> Arc<Histogram> {
+    cvr_obs::global().histogram(name, "server_bench latency series (us)", bounds())
+}
+
+/// The harness's shared bucket grid: 2% geometric steps from 1 µs to 120 s.
+fn bounds() -> &'static [u64] {
+    static BOUNDS: OnceLock<Vec<u64>> = OnceLock::new();
+    BOUNDS.get_or_init(|| {
+        let mut b: Vec<u64> = Vec::new();
+        let mut v = 1.0f64;
+        while v < 120e6 {
+            let u = v.round() as u64;
+            if b.last() != Some(&u) {
+                b.push(u);
+            }
+            v *= 1.02;
+        }
+        b
+    })
+}
+
+/// Record a batch of wall-clock samples.
+fn observe_all(hist: &Histogram, samples: &[Duration]) {
+    for d in samples {
+        hist.observe(d.as_micros() as u64);
     }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
+}
+
+/// Latency at quantile `q` of a histogram series, as a `Duration`.
+fn quantile(hist: &Histogram, q: f64) -> Duration {
+    Duration::from_micros(hist.quantile(q))
+}
+
+/// Keep the server alive `ms` more milliseconds (printing where its
+/// metrics endpoint is) so an external prober can scrape it.
+fn hold(server: &Server, ms: u64) {
+    if ms == 0 {
+        return;
+    }
+    match server.metrics_addr() {
+        Some(a) => println!("metrics endpoint: http://{a}/metrics"),
+        None => println!("metrics endpoint: disabled (set CVR_METRICS_ADDR)"),
+    }
+    println!("holding for {ms} ms ...");
+    let _ = std::io::stdout().flush();
+    std::thread::sleep(Duration::from_millis(ms));
 }
 
 /// One client's closed loop: issue `statements` queries round-robin from
@@ -115,8 +175,175 @@ fn serial_pass(
         .collect()
 }
 
+/// `--trace-overhead`: the observability gate. The 13 paper queries run
+/// in-process over a cache-disabled session — every execution is cold, so
+/// the measured delta is exactly operator-span bookkeeping (span
+/// open/close, `IoStats` snapshots, per-morsel attribution), which is the
+/// cost a deployment pays whenever tracing is on. Untraced and traced
+/// executions interleave within each pass so thermal and frequency drift
+/// bias neither series. A separate short wire pass then prices — without
+/// gating — what `FLAG_TRACE` requests additionally pay to render and
+/// ship the `TRACE` frame: a fixed per-statement payload cost that only
+/// requests asking for the span tree incur, and that would drown the
+/// sub-millisecond in-process signal if it were folded into the gate.
+fn run_trace_overhead(args: &HarnessArgs) {
+    eprintln!("# trace-overhead: generating tables + building session (sf {}) ...", args.sf);
+    let session = Arc::new(Session::with_cache_budget(args.tables(), args.parallelism(), 0));
+    let server = serve(session.clone(), "127.0.0.1:0").expect("bind");
+    let queries = all_queries();
+
+    let off = latency_hist("bench_trace_off_us");
+    let on = latency_hist("bench_trace_on_us");
+    // Per-query histograms on the same bucket grid (unregistered: they
+    // exist for the gate statistic, not the scrape surface). The gate is
+    // the *median across queries* of per-query p50 ratios: the pooled p50
+    // sits on whichever query straddles the middle of a 0.2–4 ms latency
+    // spread, so one query's single-bucket wobble swings the pooled ratio
+    // by several percent, while the median-of-ratios needs half the
+    // workload to wobble the same way before it moves.
+    let per_query: Vec<(Histogram, Histogram)> =
+        queries.iter().map(|_| (Histogram::new(bounds()), Histogram::new(bounds()))).collect();
+    let runs = args.runs.max(5);
+    eprintln!(
+        "# {} statements x {} passes, untraced vs traced (in-process) ...",
+        queries.len(),
+        runs
+    );
+    // Warm-up pass (plans, pool, branch predictors), then the measured
+    // passes.
+    for q in &queries {
+        session.run_ctx(q, &QueryCtx::unbounded()).expect("warm-up");
+        session.run_traced(q, &QueryCtx::unbounded()).expect("warm-up traced");
+    }
+    // Alternate which side of the pair runs first each pass: the first
+    // execution of a query warms exactly the pages the second then
+    // touches, so a fixed order would systematically flatter whichever
+    // series runs second.
+    for pass in 0..runs {
+        for (qi, q) in queries.iter().enumerate() {
+            let mut plain = None;
+            let mut traced = None;
+            for side in 0..2 {
+                if (pass + side) % 2 == 0 {
+                    let start = Instant::now();
+                    plain = Some(
+                        session.run_ctx(q, &QueryCtx::unbounded()).expect("untraced execution"),
+                    );
+                    let us = start.elapsed().as_micros() as u64;
+                    off.observe(us);
+                    per_query[qi].0.observe(us);
+                } else {
+                    let start = Instant::now();
+                    traced = Some(
+                        session.run_traced(q, &QueryCtx::unbounded()).expect("traced execution"),
+                    );
+                    let us = start.elapsed().as_micros() as u64;
+                    on.observe(us);
+                    per_query[qi].1.observe(us);
+                }
+            }
+            let plain = plain.expect("both sides ran");
+            let (traced, root) = traced.expect("both sides ran");
+            assert_eq!(
+                traced.output.to_bytes(),
+                plain.output.to_bytes(),
+                "{}: tracing must not change the answer",
+                q.id
+            );
+            assert!(root.is_some(), "{}: a traced execution records a root span", q.id);
+        }
+    }
+
+    // Wire pass: exercise the TRACE frame end-to-end (FLAG_TRACE request,
+    // mandatory second frame, non-empty payloads) and price the shipping
+    // cost — informational, not gated.
+    let wire_off = latency_hist("bench_wire_off_us");
+    let wire_on = latency_hist("bench_wire_on_us");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let sqls: Vec<String> = queries.iter().map(render_sql).collect();
+    for sql in &sqls {
+        client.query_opts(sql, 0, 0).expect("wire warm-up");
+        client.query_traced(sql, 0, 0).expect("wire warm-up traced");
+    }
+    for _ in 0..runs.min(5) {
+        for sql in &sqls {
+            let start = Instant::now();
+            let plain = client.query_opts(sql, 0, 0).expect("untraced statement");
+            wire_off.observe(start.elapsed().as_micros() as u64);
+            assert!(matches!(plain, Response::Result(_)), "untraced `{sql}` must answer");
+
+            let start = Instant::now();
+            let (traced, trace) = client.query_traced(sql, 0, 0).expect("traced statement");
+            wire_on.observe(start.elapsed().as_micros() as u64);
+            assert!(matches!(traced, Response::Result(_)), "traced `{sql}` must answer");
+            let (text, json) = trace.expect("a traced execution returns its span tree");
+            assert!(!text.is_empty() && !json.is_empty(), "trace payload for `{sql}`");
+        }
+    }
+    client.close().expect("close");
+
+    let (off_p50, off_p99) = (quantile(&off, 0.50), quantile(&off, 0.99));
+    let (on_p50, on_p99) = (quantile(&on, 0.50), quantile(&on, 0.99));
+    let mut ratios: Vec<f64> = per_query
+        .iter()
+        .map(|(o, t)| t.quantile(0.50) as f64 / (o.quantile(0.50) as f64).max(1e-9) - 1.0)
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let overhead = ratios[ratios.len() / 2];
+    let (wire_off_p50, wire_on_p50) = (quantile(&wire_off, 0.50), quantile(&wire_on, 0.50));
+    let frame_cost = wire_on_p50.saturating_sub(wire_off_p50);
+
+    println!("\nTracing overhead (sf {}, cold executions)", args.sf);
+    println!("=========================================\n");
+    println!("samples/series:   {}", off.count());
+    println!("untraced p50:     {:.3}ms", off_p50.as_secs_f64() * 1e3);
+    println!("untraced p99:     {:.3}ms", off_p99.as_secs_f64() * 1e3);
+    println!("traced p50:       {:.3}ms", on_p50.as_secs_f64() * 1e3);
+    println!("traced p99:       {:.3}ms", on_p99.as_secs_f64() * 1e3);
+    println!(
+        "p50 overhead:     {:+.2}% (median of per-query p50 ratios; gate {:.0}%)",
+        overhead * 100.0,
+        args.max_trace_overhead * 100.0
+    );
+    println!(
+        "TRACE frame cost: ~{:.3}ms/statement over the wire (payload, ungated)",
+        frame_cost.as_secs_f64() * 1e3
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"obs\",\n");
+    let _ = writeln!(json, "  \"sf\": {},", args.sf);
+    let _ = writeln!(json, "  \"statements\": {},", queries.len());
+    let _ = writeln!(json, "  \"passes\": {runs},");
+    let _ = writeln!(json, "  \"untraced_p50_ms\": {:.4},", off_p50.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"untraced_p99_ms\": {:.4},", off_p99.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"traced_p50_ms\": {:.4},", on_p50.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"traced_p99_ms\": {:.4},", on_p99.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"p50_overhead\": {overhead:.4},");
+    let _ = writeln!(json, "  \"wire_untraced_p50_ms\": {:.4},", wire_off_p50.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"wire_traced_p50_ms\": {:.4},", wire_on_p50.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"trace_frame_cost_ms\": {:.4},", frame_cost.as_secs_f64() * 1e3);
+    let _ = writeln!(json, "  \"gate\": {:.4}", args.max_trace_overhead);
+    json.push_str("}\n");
+    std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
+    eprintln!("\n# wrote BENCH_obs.json");
+
+    hold(&server, args.hold_ms);
+    server.shutdown();
+    if overhead > args.max_trace_overhead {
+        eprintln!(
+            "FAIL: tracing p50 overhead {:.4} above the --max-trace-overhead {:.4} gate",
+            overhead, args.max_trace_overhead
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = HarnessArgs::parse();
+    if args.trace_overhead {
+        run_trace_overhead(&args);
+        return;
+    }
     eprintln!("# generating tables + building session (sf {}) ...", args.sf);
     let session = Arc::new(Session::with_parallelism(args.tables(), args.parallelism()));
     let server = serve(session, "127.0.0.1:0").expect("bind");
@@ -144,10 +371,9 @@ fn main() {
     // frames are the bytes every later response must match.
     let mut serial_client = Client::connect(addr).expect("connect");
     let cold_pass = serial_pass(&mut serial_client, &sqls, false, "cold");
-    let mut cold_lat: Vec<Duration> = cold_pass.iter().map(|(d, _)| *d).collect();
+    let cold_lat: Vec<Duration> = cold_pass.iter().map(|(d, _)| *d).collect();
     let reference: Arc<HashMap<String, Vec<u8>>> =
         Arc::new(sqls.iter().cloned().zip(cold_pass.into_iter().map(|(_, frame)| frame)).collect());
-    cold_lat.sort();
     eprintln!("# cold serial pass: {} statements", sqls.len());
 
     // Warm serial pass: the same statements again on the same connection.
@@ -159,7 +385,6 @@ fn main() {
         warm_lat.push(lat);
         assert_eq!(&frame, reference.get(sql).unwrap(), "warm hit diverged: `{sql}`");
     }
-    warm_lat.sort();
     serial_client.close().expect("close");
     eprintln!("# warm serial pass: {} statements, all cache hits", sqls.len());
 
@@ -194,16 +419,26 @@ fn main() {
     let mut stats_client = Client::connect(addr).expect("connect for stats");
     let report = stats_client.stats().expect("stats frame");
     stats_client.close().expect("close");
+    hold(&server, args.hold_ms);
     server.shutdown();
 
-    latencies.sort();
+    // Percentiles come from the shared `cvr-obs` histogram — the same
+    // estimator the server's own `cvr_query_latency_us` series uses — so
+    // the harness and the STATS/metrics surfaces can never disagree on
+    // methodology.
+    let loop_hist = latency_hist("bench_closed_loop_us");
+    let cold_hist = latency_hist("bench_cold_us");
+    let warm_hist = latency_hist("bench_warm_us");
+    observe_all(&loop_hist, &latencies);
+    observe_all(&cold_hist, &cold_lat);
+    observe_all(&warm_hist, &warm_lat);
     let (p50, p95, p99) =
-        (quantile(&latencies, 0.50), quantile(&latencies, 0.95), quantile(&latencies, 0.99));
-    let max = *latencies.last().expect("at least one statement");
+        (quantile(&loop_hist, 0.50), quantile(&loop_hist, 0.95), quantile(&loop_hist, 0.99));
+    let max = *latencies.iter().max().expect("at least one statement");
     let qps = total_statements as f64 / wall.as_secs_f64();
     let hit_rate = cache_hits as f64 / total_statements as f64;
-    let (cold_p50, cold_p99) = (quantile(&cold_lat, 0.50), quantile(&cold_lat, 0.99));
-    let (warm_p50, warm_p99) = (quantile(&warm_lat, 0.50), quantile(&warm_lat, 0.99));
+    let (cold_p50, cold_p99) = (quantile(&cold_hist, 0.50), quantile(&cold_hist, 0.99));
+    let (warm_p50, warm_p99) = (quantile(&warm_hist, 0.50), quantile(&warm_hist, 0.99));
     let speedup_p50 = cold_p50.as_secs_f64() / warm_p50.as_secs_f64().max(1e-9);
 
     println!("\nServer closed-loop harness (sf {})", args.sf);

@@ -133,6 +133,19 @@ pub struct HarnessArgs {
     pub max_cancel_p99_ms: f64,
     /// Cancel probes the `chaos` binary fires (`--cancels`, default 24).
     pub cancels: usize,
+    /// `server_bench --trace-overhead`: measure per-statement latency with
+    /// tracing off vs on over a cache-disabled session, write
+    /// `BENCH_obs.json`, and gate the p50 overhead.
+    pub trace_overhead: bool,
+    /// Overhead gate for `--trace-overhead`: fail when traced p50 exceeds
+    /// untraced p50 by more than this fraction (`--max-trace-overhead`,
+    /// default 0.05).
+    pub max_trace_overhead: f64,
+    /// Keep the `server_bench` server (and its metrics endpoint, when
+    /// `CVR_METRICS_ADDR` bound one) alive this many milliseconds after
+    /// the run, so an external prober can scrape it (`--hold-ms`,
+    /// default 0).
+    pub hold_ms: u64,
 }
 
 impl Default for HarnessArgs {
@@ -155,6 +168,9 @@ impl Default for HarnessArgs {
             min_availability: 0.99,
             max_cancel_p99_ms: 50.0,
             cancels: 24,
+            trace_overhead: false,
+            max_trace_overhead: 0.05,
+            hold_ms: 0,
         }
     }
 }
@@ -214,16 +230,26 @@ impl HarnessArgs {
                         take(&mut i).parse().expect("--max-cancel-p99-ms takes a float")
                 }
                 "--cancels" => args.cancels = take(&mut i).parse().expect("--cancels takes an int"),
+                "--trace-overhead" => args.trace_overhead = true,
+                "--max-trace-overhead" => {
+                    args.max_trace_overhead =
+                        take(&mut i).parse().expect("--max-trace-overhead takes a float")
+                }
+                "--hold-ms" => {
+                    args.hold_ms = take(&mut i).parse().expect("--hold-ms takes milliseconds")
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--sf F] [--seed N] [--runs N] [--pool-fraction F] [--cpu-scale F] [--threads N]\n\
                          \x20      [--explain] [--queries N] [--max-regret F] [--connections N] [--statements N]\n\
                          \x20      [--min-hit-rate F] [--fault SPEC] [--watchdog SECS] [--min-availability F]\n\
-                         \x20      [--max-cancel-p99-ms F] [--cancels N]\n\
+                         \x20      [--max-cancel-p99-ms F] [--cancels N] [--trace-overhead]\n\
+                         \x20      [--max-trace-overhead F] [--hold-ms MS]\n\
                          defaults: --sf 0.02 --runs 3 --pool-fraction 0.08 --cpu-scale 5.0 --threads CVR_THREADS|auto\n\
                          \x20         --queries 30 --max-regret 1.5 --connections 8 --statements 64 --min-hit-rate 0.0\n\
                          \x20         --fault io:0.00001,panic:0.001,stall:0.1:2,trunc:0.02 --watchdog 120\n\
-                         \x20         --min-availability 0.99 --max-cancel-p99-ms 50 --cancels 24"
+                         \x20         --min-availability 0.99 --max-cancel-p99-ms 50 --cancels 24\n\
+                         \x20         --max-trace-overhead 0.05 --hold-ms 0"
                     );
                     std::process::exit(0);
                 }

@@ -19,9 +19,11 @@
 //! marks the transient subset (shed, injected/transient I/O) a client may
 //! retry with backoff.
 
+use crate::trace::{Span, Tracer};
+use cvr_storage::io::IoSession;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Typed reason a query aborted before producing rows.
@@ -113,6 +115,9 @@ struct CtxInner {
     deadline: Option<Instant>,
     mem_used: AtomicUsize,
     mem_budget: usize,
+    /// Execution tracer, when this query is being observed. Set at most
+    /// once, before execution; the disabled path costs one `OnceLock` load.
+    tracer: OnceLock<Arc<Tracer>>,
 }
 
 /// Shared per-query control block; see the module docs. Clones share state.
@@ -145,7 +150,35 @@ impl QueryCtx {
                 deadline: deadline.map(|d| start + d),
                 mem_used: AtomicUsize::new(0),
                 mem_budget: mem_budget.unwrap_or(usize::MAX),
+                tracer: OnceLock::new(),
             }),
+        }
+    }
+
+    /// Attach an execution tracer; engines will open spans on it. At most
+    /// one tracer per context — later attaches are ignored.
+    pub fn attach_tracer(&self, tracer: Arc<Tracer>) {
+        let _ = self.inner.tracer.set(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.inner.tracer.get()
+    }
+
+    /// Whether a tracer is attached (engines use this to skip building
+    /// span detail strings).
+    pub fn traced(&self) -> bool {
+        self.inner.tracer.get().is_some()
+    }
+
+    /// Open a span over `io`, measuring wall time and the session's
+    /// [`IoStats`](cvr_storage::io::IoStats) delta until the guard drops.
+    /// Returns a free no-op guard when no tracer is attached.
+    pub fn span<'a>(&self, op: &str, detail: &str, io: &'a IoSession) -> Span<'a> {
+        match self.inner.tracer.get() {
+            Some(tracer) => Span::active(tracer.clone(), op, detail, io),
+            None => Span::disabled(),
         }
     }
 

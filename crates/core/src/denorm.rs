@@ -224,12 +224,15 @@ impl DenormDb {
         // Fact predicates.
         for p in &q.fact_predicates {
             ctx.check()?;
+            let mut span = ctx.span("scan", p.column, io);
             let pl = scan_pred(self.store.column(p.column), &p.pred, cfg.block_iteration, io);
+            span.rows(pl.count() as u64);
             and_with(pl, &mut pos);
         }
         // Dimension predicates, now direct column predicates.
         for p in &q.dim_predicates {
             ctx.check()?;
+            let mut span = ctx.span("scan", p.column, io);
             let col = self.store.column(p.column);
             let pl = if self.variant == DenormVariant::IntCompression
                 && self.dicts.contains_key(p.column)
@@ -257,9 +260,11 @@ impl DenormDb {
             } else {
                 scan_pred(col, &p.pred, cfg.block_iteration, io)
             };
+            span.rows(pl.count() as u64);
             and_with(pl, &mut pos);
         }
         let pos = pos.unwrap_or_else(|| PosList::all(n));
+        let mut agg_span = ctx.span("extract-aggregate", "", io);
         // The gathers below materialize one value per passing row per group
         // column and measure; charge them up front, before allocating.
         let width = (q.group_by.len() + q.aggregate.fact_columns().len()).max(1);
@@ -320,10 +325,12 @@ impl DenormDb {
                     .collect();
                 let mut partial = AggPartial::Code(CodeGrouper::for_layout(&layout));
                 partial.add_rows(q, &group, &measures, pos.count() as usize);
-                match partial {
-                    AggPartial::Code(g) => Ok(g.finish(&layout, q)),
+                let out = match partial {
+                    AggPartial::Code(g) => g.finish(&layout, q),
                     AggPartial::Value(_) => unreachable!("partial built as code-level"),
-                }
+                };
+                agg_span.rows(out.len() as u64);
+                Ok(out)
             }
             None => {
                 let group_cols: Vec<Vec<Value>> = q
@@ -360,7 +367,9 @@ impl DenormDb {
                         q.aggregate.term(&inputs)
                     })
                     .collect();
-                Ok(aggregate_columns(q, &group_cols, &terms))
+                let out = aggregate_columns(q, &group_cols, &terms);
+                agg_span.rows(out.len() as u64);
+                Ok(out)
             }
         }
     }

@@ -209,10 +209,18 @@ pub(crate) fn try_execute(
     io: &IoSession,
     ctx: &QueryCtx,
 ) -> Result<QueryOutput, QueryError> {
-    let plan = build_plan(db, q, io, ctx)?;
+    let plan = {
+        let mut span = ctx.span("materialize", "fact columns up front", io);
+        span.rows(db.fact_rows() as u64);
+        build_plan(db, q, io, ctx)?
+    };
     ctx.check()?;
+    let mut span = ctx.span("pipeline", "row-style over early-stitched tuples", io);
     let partial = run_rows(&plan, q, cfg, 0..db.fact_rows());
-    Ok(plan.finish(partial, q))
+    let out = plan.finish(partial, q);
+    span.rows(out.len() as u64);
+    drop(span);
+    Ok(out)
 }
 
 /// Execute `q` with early materialization across `par.threads` morsel
@@ -236,7 +244,12 @@ pub(crate) fn try_execute_par(
     if par.is_serial() {
         return try_execute(db, q, cfg, io, ctx);
     }
-    let plan = build_plan(db, q, io, ctx)?;
+    let plan = {
+        let mut span = ctx.span("materialize", "fact columns up front", io);
+        span.rows(db.fact_rows() as u64);
+        build_plan(db, q, io, ctx)?
+    };
+    let mut span = ctx.span("pipeline", "row-style over early-stitched tuples", io);
     let partials = try_run_morsels(db.fact_rows() as u32, par, ctx, |_, range| {
         Ok(run_rows(&plan, q, cfg, range.start as usize..range.end as usize))
     })?;
@@ -244,7 +257,10 @@ pub(crate) fn try_execute_par(
     for partial in partials {
         merged.merge(partial);
     }
-    Ok(plan.finish(merged, q))
+    let out = plan.finish(merged, q);
+    span.rows(out.len() as u64);
+    drop(span);
+    Ok(out)
 }
 
 /// Predicate + join filtering for one constructed tuple.

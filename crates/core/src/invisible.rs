@@ -31,8 +31,9 @@ use cvr_data::queries::SsbQuery;
 use cvr_data::result::QueryOutput;
 use cvr_data::schema::Dim;
 use cvr_index::hashidx::{IntHashMap, IntHashSet};
-use cvr_storage::io::{IoLog, IoSession};
+use cvr_storage::io::{IoLog, IoSession, IoStats};
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// The rewritten join predicate applied to a fact FK column in phase 2.
 pub enum FactKeyPred {
@@ -257,10 +258,12 @@ fn filter_serial(
     let mut pos: Option<PosList> = None;
     for dim in q.restricted_dims() {
         ctx.check()?;
+        let mut span = ctx.span("probe", dim.fact_fk_column(), io);
         let key_pred = charge_step(io, capture, |s| {
             phase1_key_pred_opts(db, q, dim, cfg, opts, s).expect("restricted dim has predicates")
         });
         let pl = charge_step(io, capture, |s| phase2_probe(db, dim, &key_pred, cfg, s));
+        span.rows(pl.count() as u64);
         pos = Some(match pos {
             None => pl,
             Some(acc) => acc.intersect(&pl),
@@ -268,8 +271,10 @@ fn filter_serial(
     }
     for p in &q.fact_predicates {
         ctx.check()?;
+        let mut span = ctx.span("scan", p.column, io);
         let col = db.fact.column(p.column);
         let pl = charge_step(io, capture, |s| scan_pred(col, &p.pred, cfg.block_iteration, s));
+        span.rows(pl.count() as u64);
         pos = Some(match pos {
             None => pl,
             Some(acc) => acc.intersect(&pl),
@@ -424,8 +429,11 @@ pub(crate) fn try_execute_opts(
     // as codes when every group column has a code space (see
     // [`AggStrategy`]), so no strings are materialized per row.
     let strat = AggStrategy::for_query(db, q);
+    let mut span = ctx.span("extract-aggregate", "", io);
     let partial = phase3_partial(db, q, &strat, None, &pos, io, ctx)?;
-    Ok(strat.finish(partial, q))
+    let out = strat.finish(partial, q);
+    span.rows(out.len() as u64);
+    Ok(out)
 }
 
 /// Parallel invisible join with an unbounded lifecycle (test shorthand).
@@ -512,26 +520,50 @@ fn execute_par_impl(
     // the same global code spaces.
     let strat = AggStrategy::for_query(db, q);
 
+    // Per-operator output tallies for tracing: one slot per key predicate
+    // then per fact predicate. Each morsel's fragment count for an operator
+    // sums (over morsels) to exactly the serial plan's per-operator output
+    // cardinality, so EXPLAIN ANALYZE reports identical actuals at any
+    // thread count. Allocated only when a tracer is attached.
+    let tallies: Option<Vec<std::sync::atomic::AtomicU64>> = ctx.traced().then(|| {
+        (0..key_preds.len() + q.fact_predicates.len())
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect()
+    });
+    let tally = |slot: usize, rows: usize| {
+        if let Some(t) = &tallies {
+            t[slot].fetch_add(rows as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+    };
+
+    // The fan-out fuses phases 2 and 3, so per-operator wall/I/O cannot be
+    // separated; the span carries the combined measurement plus the
+    // per-worker breakdown, and the per-operator row tallies become leaf
+    // records under it once the morsels have merged.
+    let mut span = ctx.span("extract-aggregate", "", io);
+
     let pool = io.pool().clone();
     let results = try_run_morsels(n, par, ctx, |_, range| {
         // Phase 2 over this morsel: every key predicate and fact predicate,
         // intersected into the morsel's surviving positions.
         let rio2 = IoSession::recording(pool.clone());
         let mut pos: Option<Vec<u32>> = None;
-        for (dim, key_pred) in &key_preds {
+        for (slot, (dim, key_pred)) in key_preds.iter().enumerate() {
             let col = db.fact.column(dim.fact_fk_column());
             let frag = key_pred.with_scan_pred(|pred| {
                 scan_int_range(col, range.start, range.end, pred, cfg.block_iteration, &rio2)
             });
+            tally(slot, frag.len());
             pos = Some(match pos {
                 None => frag,
                 Some(acc) => intersect_ascending(&acc, &frag),
             });
         }
-        for p in &q.fact_predicates {
+        for (slot, p) in q.fact_predicates.iter().enumerate() {
             let col = db.fact.column(p.column);
             let frag =
                 scan_pred_range(col, range.start, range.end, &p.pred, cfg.block_iteration, &rio2);
+            tally(key_preds.len() + slot, frag.len());
             pos = Some(match pos {
                 None => frag,
                 Some(acc) => intersect_ascending(&acc, &frag),
@@ -568,6 +600,28 @@ fn execute_par_impl(
     io.replay_interleaved(&logs2);
     io.replay_interleaved(&logs3);
     let out = strat.finish(merged, q);
+    span.rows(out.len() as u64);
+    drop(span);
+    if let (Some(tracer), Some(tallies)) = (ctx.tracer(), &tallies) {
+        use std::sync::atomic::Ordering;
+        let mut slot = 0;
+        for (dim, _) in &key_preds {
+            let rows = tallies[slot].load(Ordering::Relaxed);
+            tracer.leaf(
+                "probe",
+                dim.fact_fk_column(),
+                Some(rows),
+                Duration::ZERO,
+                IoStats::default(),
+            );
+            slot += 1;
+        }
+        for p in &q.fact_predicates {
+            let rows = tallies[slot].load(Ordering::Relaxed);
+            tracer.leaf("scan", p.column, Some(rows), Duration::ZERO, IoStats::default());
+            slot += 1;
+        }
+    }
     let capture = capturing.then_some(FilterCapture {
         coordinator_logs,
         morsel_logs: logs2,
@@ -605,8 +659,11 @@ pub(crate) fn try_execute_capture(
         let pos =
             filter_serial(db, q, cfg, InvisibleOptions::default(), io, &mut Some(&mut logs), ctx)?;
         let strat = AggStrategy::for_query(db, q);
+        let mut span = ctx.span("extract-aggregate", "", io);
         let partial = phase3_partial(db, q, &strat, None, &pos, io, ctx)?;
         let out = strat.finish(partial, q);
+        span.rows(out.len() as u64);
+        drop(span);
         let capture = FilterCapture {
             coordinator_logs: logs,
             morsel_logs: Vec::new(),
@@ -651,12 +708,20 @@ pub(crate) fn try_execute_warm(
         let CapturedPositions::Serial(pos) = &capture.positions else {
             return Ok(None);
         };
-        for log in &capture.coordinator_logs {
-            io.replay(log);
+        {
+            let mut replay = ctx.span("filter-replay", "cached filter charges", io);
+            for log in &capture.coordinator_logs {
+                io.replay(log);
+            }
+            replay.rows(pos.count() as u64);
         }
         let strat = AggStrategy::for_query(db, q);
+        let mut span = ctx.span("extract-aggregate", "", io);
         let partial = phase3_partial(db, q, &strat, None, pos, io, ctx)?;
-        Ok(Some(strat.finish(partial, q)))
+        let out = strat.finish(partial, q);
+        span.rows(out.len() as u64);
+        drop(span);
+        Ok(Some(out))
     } else {
         let CapturedPositions::Morsels(frags) = &capture.positions else {
             return Ok(None);
@@ -667,14 +732,18 @@ pub(crate) fn try_execute_warm(
         }
         // Replay phases 1 and 2 from the capture; rebuild the join tables
         // live between them, exactly where the cold plan charges them.
+        let mut replay = ctx.span("filter-replay", "cached filter charges", io);
         for log in &capture.coordinator_logs {
             io.replay(log);
         }
         let join_maps = build_join_maps(db, q, io, ctx)?;
         io.replay_interleaved(&capture.morsel_logs);
+        replay.rows(frags.iter().map(Vec::len).sum::<usize>() as u64);
+        drop(replay);
         // Phase 3 live, over the same morsel grid and the captured
         // surviving positions.
         let strat = AggStrategy::for_query(db, q);
+        let mut span = ctx.span("extract-aggregate", "", io);
         let pool = io.pool().clone();
         let results = try_run_morsels(n, par, ctx, |i, _range| {
             let rio = IoSession::recording(pool.clone());
@@ -689,7 +758,10 @@ pub(crate) fn try_execute_warm(
             merged.merge(partial);
         }
         io.replay_interleaved(&logs);
-        Ok(Some(strat.finish(merged, q)))
+        let out = strat.finish(merged, q);
+        span.rows(out.len() as u64);
+        drop(span);
+        Ok(Some(out))
     }
 }
 

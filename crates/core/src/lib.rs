@@ -32,7 +32,11 @@
 //!   deadline-aware load shedding (`CVR_SCHED_QUEUE_MAX`);
 //! * [`ctx`] — the query lifecycle control block ([`QueryCtx`]: cooperative
 //!   cancellation, deadlines, memory budgets) and the typed [`QueryError`]
-//!   every abort path funnels into.
+//!   every abort path funnels into;
+//! * [`trace`] — per-query execution tracing: a span tree of operator
+//!   actuals (wall time, rows, I/O deltas, per-worker fan-out breakdowns),
+//!   attached through [`QueryCtx`] with near-zero cost when disabled —
+//!   the substrate for the server's `EXPLAIN ANALYZE`.
 //!
 //! ```
 //! use cvr_core::{ColumnEngine, EngineConfig};
@@ -66,6 +70,7 @@ pub mod projection;
 pub mod row_mv;
 pub mod scan;
 pub mod sched;
+pub mod trace;
 
 pub use config::EngineConfig;
 pub use ctx::{QueryCtx, QueryError};
@@ -77,3 +82,4 @@ pub use poslist::PosList;
 pub use projection::CStoreDb;
 pub use row_mv::RowMvDb;
 pub use sched::{QueryPermit, SchedStats, Scheduler, WorkerLease};
+pub use trace::{Span, SpanRecord, Tracer};

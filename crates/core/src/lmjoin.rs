@@ -213,6 +213,7 @@ pub(crate) fn try_execute(
     let mut pos: Option<Vec<u32>> = None;
     for p in &q.fact_predicates {
         ctx.check()?;
+        let mut span = ctx.span("scan", p.column, io);
         let pl = scan_pred(db.fact.column(p.column), &p.pred, cfg.block_iteration, io);
         pos = Some(match pos {
             None => pl.to_vec(),
@@ -221,6 +222,8 @@ pub(crate) fn try_execute(
                 e.intersect(&pl).to_vec()
             }
         });
+        // The LM plan's scan nodes report the running surviving count.
+        span.rows(pos.as_ref().map_or(0, Vec::len) as u64);
     }
 
     // Aligned group arrays (codes or values), filled as each dimension
@@ -231,6 +234,7 @@ pub(crate) fn try_execute(
     // Restricted dimensions, most selective first.
     for dim in restricted_in_order(db, q) {
         ctx.check()?;
+        let mut span = ctx.span("hash-join", dim.fact_fk_column(), io);
         let map = dim_hash(db, q, dim, cfg, io);
         let (new_pos, dim_positions) = match pos {
             None => probe_full_scan(db, dim, &map, cfg, io),
@@ -265,6 +269,7 @@ pub(crate) fn try_execute(
                 group_vals[gi] = Some(strat.extract_group_at(gi, col, &dim_positions, io));
             }
         }
+        span.rows(new_pos.len() as u64);
         pos = Some(new_pos);
     }
 
@@ -273,6 +278,8 @@ pub(crate) fn try_execute(
     // eager extraction keeps live.
     ctx.charge(pos.len().saturating_mul(8 * (q.group_by.len() + 1)))?;
     let pl = PosList::from_ascending(pos.clone(), db.fact_rows() as u32);
+
+    let mut span = ctx.span("extract-aggregate", "", io);
 
     // Group-only dimensions (no predicates): join via full-key hash.
     for dim in q.touched_dims() {
@@ -308,7 +315,10 @@ pub(crate) fn try_execute(
         group_vals.into_iter().map(|v| v.expect("all group columns extracted")).collect();
     let mut partial = strat.new_partial();
     partial.add_rows(q, &group_cols, &measure_cols, pos.len());
-    Ok(strat.finish(partial, q))
+    let out = strat.finish(partial, q);
+    span.rows(out.len() as u64);
+    drop(span);
+    Ok(out)
 }
 
 /// Execute `q` with late-materialized hash joins across `par.threads`
@@ -354,13 +364,31 @@ pub(crate) fn try_execute_par(
     // Shared read-only aggregation strategy: metadata only, no charges.
     let strat = AggStrategy::for_query(db, q);
 
+    // Per-operator running-count tallies for tracing (one slot per fact
+    // predicate, then per joined dimension); morsel-local counts sum to the
+    // serial plan's per-operator actuals. Allocated only when traced.
+    let tallies: Option<Vec<std::sync::atomic::AtomicU64>> = ctx.traced().then(|| {
+        (0..q.fact_predicates.len() + order.len())
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect()
+    });
+    let tally = |slot: usize, rows: usize| {
+        if let Some(t) = &tallies {
+            t[slot].fetch_add(rows as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+    };
+
+    // The fused fan-out's combined wall/I/O/worker breakdown lands on this
+    // span; per-operator row tallies become leaf records after the merge.
+    let mut span = ctx.span("extract-aggregate", "", io);
+
     let pool = io.pool().clone();
     let results = try_run_morsels(n, par, ctx, |_, range| {
         let rio = IoSession::recording(pool.clone());
 
         // Fact-column predicates over this morsel.
         let mut pos: Option<Vec<u32>> = None;
-        for p in &q.fact_predicates {
+        for (slot, p) in q.fact_predicates.iter().enumerate() {
             let col = db.fact.column(p.column);
             let frag =
                 scan_pred_range(col, range.start, range.end, &p.pred, cfg.block_iteration, &rio);
@@ -368,6 +396,7 @@ pub(crate) fn try_execute_par(
                 None => frag,
                 Some(acc) => intersect_ascending(&acc, &frag),
             });
+            tally(slot, pos.as_ref().map_or(0, Vec::len));
         }
 
         // Restricted dimensions, most selective first, with eager
@@ -375,7 +404,7 @@ pub(crate) fn try_execute_par(
         // pipeline.
         let mut group_vals: Vec<Option<GroupData>> = Vec::new();
         group_vals.resize_with(q.group_by.len(), || None);
-        for dim in &order {
+        for (join_slot, dim) in order.iter().enumerate() {
             let map = &maps[dim];
             let (new_pos, dim_positions) = match pos {
                 None => probe_range(db, *dim, map, cfg, range.start, range.end, &rio),
@@ -408,6 +437,7 @@ pub(crate) fn try_execute_par(
                     group_vals[gi] = Some(strat.extract_group_at(gi, col, &dim_positions, &rio));
                 }
             }
+            tally(q.fact_predicates.len() + join_slot, new_pos.len());
             pos = Some(new_pos);
         }
 
@@ -462,7 +492,28 @@ pub(crate) fn try_execute_par(
         merged.merge(partial);
     }
     io.replay_interleaved(&logs);
-    Ok(strat.finish(merged, q))
+    let out = strat.finish(merged, q);
+    span.rows(out.len() as u64);
+    drop(span);
+    if let (Some(tracer), Some(tallies)) = (ctx.tracer(), &tallies) {
+        use std::sync::atomic::Ordering;
+        use std::time::Duration;
+        let zero = cvr_storage::io::IoStats::default();
+        for (slot, p) in q.fact_predicates.iter().enumerate() {
+            tracer.leaf(
+                "scan",
+                p.column,
+                Some(tallies[slot].load(Ordering::Relaxed)),
+                Duration::ZERO,
+                zero,
+            );
+        }
+        for (join_slot, dim) in order.iter().enumerate() {
+            let rows = tallies[q.fact_predicates.len() + join_slot].load(Ordering::Relaxed);
+            tracer.leaf("hash-join", dim.fact_fk_column(), Some(rows), Duration::ZERO, zero);
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

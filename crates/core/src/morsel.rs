@@ -185,9 +185,11 @@ pub fn try_run_morsels<T: Send>(
             }
         }
     } else {
-        profile::begin_fanout();
+        // Spawned workers must see the coordinator's fault state: the query's
+        // deterministic fault stream follows the query, not the thread.
+        let faults = cvr_storage::fault::handle();
         let next = AtomicUsize::new(0);
-        let work = |out: &mut Vec<(usize, T)>, coordinator: bool| {
+        let work = |out: &mut Vec<(usize, T)>| -> Duration {
             let started = thread_cpu_time();
             loop {
                 if stop.load(Ordering::Relaxed) {
@@ -212,24 +214,31 @@ pub fn try_run_morsels<T: Send>(
                 // no-op costing ~1µs per multi-hundred-µs morsel.
                 std::thread::yield_now();
             }
-            profile::record(thread_cpu_time().saturating_sub(started), coordinator);
+            thread_cpu_time().saturating_sub(started)
         };
 
+        // Per-worker busy CPU time, coordinator first — the one measurement
+        // all three observation sinks (profiler, tracer, metrics) share.
+        let mut busys: Vec<Duration> = Vec::with_capacity(workers);
         std::thread::scope(|s| {
             let handles: Vec<_> = (1..workers)
                 .map(|_| {
                     s.spawn(|| {
+                        let _faults = cvr_storage::fault::adopt_opt(faults.clone());
                         let mut out = Vec::new();
-                        work(&mut out, false);
-                        out
+                        let busy = work(&mut out);
+                        (out, busy)
                     })
                 })
                 .collect();
-            work(&mut tagged, true);
+            busys.push(work(&mut tagged));
             for h in handles {
-                tagged.extend(h.join().expect("morsel worker panicked"));
+                let (out, busy) = h.join().expect("morsel worker panicked");
+                tagged.extend(out);
+                busys.push(busy);
             }
         });
+        observe_fanout(ctx, &busys, next.into_inner().min(count) as u64);
     }
 
     match failure.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
@@ -239,6 +248,23 @@ pub fn try_run_morsels<T: Send>(
             tagged.sort_unstable_by_key(|(i, _)| *i);
             Ok(tagged.into_iter().map(|(_, t)| t).collect())
         }
+    }
+}
+
+/// Publish one fan-out's shared measurement — per-worker busy CPU times
+/// (`busys[0]` is the coordinator) and the number of morsels run — to every
+/// observation sink: the opt-in [`profile`] collector, the query's tracer
+/// (when attached), and the process metrics registry.
+fn observe_fanout(ctx: &QueryCtx, busys: &[Duration], morsels: u64) {
+    profile::record_fanout(busys);
+    if let Some(tracer) = ctx.tracer() {
+        tracer.on_fanout(busys, morsels);
+    }
+    cvr_obs::counter("cvr_morsel_fanouts_total", "Parallel morsel fan-outs executed").inc();
+    let worker_busy =
+        cvr_obs::latency("cvr_morsel_worker_busy_us", "Per-worker busy CPU time per fan-out");
+    for busy in busys {
+        worker_busy.observe(busy.as_micros() as u64);
     }
 }
 
@@ -351,23 +377,15 @@ pub mod profile {
         ENABLED.store(1, Ordering::Relaxed);
     }
 
-    /// Open a new sample group (one per [`super::run_morsels`] fan-out).
-    pub(super) fn begin_fanout() {
+    /// Record one fan-out's per-worker busy times (`busys[0]` is the
+    /// coordinator) as a sample group. The single entry point from
+    /// [`super::try_run_morsels`] — the same measurement also feeds the
+    /// tracer and the metrics registry, so no sink keeps its own clock.
+    pub(super) fn record_fanout(busys: &[Duration]) {
         if ENABLED.load(Ordering::Relaxed) == 1 {
-            BUSY.lock().unwrap().push(Vec::new());
-        }
-    }
-
-    /// Record one worker's busy time into the current fan-out group.
-    pub(super) fn record(busy: Duration, coordinator: bool) {
-        if ENABLED.load(Ordering::Relaxed) == 1 {
-            let mut groups = BUSY.lock().unwrap();
-            match groups.last_mut() {
-                Some(g) => g.push(busy),
-                None => groups.push(vec![busy]),
-            }
-            if coordinator {
-                COORD_BUSY_NS.fetch_add(busy.as_nanos() as usize, Ordering::Relaxed);
+            BUSY.lock().unwrap().push(busys.to_vec());
+            if let Some(coord) = busys.first() {
+                COORD_BUSY_NS.fetch_add(coord.as_nanos() as usize, Ordering::Relaxed);
             }
         }
     }

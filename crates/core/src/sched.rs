@@ -182,6 +182,7 @@ impl Scheduler {
             ctx.check()?;
             if state.waiting >= self.max_queue {
                 self.shed.fetch_add(1, Ordering::Relaxed);
+                metrics::shed().inc();
                 return Err(QueryError::Shed {
                     reason: format!(
                         "admission queue full ({} waiting, max {})",
@@ -200,6 +201,7 @@ impl Scheduler {
                     let predicted = Duration::from_nanos(ewma.saturating_mul(rounds));
                     if ewma > 0 && predicted > remaining {
                         self.shed.fetch_add(1, Ordering::Relaxed);
+                        metrics::shed().inc();
                         return Err(QueryError::Shed {
                             reason: format!(
                                 "predicted queue wait {predicted:?} exceeds deadline budget \
@@ -212,6 +214,7 @@ impl Scheduler {
         }
         let ticket = state.next_ticket;
         state.next_ticket += 1;
+        let enqueued = Instant::now();
         let mut waited = false;
         while state.serving != ticket || state.active_queries >= self.max_queries {
             if !waited {
@@ -233,6 +236,7 @@ impl Scheduler {
                     drop(state);
                     self.admitted_cv.notify_all();
                     self.abandoned.fetch_add(1, Ordering::Relaxed);
+                    metrics::abandoned().inc();
                     return Err(e);
                 }
             }
@@ -256,9 +260,14 @@ impl Scheduler {
         // Wake the next ticket (it may be admissible immediately).
         self.admitted_cv.notify_all();
         self.admitted.fetch_add(1, Ordering::Relaxed);
+        metrics::admitted().inc();
         if waited {
             self.queued.fetch_add(1, Ordering::Relaxed);
+            metrics::queued().inc();
         }
+        // Queue wait of every admission (0 for immediate grants), so the
+        // histogram's count matches admissions and p50 stays honest.
+        metrics::queue_wait().observe(enqueued.elapsed().as_micros() as u64);
         Ok(QueryPermit { sched: self.clone(), started: Instant::now() })
     }
 
@@ -282,8 +291,10 @@ impl Scheduler {
             granted
         };
         self.leases.fetch_add(1, Ordering::Relaxed);
+        metrics::leases().inc();
         if granted < requested {
             self.throttled.fetch_add(1, Ordering::Relaxed);
+            metrics::throttled().inc();
         }
         WorkerLease { sched: Some(self.clone()), granted }
     }
@@ -352,6 +363,54 @@ impl Drop for WorkerLease {
             state.leased_workers = state.leased_workers.saturating_sub(self.granted);
         }
     }
+}
+
+/// Process-registry mirrors of the scheduler counters. Handles are cached
+/// after the first touch; every `Scheduler` instance feeds the same series
+/// (the registry is process-wide, like the metrics it backs).
+mod metrics {
+    use std::sync::{Arc, OnceLock};
+
+    macro_rules! cached {
+        ($fn_name:ident, $kind:ident, $ty:ty, $name:literal, $help:literal) => {
+            pub(super) fn $fn_name() -> &'static Arc<$ty> {
+                static H: OnceLock<Arc<$ty>> = OnceLock::new();
+                H.get_or_init(|| cvr_obs::$kind($name, $help))
+            }
+        };
+    }
+
+    cached!(admitted, counter, cvr_obs::Counter, "cvr_sched_admitted_total", "Queries admitted");
+    cached!(queued, counter, cvr_obs::Counter, "cvr_sched_queued_total", "Admissions that waited");
+    cached!(
+        shed,
+        counter,
+        cvr_obs::Counter,
+        "cvr_sched_shed_total",
+        "Admissions rejected by load shedding"
+    );
+    cached!(
+        abandoned,
+        counter,
+        cvr_obs::Counter,
+        "cvr_sched_abandoned_total",
+        "Waiters that abandoned their admission ticket"
+    );
+    cached!(leases, counter, cvr_obs::Counter, "cvr_sched_leases_total", "Worker leases granted");
+    cached!(
+        throttled,
+        counter,
+        cvr_obs::Counter,
+        "cvr_sched_throttled_total",
+        "Leases granted fewer workers than requested"
+    );
+    cached!(
+        queue_wait,
+        latency,
+        cvr_obs::Histogram,
+        "cvr_sched_queue_wait_us",
+        "Admission queue wait per admitted query"
+    );
 }
 
 /// The installed process-wide scheduler consulted by

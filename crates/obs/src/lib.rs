@@ -1,0 +1,438 @@
+//! # cvr-obs — the process-wide metrics substrate
+//!
+//! A dependency-free registry of [`Counter`]s, [`Gauge`]s, and fixed-bucket
+//! [`Histogram`]s, sitting at the very bottom of the workspace graph so the
+//! storage layer (fault injection), the core engines (scheduler, morsels),
+//! and the server (sessions, errors, cache) can all record into one place.
+//!
+//! Three deliberate simplifications keep it cheap and deterministic:
+//!
+//! * **Fixed buckets.** Histograms take their upper bounds at registration
+//!   (log-scale microsecond defaults via [`Histogram::latency_us`]); there
+//!   is no resizing, so `observe` is a binary search plus two relaxed
+//!   atomic adds.
+//! * **Integer samples.** All values are `u64` in the caller's unit
+//!   (microseconds for latencies, counts for everything else); metric names
+//!   carry the unit suffix (`_us`, `_total`) instead of float scaling.
+//! * **Get-or-register.** [`Registry::counter`] and friends return a shared
+//!   [`Arc`] handle; hot paths cache the handle in a `OnceLock` and never
+//!   touch the registry lock again.
+//!
+//! [`Registry::render_prometheus`] emits text exposition format 0.0.4
+//! (`# HELP` / `# TYPE` / samples, histograms as cumulative `_bucket{le=…}`
+//! series), and [`Registry::samples`] flattens everything to `(name, value)`
+//! pairs for the wire protocol's STATS frame. Quantiles come from
+//! [`Histogram::quantile`] — the *same* estimator the bench harness uses, so
+//! wire-reported and bench-reported percentiles agree by construction.
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, pool sizes).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples.
+///
+/// Buckets are defined by ascending upper bounds; an implicit `+Inf`
+/// overflow bucket catches the rest. `observe` is lock-free. All derived
+/// views (Prometheus series, [`Histogram::quantile`]) read the same atomic
+/// cells, so a snapshot taken mid-stream is merely *slightly* stale, never
+/// inconsistent in shape.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending upper bounds (an `+Inf`
+    /// overflow bucket is appended implicitly). Panics on empty or
+    /// non-ascending bounds — a registration-time bug, not a runtime one.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bucket bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "histogram bounds must ascend");
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        buckets.resize_with(bounds.len() + 1, AtomicU64::default);
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets,
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// The default latency buckets: a 1–2–5 log scale from 10 µs to 60 s.
+    pub fn latency_us() -> Histogram {
+        Histogram::new(&[
+            10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+            200_000, 500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
+        ])
+    }
+
+    /// Record one sample.
+    pub fn observe(&self, v: u64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the bucket holding the target rank. Samples in the `+Inf`
+    /// overflow bucket clamp to the largest finite bound. Returns 0 when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if cum + n >= target {
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let upper = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    // Overflow bucket: clamp to the largest finite bound.
+                    None => return *self.bounds.last().expect("bounds non-empty"),
+                };
+                let frac = (target - cum) as f64 / n as f64;
+                return lower + ((upper - lower) as f64 * frac).round() as u64;
+            }
+            cum += n;
+        }
+        *self.bounds.last().expect("bounds non-empty")
+    }
+
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs, ending with the
+    /// `(u64::MAX, total)` overflow entry — the Prometheus `_bucket` view.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cum += bucket.load(Ordering::Relaxed);
+            out.push((self.bounds.get(i).copied().unwrap_or(u64::MAX), cum));
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics; [`global`] is the process-wide instance.
+///
+/// Names may carry a label set in Prometheus syntax
+/// (`cvr_errors_total{code="100"}`); series sharing a base name are grouped
+/// under one `# HELP`/`# TYPE` header and must be registered with the same
+/// kind.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<String, (&'static str, Metric)>>,
+}
+
+impl Registry {
+    /// An empty registry (tests; the process normally uses [`global`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &'static str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        if let Some((_, m)) = self.metrics.read().unwrap_or_else(PoisonError::into_inner).get(name)
+        {
+            return m.clone();
+        }
+        let mut map = self.metrics.write().unwrap_or_else(PoisonError::into_inner);
+        map.entry(name.to_string()).or_insert_with(|| (help, make())).1.clone()
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str, help: &'static str) -> Arc<Counter> {
+        match self.get_or_insert(name, help, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register the histogram `name` with `bounds` (ignored if the
+    /// name already exists).
+    pub fn histogram(&self, name: &str, help: &'static str, bounds: &[u64]) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, || Metric::Histogram(Arc::new(Histogram::new(bounds))))
+        {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or register a latency histogram (`Histogram::latency_us` bounds).
+    pub fn latency(&self, name: &str, help: &'static str) -> Arc<Histogram> {
+        match self
+            .get_or_insert(name, help, || Metric::Histogram(Arc::new(Histogram::latency_us())))
+        {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name:?} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Flatten every metric to `(name, value)` pairs, sorted by name: the
+    /// STATS-frame view. Histograms contribute `name_count`, `name_sum`,
+    /// and interpolated `name_p50` / `name_p99` entries.
+    pub fn samples(&self) -> Vec<(String, u64)> {
+        let map = self.metrics.read().unwrap_or_else(PoisonError::into_inner);
+        let mut out = Vec::with_capacity(map.len());
+        for (name, (_, metric)) in map.iter() {
+            match metric {
+                Metric::Counter(c) => out.push((name.clone(), c.get())),
+                Metric::Gauge(g) => out.push((name.clone(), g.get())),
+                Metric::Histogram(h) => {
+                    out.push((format!("{name}_count"), h.count()));
+                    out.push((format!("{name}_sum"), h.sum()));
+                    out.push((format!("{name}_p50"), h.quantile(0.50)));
+                    out.push((format!("{name}_p99"), h.quantile(0.99)));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Render Prometheus text exposition format 0.0.4.
+    pub fn render_prometheus(&self) -> String {
+        let map = self.metrics.read().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, (help, metric)) in map.iter() {
+            // `name{labels}` series share one header under the base name.
+            let (base, labels) = match name.find('{') {
+                Some(i) => (&name[..i], &name[i..]),
+                None => (name.as_str(), ""),
+            };
+            if base != last_base {
+                out.push_str(&format!("# HELP {base} {help}\n# TYPE {base} {}\n", metric.kind()));
+                last_base = base.to_string();
+            }
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{base}{labels} {}\n", c.get())),
+                Metric::Gauge(g) => out.push_str(&format!("{base}{labels} {}\n", g.get())),
+                Metric::Histogram(h) => {
+                    for (bound, cum) in h.cumulative() {
+                        let le =
+                            if bound == u64::MAX { "+Inf".to_string() } else { bound.to_string() };
+                        out.push_str(&format!("{base}_bucket{{le=\"{le}\"}} {cum}\n"));
+                    }
+                    out.push_str(&format!("{base}_sum {}\n", h.sum()));
+                    out.push_str(&format!("{base}_count {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry every subsystem records into.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Get or register a counter in the [`global`] registry.
+pub fn counter(name: &str, help: &'static str) -> Arc<Counter> {
+    global().counter(name, help)
+}
+
+/// Get or register a gauge in the [`global`] registry.
+pub fn gauge(name: &str, help: &'static str) -> Arc<Gauge> {
+    global().gauge(name, help)
+}
+
+/// Get or register a latency histogram in the [`global`] registry.
+pub fn latency(name: &str, help: &'static str) -> Arc<Histogram> {
+    global().latency(name, help)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let r = Registry::new();
+        let c = r.counter("hits_total", "hits");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.counter("hits_total", "hits").get(), 5, "get-or-register shares state");
+        let g = r.gauge("depth", "queue depth");
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_is_a_registration_bug() {
+        let r = Registry::new();
+        r.counter("x", "x");
+        r.gauge("x", "x");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 5, 50, 50, 50, 500, 2000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 2660);
+        assert_eq!(h.cumulative(), vec![(10, 2), (100, 5), (1000, 6), (u64::MAX, 7)]);
+        // Rank 4 of 7 lands in the (10, 100] bucket.
+        let p50 = h.quantile(0.5);
+        assert!((10..=100).contains(&p50), "p50 was {p50}");
+        // Quantiles are monotone and the overflow bucket clamps.
+        assert!(h.quantile(0.25) <= h.quantile(0.75));
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(Histogram::new(&[10]).quantile(0.5), 0, "empty histogram");
+    }
+
+    #[test]
+    fn quantile_matches_exact_on_bucket_bounds() {
+        // All mass in one bucket: interpolation stays inside its range.
+        let h = Histogram::latency_us();
+        for _ in 0..100 {
+            h.observe(150);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((100..=200).contains(&p50), "p50 was {p50}");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_well_formed() {
+        let r = Registry::new();
+        r.counter("cvr_hits_total", "cache hits").add(3);
+        r.counter("cvr_errors_total{code=\"100\"}", "errors by code").inc();
+        r.counter("cvr_errors_total{code=\"99\"}", "errors by code").add(2);
+        r.histogram("cvr_wait_us", "queue wait", &[10, 100]).observe(42);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP cvr_hits_total cache hits\n"));
+        assert!(text.contains("# TYPE cvr_hits_total counter\n"));
+        assert!(text.contains("cvr_hits_total 3\n"));
+        assert!(text.contains("cvr_errors_total{code=\"100\"} 1\n"));
+        assert!(text.contains("cvr_errors_total{code=\"99\"} 2\n"));
+        // Labeled series share one header.
+        assert_eq!(text.matches("# TYPE cvr_errors_total counter").count(), 1);
+        assert!(text.contains("cvr_wait_us_bucket{le=\"10\"} 0\n"));
+        assert!(text.contains("cvr_wait_us_bucket{le=\"100\"} 1\n"));
+        assert!(text.contains("cvr_wait_us_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("cvr_wait_us_sum 42\n"));
+        assert!(text.contains("cvr_wait_us_count 1\n"));
+        // Every line is a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(line.starts_with('#') || line.split(' ').count() == 2, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn samples_flatten_histograms() {
+        let r = Registry::new();
+        r.counter("a_total", "a").inc();
+        r.histogram("lat_us", "latency", &[10, 100]).observe(50);
+        let s = r.samples();
+        let get = |n: &str| s.iter().find(|(k, _)| k == n).map(|(_, v)| *v);
+        assert_eq!(get("a_total"), Some(1));
+        assert_eq!(get("lat_us_count"), Some(1));
+        assert_eq!(get("lat_us_sum"), Some(50));
+        assert!(get("lat_us_p50").is_some() && get("lat_us_p99").is_some());
+    }
+}

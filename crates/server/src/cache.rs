@@ -145,10 +145,12 @@ impl QueryCache {
             Some(e) => {
                 e.stamp = stamp;
                 self.result_hits.fetch_add(1, Ordering::Relaxed);
+                cvr_obs::counter("cvr_cache_hits_total{tier=\"result\"}", "Cache hits").inc();
                 Some(e.value.clone())
             }
             None => {
                 self.result_misses.fetch_add(1, Ordering::Relaxed);
+                cvr_obs::counter("cvr_cache_misses_total{tier=\"result\"}", "Cache misses").inc();
                 None
             }
         }
@@ -177,10 +179,12 @@ impl QueryCache {
             Some(e) => {
                 e.stamp = stamp;
                 self.filter_hits.fetch_add(1, Ordering::Relaxed);
+                cvr_obs::counter("cvr_cache_hits_total{tier=\"filter\"}", "Cache hits").inc();
                 Some(e.value.clone())
             }
             None => {
                 self.filter_misses.fetch_add(1, Ordering::Relaxed);
+                cvr_obs::counter("cvr_cache_misses_total{tier=\"filter\"}", "Cache misses").inc();
                 None
             }
         }
@@ -212,9 +216,11 @@ impl QueryCache {
         let stamp = inner.next_stamp();
         insert(&mut inner, stamp);
         self.inserted.fetch_add(1, Ordering::Relaxed);
+        cvr_obs::counter("cvr_cache_inserted_total", "Cache entries inserted").inc();
         let evicted = inner.evict_to(self.budget);
         if evicted > 0 {
             self.evicted.fetch_add(evicted, Ordering::Relaxed);
+            cvr_obs::counter("cvr_cache_evicted_total", "Cache entries evicted").add(evicted);
         }
     }
 

@@ -145,7 +145,42 @@ impl Client {
     /// (`0` = not cancellable) another connection can abort it with, and a
     /// `deadline_ms` server-side deadline (`0` = server default).
     pub fn query_opts(&mut self, sql: &str, token: u64, deadline_ms: u32) -> io::Result<Response> {
-        self.round_trip(&Request::QueryOpts { token, deadline_ms, sql: sql.to_string() })
+        self.round_trip(&Request::QueryOpts { token, deadline_ms, flags: 0, sql: sql.to_string() })
+    }
+
+    /// [`Client::query_opts`] with [`FLAG_TRACE`](crate::protocol::FLAG_TRACE)
+    /// set: the response is followed by a mandatory `TRACE` frame carrying
+    /// the execution's span tree as `(text, json)` — `None` when the run
+    /// recorded no spans (e.g. the statement errored before executing).
+    pub fn query_traced(
+        &mut self,
+        sql: &str,
+        token: u64,
+        deadline_ms: u32,
+    ) -> io::Result<(Response, Option<(String, String)>)> {
+        let req = Request::QueryOpts {
+            token,
+            deadline_ms,
+            flags: crate::protocol::FLAG_TRACE,
+            sql: sql.to_string(),
+        };
+        let response = self.round_trip(&req)?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed before the TRACE frame")
+        })?;
+        let trace = match Response::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        {
+            Response::Trace { text, json } if text.is_empty() && json.is_empty() => None,
+            Response::Trace { text, json } => Some((text, json)),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("expected TRACE, got {other:?}"),
+                ));
+            }
+        };
+        Ok((response, trace))
     }
 
     /// Cancel the statement registered under `token` (sent from *this*

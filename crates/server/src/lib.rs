@@ -14,7 +14,12 @@
 //!   `IoStats`) and marked by the wire protocol's `cached` flag.
 //! * [`protocol`] — a length-prefixed binary wire format with typed
 //!   result sets, structured errors, `EXPLAIN` payloads, out-of-band
-//!   cancellation, and a `STATS` introspection frame.
+//!   cancellation, a `STATS` introspection frame (scheduler, cache, and
+//!   the `cvr-obs` metrics registry), and an opt-in `TRACE` frame
+//!   carrying the statement's operator span tree.
+//! * `analyze` (internal) — `EXPLAIN ANALYZE`: executes, then zips the
+//!   planner's estimate tree with the measured [`cvr_core::SpanRecord`]
+//!   tree.
 //! * [`server`] / [`client`] — a threaded TCP accept loop (per-statement
 //!   [`cvr_core::QueryCtx`] lifecycles, cancel registry, socket timeouts,
 //!   drain-on-shutdown) and the matching blocking client, plus
@@ -31,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod analyze;
 pub mod cache;
 pub mod client;
 pub mod parser;
@@ -41,6 +47,6 @@ pub mod session;
 pub use cache::{CacheStats, QueryCache};
 pub use client::{Client, ClientConfig, ClientError, RetryClient};
 pub use parser::{parse, parse_query, render_sql, ParseError, Statement};
-pub use protocol::{Request, Response, ResultSet, StatsReport};
+pub use protocol::{Request, Response, ResultSet, StatsReport, FLAG_TRACE};
 pub use server::{serve, CancelRegistry, Server};
 pub use session::{ColumnMeta, QueryResponse, RowsResponse, Session, SessionError};

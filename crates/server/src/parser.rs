@@ -94,18 +94,26 @@ pub enum Statement {
     Select(SsbQuery),
     /// `EXPLAIN SELECT ...` — plan only, return the explain tree.
     Explain(SsbQuery),
+    /// `EXPLAIN ANALYZE SELECT ...` — execute under tracing, return the
+    /// explain tree annotated with measured actuals.
+    ExplainAnalyze(SsbQuery),
 }
 
 /// Parse one SQL statement.
 pub fn parse(sql: &str) -> Result<Statement, ParseError> {
     let mut p = Parser { toks: lex(sql)?, at: 0 };
     let explain = p.eat_kw("EXPLAIN");
+    let analyze = explain && p.eat_kw("ANALYZE");
     let q = p.select()?;
     p.eat_sym(';');
     if let Some(t) = p.peek() {
         return Err(ParseError::Syntax(format!("trailing input at `{t}`")));
     }
-    Ok(if explain { Statement::Explain(q) } else { Statement::Select(q) })
+    Ok(match (explain, analyze) {
+        (true, true) => Statement::ExplainAnalyze(q),
+        (true, false) => Statement::Explain(q),
+        _ => Statement::Select(q),
+    })
 }
 
 /// Parse a statement that must be a plain `SELECT`, returning the lowered
@@ -113,7 +121,7 @@ pub fn parse(sql: &str) -> Result<Statement, ParseError> {
 pub fn parse_query(sql: &str) -> Result<SsbQuery, ParseError> {
     match parse(sql)? {
         Statement::Select(q) => Ok(q),
-        Statement::Explain(_) => {
+        Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
             Err(ParseError::Unsupported("expected SELECT, got EXPLAIN".into()))
         }
     }
@@ -857,6 +865,11 @@ mod tests {
             parse(&render_sql(&cvr_data::queries::query(2, 1))).unwrap(),
             Statement::Select(_)
         ));
+        let sql = format!("EXPLAIN ANALYZE {}", render_sql(&cvr_data::queries::query(3, 2)));
+        assert!(matches!(parse(&sql).unwrap(), Statement::ExplainAnalyze(_)));
+        // ANALYZE alone is not a keyword — a table named `analyze` is not in
+        // the schema, so this fails resolution rather than silently tracing.
+        assert!(parse("ANALYZE SELECT SUM(lo_revenue) FROM lineorder").is_err());
     }
 
     #[test]

@@ -10,19 +10,23 @@
 //! 0x03 QUERY_OPTS     0x83 EXPLAIN
 //! 0x04 CANCEL         0x84 CANCEL_ACK
 //! 0x05 STATS          0x85 STATS
+//!                     0x86 TRACE
 //! ```
 //!
 //! * `QUERY`: `u32` length + UTF-8 SQL.
 //! * `CLOSE`: tag only; the server hangs up after reading it.
 //! * `QUERY_OPTS`: `u64` cancel token (0 = not cancellable), `u32`
-//!   deadline in milliseconds (0 = none), then `u32` length + UTF-8 SQL.
-//!   While the statement runs, a *second* connection may send `CANCEL`
-//!   with the same token to abort it (the Postgres out-of-band shape).
+//!   deadline in milliseconds (0 = none), `u8` flags ([`FLAG_TRACE`]
+//!   requests a `TRACE` frame after the response), then `u32` length +
+//!   UTF-8 SQL. While the statement runs, a *second* connection may send
+//!   `CANCEL` with the same token to abort it (the Postgres out-of-band
+//!   shape).
 //! * `CANCEL`: `u64` token. Answered with `CANCEL_ACK` (`u8` flag: 1 if a
 //!   query holding that token was found and signalled).
 //! * `STATS`: tag only; answered with a `STATS` response carrying the
-//!   scheduler counters and, when the session keeps one, the result-cache
-//!   counters (see [`StatsReport`]).
+//!   scheduler counters, the result-cache counters when the session keeps
+//!   one, and the process metrics registry's samples (see
+//!   [`StatsReport`]).
 //! * `RESULT`: query id (`u8` flight, `u8` number), plan label
 //!   (`u16` length + UTF-8), a `cached` flag (`u8`, 1 when served from the
 //!   session's result cache — the only byte a cache hit may change),
@@ -34,7 +38,14 @@
 //! * `ERROR`: `u16` [`ParseError::code`]-compatible code, `u32` length +
 //!   UTF-8 message.
 //! * `EXPLAIN`: two `u32`-length-prefixed UTF-8 strings — the rendered
-//!   tree and the stable-field JSON (`Plan::to_json`).
+//!   tree and the stable-field JSON (`Plan::to_json`; for
+//!   `EXPLAIN ANALYZE`, the same fields plus per-node `"actual"` objects
+//!   and a top-level `"trace"`).
+//! * `TRACE`: two `u32`-length-prefixed UTF-8 strings — the rendered span
+//!   tree and its JSON. Sent *after* the `RESULT`/`ERROR` frame of a
+//!   `QUERY_OPTS` request that set [`FLAG_TRACE`] — the response frame
+//!   itself stays byte-identical to an untraced run. Both strings are
+//!   empty when the statement recorded no spans (e.g. a parse error).
 //!
 //! All integers are little-endian. Hand-rolled on purpose: the build
 //! environment has no serde, and the format doubles as documentation of
@@ -69,6 +80,10 @@ fn frame_limit_from(var: Option<&str>) -> usize {
         .unwrap_or(DEFAULT_MAX_FRAME_BYTES)
 }
 
+/// `Request::QueryOpts` flag bit: ship a `TRACE` frame (the execution's
+/// span tree) after the response frame.
+pub const FLAG_TRACE: u8 = 0x01;
+
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -82,6 +97,8 @@ pub enum Request {
         token: u64,
         /// Deadline in milliseconds from receipt; `0` means none.
         deadline_ms: u32,
+        /// Option bits; see [`FLAG_TRACE`].
+        flags: u8,
         /// The statement.
         sql: String,
     },
@@ -117,15 +134,28 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`].
     Stats(StatsReport),
+    /// The execution trace of the preceding response's statement
+    /// (requested via [`FLAG_TRACE`]).
+    Trace {
+        /// Rendered span tree (`SpanRecord::render`); empty when the
+        /// statement recorded no spans.
+        text: String,
+        /// Span-tree JSON (`SpanRecord::to_json`); empty likewise.
+        json: String,
+    },
 }
 
 /// The counters shipped in a `STATS` response.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StatsReport {
     /// Scheduler counters and gauges.
     pub sched: SchedStats,
     /// Result-cache counters; `None` when the session runs cache-disabled.
     pub cache: Option<CacheStats>,
+    /// The process metrics registry's `(name, value)` samples — every
+    /// counter and gauge, plus `_count`/`_sum`/`_p50`/`_p99` per
+    /// histogram (sorted by name; see `cvr_obs::Registry::samples`).
+    pub metrics: Vec<(String, u64)>,
 }
 
 /// A result set as shipped on the wire.
@@ -222,6 +252,7 @@ const TAG_ERROR: u8 = 0x82;
 const TAG_EXPLAIN: u8 = 0x83;
 const TAG_CANCEL_ACK: u8 = 0x84;
 const TAG_STATS: u8 = 0x85;
+const TAG_TRACE: u8 = 0x86;
 
 fn put_str16(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u16).to_le_bytes());
@@ -243,10 +274,11 @@ impl Request {
                 put_str32(&mut out, sql);
             }
             Request::Close => out.push(TAG_CLOSE),
-            Request::QueryOpts { token, deadline_ms, sql } => {
+            Request::QueryOpts { token, deadline_ms, flags, sql } => {
                 out.push(TAG_QUERY_OPTS);
                 out.extend_from_slice(&token.to_le_bytes());
                 out.extend_from_slice(&deadline_ms.to_le_bytes());
+                out.push(*flags);
                 put_str32(&mut out, sql);
             }
             Request::Cancel(token) => {
@@ -264,9 +296,12 @@ impl Request {
         let req = match r.u8()? {
             TAG_QUERY => Request::Query(r.str32()?),
             TAG_CLOSE => Request::Close,
-            TAG_QUERY_OPTS => {
-                Request::QueryOpts { token: r.u64()?, deadline_ms: r.u32()?, sql: r.str32()? }
-            }
+            TAG_QUERY_OPTS => Request::QueryOpts {
+                token: r.u64()?,
+                deadline_ms: r.u32()?,
+                flags: r.u8()?,
+                sql: r.str32()?,
+            },
             TAG_CANCEL => Request::Cancel(r.u64()?),
             TAG_STATS_REQ => Request::Stats,
             t => return Err(format!("unknown request tag 0x{t:02x}")),
@@ -363,6 +398,16 @@ impl Response {
                         }
                     }
                 }
+                out.extend_from_slice(&(report.metrics.len() as u32).to_le_bytes());
+                for (name, value) in &report.metrics {
+                    put_str16(&mut out, name);
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+            Response::Trace { text, json } => {
+                out.push(TAG_TRACE);
+                put_str32(&mut out, text);
+                put_str32(&mut out, json);
             }
         }
         out
@@ -435,8 +480,15 @@ impl Response {
                     }),
                     t => return Err(format!("invalid cache-stats flag {t}")),
                 };
-                Response::Stats(StatsReport { sched, cache })
+                let n = r.u32()? as usize;
+                let mut metrics = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    let name = r.str16()?;
+                    metrics.push((name, r.u64()?));
+                }
+                Response::Stats(StatsReport { sched, cache, metrics })
             }
+            TAG_TRACE => Response::Trace { text: r.str32()?, json: r.str32()? },
             t => return Err(format!("unknown response tag 0x{t:02x}")),
         };
         r.finish()?;
@@ -532,8 +584,18 @@ mod tests {
         for req in [
             Request::Query("SELECT SUM(lo_revenue) FROM lineorder".into()),
             Request::Close,
-            Request::QueryOpts { token: 0xDEAD_BEEF, deadline_ms: 250, sql: "SELECT 1".into() },
-            Request::QueryOpts { token: 0, deadline_ms: 0, sql: "EXPLAIN SELECT 1".into() },
+            Request::QueryOpts {
+                token: 0xDEAD_BEEF,
+                deadline_ms: 250,
+                flags: FLAG_TRACE,
+                sql: "SELECT 1".into(),
+            },
+            Request::QueryOpts {
+                token: 0,
+                deadline_ms: 0,
+                flags: 0,
+                sql: "EXPLAIN SELECT 1".into(),
+            },
             Request::Cancel(42),
             Request::Stats,
         ] {
@@ -563,14 +625,18 @@ mod tests {
             bytes: 4096,
             budget: 1 << 20,
         };
+        let metrics =
+            vec![("cvr_queries_total".to_string(), 17u64), ("cvr_sched_shed_total".to_string(), 2)];
         let responses = [
             sample_result(),
             Response::Error { code: 2, message: "unknown column: lo_color".into() },
             Response::Explain { text: "plan=tICL".into(), json: "{\"plan\": \"tICL\"}".into() },
             Response::CancelAck { found: true },
             Response::CancelAck { found: false },
-            Response::Stats(StatsReport { sched, cache: Some(cache) }),
-            Response::Stats(StatsReport { sched, cache: None }),
+            Response::Stats(StatsReport { sched, cache: Some(cache), metrics: metrics.clone() }),
+            Response::Stats(StatsReport { sched, cache: None, metrics: Vec::new() }),
+            Response::Trace { text: "column-plan: tICL [rows=7]".into(), json: "{}".into() },
+            Response::Trace { text: String::new(), json: String::new() },
         ];
         for resp in responses {
             assert_eq!(Response::decode(&resp.encode()), Ok(resp));
@@ -605,7 +671,7 @@ mod tests {
             // Half the rounds: aim the soup at a real tag so the field
             // decoders run, not just the tag dispatch.
             if round % 2 == 0 && !bytes.is_empty() {
-                let tags = [0x01, 0x02, 0x03, 0x04, 0x05, 0x81, 0x82, 0x83, 0x84, 0x85];
+                let tags = [0x01, 0x02, 0x03, 0x04, 0x05, 0x81, 0x82, 0x83, 0x84, 0x85, 0x86];
                 bytes[0] = tags[(next() % tags.len() as u64) as usize];
             }
             let _ = Request::decode(&bytes);
@@ -613,11 +679,18 @@ mod tests {
         }
         // Truncations and bit flips of every well-formed frame.
         let frames: Vec<Vec<u8>> = vec![
-            Request::QueryOpts { token: 7, deadline_ms: 9, sql: "SELECT 1".into() }.encode(),
+            Request::QueryOpts { token: 7, deadline_ms: 9, flags: 1, sql: "SELECT 1".into() }
+                .encode(),
             Request::Cancel(7).encode(),
             Request::Stats.encode(),
             Response::CancelAck { found: true }.encode(),
-            Response::Stats(StatsReport { sched: SchedStats::default(), cache: None }).encode(),
+            Response::Stats(StatsReport {
+                sched: SchedStats::default(),
+                cache: None,
+                metrics: vec![("cvr_queries_total".to_string(), 3)],
+            })
+            .encode(),
+            Response::Trace { text: "t".into(), json: "{}".into() }.encode(),
             sample_result().encode(),
         ];
         for f in &frames {

@@ -23,13 +23,15 @@
 //! drains live connections for `CVR_DRAIN_MS` before cancelling whatever is
 //! still running.
 
-use crate::protocol::{read_frame, response_for, write_frame, Request, Response, StatsReport};
+use crate::protocol::{
+    read_frame, response_for, write_frame, Request, Response, StatsReport, FLAG_TRACE,
+};
 use crate::session::Session;
-use cvr_core::{QueryCtx, QueryError};
+use cvr_core::{QueryCtx, QueryError, Tracer};
 use cvr_storage::fault;
 use std::collections::HashMap;
 use std::io;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
@@ -43,6 +45,9 @@ pub struct Server {
     accept_thread: Option<JoinHandle<()>>,
     live_conns: Arc<AtomicUsize>,
     registry: Arc<CancelRegistry>,
+    /// Prometheus scrape endpoint, when `CVR_METRICS_ADDR` bound one.
+    metrics_addr: Option<SocketAddr>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 /// In-flight queries, keyed for out-of-band cancellation. Every executing
@@ -144,6 +149,16 @@ fn conn_timeouts() -> (Option<Duration>, Option<Duration>) {
     })
 }
 
+/// `CVR_TRACE=1` attaches a tracer to *every* statement (read once). The
+/// spans are recorded and dropped unless the request also asked for a
+/// `TRACE` frame — forcing tracing exercises its cost (the overhead gate
+/// in CI) without desynchronizing clients that expect one frame per
+/// request.
+fn trace_all() -> bool {
+    static ON: OnceLock<bool> = OnceLock::new();
+    *ON.get_or_init(|| std::env::var("CVR_TRACE").is_ok_and(|v| v.trim() == "1"))
+}
+
 /// The [`QueryCtx`] for one statement: the request's deadline when it
 /// carries one, the process default otherwise; the memory budget is always
 /// the process default.
@@ -160,9 +175,27 @@ fn ctx_for(deadline_ms: u32) -> QueryCtx {
 /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and serve
 /// `session` until [`Server::shutdown`].
 pub fn serve(session: Arc<Session>, addr: impl ToSocketAddrs) -> io::Result<Server> {
+    serve_with_metrics(session, addr, std::env::var("CVR_METRICS_ADDR").ok().as_deref())
+}
+
+/// [`serve`] with an explicit metrics bind address instead of the
+/// `CVR_METRICS_ADDR` environment knob (`None` disables the endpoint).
+pub fn serve_with_metrics(
+    session: Arc<Session>,
+    addr: impl ToSocketAddrs,
+    metrics_addr: Option<&str>,
+) -> io::Result<Server> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let metrics = match metrics_addr {
+        Some(m) => Some(spawn_metrics_endpoint(m, session.clone(), shutdown.clone())?),
+        None => None,
+    };
+    let (metrics_addr, metrics_thread) = match metrics {
+        Some((a, t)) => (Some(a), Some(t)),
+        None => (None, None),
+    };
     let live_conns = Arc::new(AtomicUsize::new(0));
     let registry = Arc::new(CancelRegistry::default());
     let flag = shutdown.clone();
@@ -196,7 +229,88 @@ pub fn serve(session: Arc<Session>, addr: impl ToSocketAddrs) -> io::Result<Serv
             }
         }
     })?;
-    Ok(Server { addr, shutdown, accept_thread: Some(accept_thread), live_conns, registry })
+    Ok(Server {
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        live_conns,
+        registry,
+        metrics_addr,
+        metrics_thread,
+    })
+}
+
+/// Bind the Prometheus scrape endpoint and serve it on a background
+/// thread: a deliberately tiny HTTP/1.0 responder — `GET /metrics` answers
+/// the registry's text exposition (plus scrape-time gauges), anything else
+/// a 404. One request per connection, `Connection: close`.
+fn spawn_metrics_endpoint(
+    addr: &str,
+    session: Arc<Session>,
+    shutdown: Arc<AtomicBool>,
+) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let thread = std::thread::Builder::new().name("cvr-metrics".into()).spawn(move || {
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut stream) = stream else { continue };
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+            let _ = answer_scrape(&session, &mut stream);
+        }
+    })?;
+    Ok((addr, thread))
+}
+
+/// Read one HTTP request line and answer it.
+fn answer_scrape(session: &Session, stream: &mut TcpStream) -> io::Result<()> {
+    // Read until the end of the request head (or 4 KiB, whichever first);
+    // only the request line matters.
+    let mut buf = [0u8; 4096];
+    let mut len = 0;
+    while len < buf.len() {
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let line = head.lines().next().unwrap_or("");
+    let ok = line.starts_with("GET /metrics ") || line == "GET /metrics";
+    let (status, body) = if ok {
+        ("200 OK", render_metrics(session))
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// The scrape body: refresh the point-in-time gauges from their sources,
+/// then render the whole registry.
+fn render_metrics(session: &Session) -> String {
+    let sched = session.scheduler().stats();
+    cvr_obs::gauge("cvr_sched_active", "Queries executing right now").set(sched.active);
+    cvr_obs::gauge("cvr_sched_queue_depth", "Queries waiting for admission").set(sched.queue_depth);
+    if let Some(cache) = session.cache_stats() {
+        cvr_obs::gauge("cvr_cache_bytes", "Current cache footprint in bytes")
+            .set(cache.bytes as u64);
+        cvr_obs::gauge("cvr_cache_budget_bytes", "Configured cache byte budget")
+            .set(cache.budget as u64);
+    }
+    cvr_obs::global().render_prometheus()
 }
 
 /// Decrements the live-connection gauge however the thread exits.
@@ -219,6 +333,12 @@ impl Server {
         &self.registry
     }
 
+    /// The Prometheus scrape endpoint's bound address, when
+    /// `CVR_METRICS_ADDR` (or [`serve_with_metrics`]) enabled one.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// Stop accepting connections and join the accept thread, then drain:
     /// wait up to `CVR_DRAIN_MS` (default 5 s) for live connections to
     /// finish on their own; past the deadline, cancel every in-flight
@@ -231,9 +351,15 @@ impl Server {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the blocking accept with a throwaway connection.
+        // Wake the blocking accepts with throwaway connections.
         let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
+        if let Some(t) = self.metrics_thread.take() {
             let _ = t.join();
         }
         let drain = env_ms("CVR_DRAIN_MS").unwrap_or(Duration::from_secs(5));
@@ -287,40 +413,88 @@ fn serve_connection(session: &Session, registry: &Arc<CancelRegistry>, mut strea
             }
             Err(_) => return, // read timeout or transport failure
         };
-        let response = match Request::decode(&payload) {
+        let (response, trace) = match Request::decode(&payload) {
             Ok(Request::Close) => return,
-            Ok(Request::Query(sql)) => {
-                let ctx = ctx_for(0);
-                let _reg = registry.register(0, ctx.clone());
-                answer_query(session, &sql, &ctx)
-            }
-            Ok(Request::QueryOpts { token, deadline_ms, sql }) => {
-                let ctx = ctx_for(deadline_ms);
-                let _reg = registry.register(token, ctx.clone());
-                answer_query(session, &sql, &ctx)
+            Ok(Request::Query(sql)) => answer_statement(session, registry, &sql, 0, 0, 0),
+            Ok(Request::QueryOpts { token, deadline_ms, flags, sql }) => {
+                answer_statement(session, registry, &sql, token, deadline_ms, flags)
             }
             Ok(Request::Cancel(token)) => {
-                Response::CancelAck { found: registry.cancel_token(token) }
+                (Response::CancelAck { found: registry.cancel_token(token) }, None)
             }
-            Ok(Request::Stats) => Response::Stats(StatsReport {
-                sched: session.scheduler().stats(),
-                cache: session.cache_stats(),
-            }),
-            Err(e) => Response::Error {
-                code: ERROR_CODE_MALFORMED,
-                message: format!("malformed request: {e}"),
-            },
+            Ok(Request::Stats) => (
+                Response::Stats(StatsReport {
+                    sched: session.scheduler().stats(),
+                    cache: session.cache_stats(),
+                    metrics: cvr_obs::global().samples(),
+                }),
+                None,
+            ),
+            Err(e) => (
+                Response::Error {
+                    code: ERROR_CODE_MALFORMED,
+                    message: format!("malformed request: {e}"),
+                },
+                None,
+            ),
         };
-        if send_response(&mut stream, &response).is_err() {
+        if let Response::Error { code, .. } = &response {
+            cvr_obs::counter(
+                &format!("cvr_server_errors_total{{code=\"{code}\"}}"),
+                "Error responses by stable code",
+            )
+            .inc();
+        }
+        if send_response(session, &mut stream, &response).is_err() {
             return;
         }
+        if let Some(trace) = trace {
+            if send_response(session, &mut stream, &trace).is_err() {
+                return;
+            }
+        }
     }
+}
+
+/// Execute one statement: build its [`QueryCtx`], attach a tracer when the
+/// request (or `CVR_TRACE=1`) asked for one, register for cancellation,
+/// run, and — iff the request set [`FLAG_TRACE`] — produce the `TRACE`
+/// frame that follows the response (empty when nothing was recorded, so
+/// the client always reads exactly two frames).
+fn answer_statement(
+    session: &Session,
+    registry: &Arc<CancelRegistry>,
+    sql: &str,
+    token: u64,
+    deadline_ms: u32,
+    flags: u8,
+) -> (Response, Option<Response>) {
+    let want_frame = flags & FLAG_TRACE != 0;
+    let ctx = ctx_for(deadline_ms);
+    let tracer = (want_frame || trace_all()).then(Tracer::new);
+    if let Some(t) = &tracer {
+        ctx.attach_tracer(t.clone());
+    }
+    let _reg = registry.register(token, ctx.clone());
+    let response = answer_query(session, sql, &ctx);
+    // Always drain the tracer (a forced-trace run must not leak spans into
+    // the next statement's ctx — each ctx is fresh, but the Arc is cheap
+    // to drain regardless); ship it only when asked.
+    let root = tracer.as_ref().and_then(|t| t.take_root());
+    let trace = want_frame.then(|| match root {
+        Some(r) => Response::Trace { text: r.render(0), json: r.to_json() },
+        None => Response::Trace { text: String::new(), json: String::new() },
+    });
+    (response, trace)
 }
 
 /// Ship one response frame, honouring the frame-truncation fault: when the
 /// fault fires, half the frame is written and the socket severed — the
 /// client sees a mid-frame EOF, exactly what a crashed peer looks like.
-fn send_response(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+/// The session's fault state is adopted for the duration of the write —
+/// the connection thread holds no ambient fault scope of its own.
+fn send_response(session: &Session, stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let _faults = fault::adopt_opt(session.faults());
     let payload = response.encode();
     if fault::take_frame_truncation() {
         let mut wire = Vec::with_capacity(4 + payload.len());

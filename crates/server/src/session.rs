@@ -20,16 +20,18 @@ use crate::parser::{self, ParseError, Statement};
 use cvr_core::ctx::catch_injected;
 use cvr_core::morsel::Parallelism;
 use cvr_core::sched::{self, Scheduler};
-use cvr_core::{ColumnEngine, QueryCtx, QueryError};
+use cvr_core::{ColumnEngine, QueryCtx, QueryError, SpanRecord, Tracer};
 use cvr_data::gen::SsbTables;
 use cvr_data::queries::{QueryId, SsbQuery};
 use cvr_data::result::QueryOutput;
 use cvr_data::value::DataType;
 use cvr_plan::{key, Catalog, PhysicalChoice, Plan, Planner};
 use cvr_row::designs::{RowDb, RowDesign};
+use cvr_storage::fault::{self, FaultState};
 use cvr_storage::io::{BufferPool, IoSession, IoStats};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
 
 /// A failure answering a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,6 +153,11 @@ pub struct Session {
     /// Test-only fault injection: `query` panics when the SQL contains
     /// this needle (see `inject_panic_on`).
     fault: Mutex<Option<String>>,
+    /// Per-session storage fault injection ([`Session::set_faults`]):
+    /// adopted by every statement this session runs and by the morsel
+    /// workers it spawns, isolated from other sessions and from the
+    /// `CVR_FAULT` process default.
+    faults: Mutex<Option<Arc<FaultState>>>,
 }
 
 /// Cache budget from `CVR_CACHE_BYTES` (default 64 MiB; `0` disables).
@@ -196,6 +203,7 @@ impl Session {
             plans: Mutex::new(HashMap::new()),
             store_version: 0,
             fault: Mutex::new(None),
+            faults: Mutex::new(None),
         }
     }
 
@@ -242,6 +250,26 @@ impl Session {
         &self.planner
     }
 
+    /// Arm per-session storage fault injection from a `CVR_FAULT`-style
+    /// spec (`"io:0.01,stall:0.05:10,seed:42"`); `None` disarms. Every
+    /// statement this session runs adopts the state for its duration —
+    /// including its morsel workers — so concurrent sessions (and tests)
+    /// inject faults independently, without a process-global install.
+    pub fn set_faults(&self, spec: Option<&str>) -> Result<(), String> {
+        let state = match spec {
+            Some(s) => Some(FaultState::from_spec(s)?),
+            None => None,
+        };
+        *self.faults.lock().unwrap_or_else(PoisonError::into_inner) = state;
+        Ok(())
+    }
+
+    /// The armed fault state, if any (the server adopts it around frame
+    /// writes so truncation faults hit the send path too).
+    pub fn faults(&self) -> Option<Arc<FaultState>> {
+        self.faults.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
     /// Parse and answer one SQL statement under an unbounded lifecycle.
     pub fn query(&self, sql: &str) -> Result<QueryResponse, SessionError> {
         self.query_ctx(sql, &QueryCtx::unbounded())
@@ -262,6 +290,10 @@ impl Session {
             Statement::Explain(q) => {
                 let plan = self.explain(&q);
                 let (text, json) = self.render_explain(&q, &plan);
+                Ok(QueryResponse::Explain { text, json })
+            }
+            Statement::ExplainAnalyze(q) => {
+                let (text, json) = self.explain_analyze(&q, ctx)?;
                 Ok(QueryResponse::Explain { text, json })
             }
         }
@@ -313,6 +345,41 @@ impl Session {
         (*self.plan_cached(q)).clone()
     }
 
+    /// `EXPLAIN ANALYZE`: execute `q` under a tracer, then zip the
+    /// planner's estimate tree with the measured span tree — `(text,
+    /// json)`, estimates and actuals side by side per operator.
+    ///
+    /// The result-cache *read* is bypassed (a hit executes no operators,
+    /// leaving nothing to measure); the execution itself is the ordinary
+    /// pipeline, so the actuals are exactly what a plain `SELECT` would
+    /// have measured, and the result still lands in the cache.
+    pub fn explain_analyze(
+        &self,
+        q: &SsbQuery,
+        ctx: &QueryCtx,
+    ) -> Result<(String, String), QueryError> {
+        ctx.attach_tracer(Tracer::new());
+        let tracer = ctx.tracer().expect("tracer attached above").clone();
+        let plan = self.plan_cached(q);
+        self.run_inner(q, ctx, true, false)?;
+        let root = tracer.take_root();
+        Ok(crate::analyze::render(&plan, root.as_ref()))
+    }
+
+    /// Execute a descriptor under a fresh tracer, returning the response
+    /// *and* the measured span tree. The response is byte-identical to
+    /// [`Session::run_ctx`] — spans observe, they never charge.
+    pub fn run_traced(
+        &self,
+        q: &SsbQuery,
+        ctx: &QueryCtx,
+    ) -> Result<(RowsResponse, Option<SpanRecord>), QueryError> {
+        ctx.attach_tracer(Tracer::new());
+        let tracer = ctx.tracer().expect("tracer attached above").clone();
+        let response = self.run_inner(q, ctx, true, true)?;
+        Ok((response, tracer.take_root()))
+    }
+
     /// Plan and execute a descriptor: the direct-descriptor path.
     ///
     /// `Session::query(sql)` is exactly `parse` + `run`, so a SQL-submitted
@@ -322,7 +389,7 @@ impl Session {
         // Unbounded and non-sheddable: this path keeps its infallible
         // signature, so the only failures it can see are injected faults —
         // re-raised as panics exactly like any other engine panic.
-        self.run_inner(q, &QueryCtx::unbounded(), false).unwrap_or_else(|e| {
+        self.run_inner(q, &QueryCtx::unbounded(), false, true).unwrap_or_else(|e| {
             std::panic::panic_any(e);
         })
     }
@@ -330,7 +397,7 @@ impl Session {
     /// [`Session::run`] under a [`QueryCtx`]: the fallible, sheddable form
     /// every network-submitted query goes through.
     pub fn run_ctx(&self, q: &SsbQuery, ctx: &QueryCtx) -> Result<RowsResponse, QueryError> {
-        self.run_inner(q, ctx, true)
+        self.run_inner(q, ctx, true, true)
     }
 
     fn run_inner(
@@ -338,21 +405,41 @@ impl Session {
         q: &SsbQuery,
         ctx: &QueryCtx,
         sheddable: bool,
+        read_result_cache: bool,
     ) -> Result<RowsResponse, QueryError> {
+        let started = Instant::now();
+        // Per-session fault injection follows the statement, not the
+        // thread: adopt for the duration (morsel workers re-adopt inside
+        // the fan-out).
+        let _faults = fault::adopt_opt(self.faults());
         let plan = self.plan_cached(q);
         let label = plan.choice.label();
         ctx.check()?;
 
         // Result-cache lookup happens before admission: a hit costs no
         // execution, so it should not wait behind executing queries.
+        // `EXPLAIN ANALYZE` skips the read (a hit leaves nothing to
+        // measure) but still writes, below.
         let result_key = self
             .cache
             .as_ref()
             .map(|_| key::descriptor_key(q, &label, &plan.fact_order, self.store_version));
-        if let (Some(cache), Some(rkey)) = (&self.cache, &result_key) {
-            if let Some(mut hit) = cache.get_result(rkey) {
-                hit.cached = true;
-                return Ok(hit);
+        if read_result_cache {
+            if let (Some(cache), Some(rkey)) = (&self.cache, &result_key) {
+                if let Some(mut hit) = cache.get_result(rkey) {
+                    hit.cached = true;
+                    if let Some(tracer) = ctx.tracer() {
+                        tracer.leaf(
+                            "result-cache",
+                            "hit",
+                            Some(hit.output.rows.len() as u64),
+                            started.elapsed(),
+                            IoStats::default(),
+                        );
+                    }
+                    observe_query(started);
+                    return Ok(hit);
+                }
             }
         }
 
@@ -362,6 +449,10 @@ impl Session {
         // deadline) or abandon its ticket while queued (cancelled).
         let _permit = if sheddable { self.sched.try_admit(ctx)? } else { self.sched.admit() };
         let io = IoSession::new(BufferPool::unbounded());
+        // Root span: the plan root's explain op (`column-plan` /
+        // `row-plan`), so EXPLAIN ANALYZE zips the root by name. A no-op
+        // when no tracer is attached.
+        let mut root_span = ctx.span(plan.explain.op, &label, &io);
         let output = match plan.choice {
             PhysicalChoice::Column(cfg) => self.run_column(q, cfg, &plan, &label, &io, ctx)?,
             PhysicalChoice::Row(design) => {
@@ -371,6 +462,8 @@ impl Session {
                 catch_injected(|| self.row_db(design).execute_planned(q, &plan.fact_order, &io))?
             }
         };
+        root_span.rows(output.rows.len() as u64);
+        drop(root_span);
         // Deliberately no post-execution `ctx.check()`: completed work
         // ships even when a cancel races the finish line.
         let response = RowsResponse {
@@ -384,6 +477,7 @@ impl Session {
         if let (Some(cache), Some(rkey)) = (&self.cache, result_key) {
             cache.put_result(rkey, &response);
         }
+        observe_query(started);
         Ok(response)
     }
 
@@ -438,6 +532,13 @@ impl Session {
             .or_insert_with(|| Arc::new(RowDb::build(self.tables.clone(), design)))
             .clone()
     }
+}
+
+/// Count one successfully answered statement in the process metrics.
+fn observe_query(started: Instant) {
+    cvr_obs::counter("cvr_queries_total", "Statements answered successfully").inc();
+    cvr_obs::latency("cvr_query_latency_us", "End-to-end statement latency")
+        .observe(started.elapsed().as_micros() as u64);
 }
 
 /// Splice `field` into a `Plan::to_json` object, before the closing brace.

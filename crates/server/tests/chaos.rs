@@ -8,9 +8,10 @@
 //! bytes identical to the pre-fault reference. Nothing leaks: scheduler
 //! gauges return to zero and aborted queries never populate the cache.
 //!
-//! Fault configuration is process-global (`cvr_storage::fault`), so every
-//! test serializes behind one mutex and disarms on scope exit — including
-//! the tests that inject nothing, which must not race an armed config.
+//! Fault configuration is **per-session** ([`Session::set_faults`]): each
+//! test arms its own session's handle, so the tests here run concurrently
+//! without a global lock, and two tests injecting different faults never
+//! see each other's — which is itself the isolation property under test.
 
 use cvr_core::morsel::Parallelism;
 use cvr_core::{QueryCtx, QueryError};
@@ -19,34 +20,9 @@ use cvr_data::queries::{all_queries, query, SsbQuery};
 use cvr_plan::PhysicalChoice;
 use cvr_server::protocol::{read_frame, Response};
 use cvr_server::{parser, serve, Client, ClientConfig, ClientError, Session};
-use cvr_storage::fault::{self, FaultConfig};
 use std::io::Write;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::Duration;
-
-/// Serializes every test in this binary: fault config is process state.
-static FAULT_LOCK: Mutex<()> = Mutex::new(());
-
-/// Hold the fault lock with `spec` armed (`""` = armed with nothing);
-/// dropping the scope disarms before the next test runs, even on panic.
-struct FaultScope {
-    _guard: MutexGuard<'static, ()>,
-}
-
-impl Drop for FaultScope {
-    fn drop(&mut self) {
-        fault::install(None);
-    }
-}
-
-fn faults(spec: &str) -> FaultScope {
-    let guard = FAULT_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
-    fault::install(None);
-    if !spec.is_empty() {
-        fault::install(Some(FaultConfig::parse(spec).expect("valid fault spec")));
-    }
-    FaultScope { _guard: guard }
-}
 
 fn tables(scale: f64) -> Arc<SsbTables> {
     Arc::new(SsbConfig::with_scale(scale).generate())
@@ -73,7 +49,6 @@ fn column_plan_query(session: &Session) -> SsbQuery {
 /// answers on the same connection.
 #[test]
 fn injected_io_faults_surface_as_typed_errors_then_clear() {
-    let _scope = faults("");
     let session = cold_session(tables(0.001), Parallelism::serial());
     let server = serve(session.clone(), "127.0.0.1:0").expect("bind");
     let mut client = Client::connect(server.addr()).expect("connect");
@@ -81,7 +56,7 @@ fn injected_io_faults_surface_as_typed_errors_then_clear() {
     let sql = parser::render_sql(&q);
     let reference = client.query(&sql).expect("reference").normalized().encode();
 
-    fault::install(Some(FaultConfig::parse("io:1.0").expect("spec")));
+    session.set_faults(Some("io:1.0")).expect("valid spec");
     match session.run_ctx(&q, &QueryCtx::unbounded()) {
         Err(QueryError::Io { detail }) => assert!(detail.contains("injected"), "{detail}"),
         other => panic!("expected Err(Io), got {other:?}"),
@@ -94,27 +69,50 @@ fn injected_io_faults_surface_as_typed_errors_then_clear() {
         other => panic!("expected ERROR, got {other:?}"),
     }
 
-    fault::install(None);
+    session.set_faults(None).expect("disarm");
     let healthy = client.query(&sql).expect("recovered").normalized().encode();
     assert_eq!(healthy, reference, "post-fault bytes must match the pre-fault reference");
     client.close().expect("close");
     server.shutdown();
 }
 
+/// Fault handles are session-scoped: a session armed with a certain-fire
+/// I/O fault never perturbs an unfaulted session running concurrently over
+/// the same tables — the isolation that lets this whole binary run without
+/// a global lock.
+#[test]
+fn fault_handles_do_not_leak_across_sessions() {
+    let tables = tables(0.001);
+    let faulted = cold_session(tables.clone(), Parallelism::serial());
+    let clean = cold_session(tables, Parallelism::serial());
+    let q = query(1, 1);
+    let reference = clean.run(&q);
+
+    faulted.set_faults(Some("io:1.0")).expect("valid spec");
+    assert!(matches!(faulted.run_ctx(&q, &QueryCtx::unbounded()), Err(QueryError::Io { .. })));
+    // The clean session, same thread, immediately after: unaffected.
+    let out = clean.run_ctx(&q, &QueryCtx::unbounded()).expect("clean session unaffected");
+    assert_eq!(out.output.to_bytes(), reference.output.to_bytes());
+    assert_eq!(out.io, reference.io);
+
+    // Invalid specs are rejected without disturbing the armed state.
+    assert!(faulted.set_faults(Some("bogus:nan")).is_err());
+    assert!(matches!(faulted.run_ctx(&q, &QueryCtx::unbounded()), Err(QueryError::Io { .. }),));
+}
+
 /// A worker panic inside the morsel pool is contained to an `ERROR` frame
 /// (code 99) on a connection that keeps serving once the fault clears.
 #[test]
 fn worker_panics_in_the_morsel_pool_become_error_frames() {
-    let _scope = faults("");
     let par = Parallelism { threads: 2, morsel_rows: 256 };
     let session = cold_session(tables(0.001), par);
     let q = column_plan_query(&session);
     let sql = parser::render_sql(&q);
-    let server = serve(session, "127.0.0.1:0").expect("bind");
+    let server = serve(session.clone(), "127.0.0.1:0").expect("bind");
     let mut client = Client::connect(server.addr()).expect("connect");
     let reference = client.query(&sql).expect("reference").normalized().encode();
 
-    fault::install(Some(FaultConfig::parse("panic:1.0").expect("spec")));
+    session.set_faults(Some("panic:1.0")).expect("valid spec");
     match client.query(&sql).expect("a crashed worker still produces a frame") {
         Response::Error { code, message } => {
             assert_eq!(code, cvr_server::server::ERROR_CODE_PANIC);
@@ -123,7 +121,7 @@ fn worker_panics_in_the_morsel_pool_become_error_frames() {
         other => panic!("expected ERROR, got {other:?}"),
     }
 
-    fault::install(None);
+    session.set_faults(None).expect("disarm");
     let healthy = client.query(&sql).expect("recovered").normalized().encode();
     assert_eq!(healthy, reference, "the worker pool must survive a contained panic");
     client.close().expect("close");
@@ -135,7 +133,6 @@ fn worker_panics_in_the_morsel_pool_become_error_frames() {
 /// identical query executes cold and matches the reference byte-for-byte.
 #[test]
 fn cancel_mid_run_leaves_the_scheduler_and_cache_clean() {
-    let _scope = faults("");
     let par = Parallelism { threads: 2, morsel_rows: 256 };
     let tables = tables(0.002);
     let session = Arc::new(Session::with_cache_budget(tables.clone(), par, 16 << 20));
@@ -147,7 +144,7 @@ fn cancel_mid_run_leaves_the_scheduler_and_cache_clean() {
 
     // Stall every morsel so the query is guaranteed to still be running
     // when the cancel lands.
-    fault::install(Some(FaultConfig::parse("stall:1.0:10").expect("spec")));
+    session.set_faults(Some("stall:1.0:10")).expect("valid spec");
     let ctx = QueryCtx::unbounded();
     let outcome = std::thread::scope(|s| {
         let worker = s.spawn(|| session.run_ctx(&q, &ctx));
@@ -161,7 +158,7 @@ fn cancel_mid_run_leaves_the_scheduler_and_cache_clean() {
     assert_eq!(stats.active, 0, "the aborted query must release its permit: {stats:?}");
     assert_eq!(stats.queue_depth, 0, "nothing may be left queued: {stats:?}");
 
-    fault::install(None);
+    session.set_faults(None).expect("disarm");
     let rerun = session.run_ctx(&q, &QueryCtx::unbounded()).expect("clean rerun");
     assert!(!rerun.cached, "the cancelled attempt must not have populated the cache");
     assert_eq!(rerun.output.to_bytes(), reference.output.to_bytes(), "bytes must match");
@@ -174,7 +171,6 @@ fn cancel_mid_run_leaves_the_scheduler_and_cache_clean() {
 /// stable wire codes), not a generic failure.
 #[test]
 fn deadlines_and_memory_budgets_abort_with_typed_errors() {
-    let _scope = faults("");
     let session = cold_session(tables(0.001), Parallelism::serial());
     let q = column_plan_query(&session);
 
@@ -208,16 +204,15 @@ fn deadlines_and_memory_budgets_abort_with_typed_errors() {
 /// serving.
 #[test]
 fn wire_cancel_aborts_a_stalled_query() {
-    let _scope = faults("");
     let par = Parallelism { threads: 2, morsel_rows: 256 };
     let session = cold_session(tables(0.002), par);
     let q = column_plan_query(&session);
     let sql = parser::render_sql(&q);
-    let server = serve(session, "127.0.0.1:0").expect("bind");
+    let server = serve(session.clone(), "127.0.0.1:0").expect("bind");
     let addr = server.addr();
     const TOKEN: u64 = 0xC0FFEE;
 
-    fault::install(Some(FaultConfig::parse("stall:1.0:10").expect("spec")));
+    session.set_faults(Some("stall:1.0:10")).expect("valid spec");
     let response = std::thread::scope(|s| {
         let runner = s.spawn(|| {
             let mut client = Client::connect(addr).expect("connect runner");
@@ -245,7 +240,7 @@ fn wire_cancel_aborts_a_stalled_query() {
         other => panic!("expected ERROR(cancelled), got {other:?}"),
     }
 
-    fault::install(None);
+    session.set_faults(None).expect("disarm");
     let mut client = Client::connect(addr).expect("reconnect");
     assert!(
         matches!(client.query(&sql).expect("healthy"), Response::Result(_)),
@@ -255,10 +250,10 @@ fn wire_cancel_aborts_a_stalled_query() {
     server.shutdown();
 }
 
-/// The STATS frame reports live scheduler counters and cache counters.
+/// The STATS frame reports live scheduler counters, cache counters, and
+/// the process metrics registry.
 #[test]
 fn stats_frames_report_scheduler_and_cache_counters() {
-    let _scope = faults("");
     let tables = tables(0.001);
     let session = Arc::new(Session::with_cache_budget(tables, Parallelism::serial(), 16 << 20));
     let admitted_before = session.scheduler().stats().admitted;
@@ -272,12 +267,22 @@ fn stats_frames_report_scheduler_and_cache_counters() {
     assert_eq!(report.sched.active, 0, "{:?}", report.sched);
     let cache = report.cache.expect("cache enabled for this session");
     assert!(cache.result_misses >= 1, "{cache:?}");
+    // The registry rides along: process-wide counters, sorted by name.
+    // (Values are process-global, so only presence and monotonicity are
+    // assertable here.)
+    let metric = |report: &cvr_server::StatsReport, name: &str| {
+        report.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    };
+    let queries = metric(&report, "cvr_queries_total").expect("query counter exported");
+    assert!(queries >= 1, "at least this test's query: {queries}");
+    assert!(metric(&report, "cvr_query_latency_us_count").is_some(), "histogram exported");
 
     // A repeat is served from the cache: hits move, admissions may not
     // (the lookup happens before admission).
     assert!(matches!(client.query(&sql).expect("warm"), Response::Result(_)));
-    let report = client.stats().expect("stats frame");
-    assert!(report.cache.expect("cache enabled").result_hits >= 1);
+    let report2 = client.stats().expect("stats frame");
+    assert!(report2.cache.expect("cache enabled").result_hits >= 1);
+    assert!(metric(&report2, "cvr_queries_total").expect("still exported") > queries);
     client.close().expect("close");
     server.shutdown();
 }
@@ -286,7 +291,6 @@ fn stats_frames_report_scheduler_and_cache_counters() {
 /// hangs up — never an opaque EOF, never an allocation.
 #[test]
 fn oversized_frames_get_a_structured_error_before_hangup() {
-    let _scope = faults("");
     let session = cold_session(tables(0.0005), Parallelism::serial());
     let server = serve(session, "127.0.0.1:0").expect("bind");
     let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
@@ -312,7 +316,6 @@ fn oversized_frames_get_a_structured_error_before_hangup() {
 /// error rather than blocking forever.
 #[test]
 fn client_read_timeout_surfaces_as_typed_timeout() {
-    let _scope = faults("");
     let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
     let addr = listener.local_addr().expect("addr");
     let hold = std::thread::spawn(move || {

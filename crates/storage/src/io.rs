@@ -104,6 +104,18 @@ impl IoStats {
         self.seeks += other.seeks;
         self.pool_hits += other.pool_hits;
     }
+
+    /// Traffic accrued since the `since` snapshot (saturating, so a stale
+    /// snapshot can never wrap). Used by tracing spans, which observe the
+    /// session's counters without ever charging them.
+    pub fn delta(&self, since: &IoStats) -> IoStats {
+        IoStats {
+            pages_read: self.pages_read.saturating_sub(since.pages_read),
+            bytes_read: self.bytes_read.saturating_sub(since.bytes_read),
+            seeks: self.seeks.saturating_sub(since.seeks),
+            pool_hits: self.pool_hits.saturating_sub(since.pool_hits),
+        }
+    }
 }
 
 /// A fixed-capacity buffer pool with CLOCK eviction.

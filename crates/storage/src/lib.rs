@@ -18,9 +18,11 @@
 //! * [`packed`] — lane-aligned bit-packed integer arrays ([`packed::PackedInts`]),
 //!   the real word image behind the packed encodings and the input format of
 //!   `cvr-core`'s word-parallel scan kernels.
-//! * [`fault`] — process-global deterministic fault injection (`CVR_FAULT`):
-//!   injected page-read failures, morsel panics/stalls, and frame
-//!   truncation, for the chaos harness. Off by default, one atomic load.
+//! * [`fault`] — deterministic fault injection: injected page-read
+//!   failures, morsel panics/stalls, and frame truncation, for the chaos
+//!   harness. Armed per handle ([`fault::FaultState`], adopted
+//!   thread-locally for a statement) or process-globally (`CVR_FAULT`).
+//!   Off by default, one atomic load.
 //!
 //! The crate is engine-agnostic: `cvr-row` and `cvr-core` build their
 //! physical designs out of these parts.
