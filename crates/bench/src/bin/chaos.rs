@@ -36,7 +36,7 @@ use cvr_plan::PhysicalChoice;
 use cvr_server::parser::render_sql;
 use cvr_server::protocol::Response;
 use cvr_server::{serve, Client, ClientConfig, RetryClient, Session};
-use cvr_storage::fault::{self, FaultConfig, InjectedFault};
+use cvr_storage::fault::{self, InjectedFault};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::net::SocketAddr;
@@ -140,8 +140,9 @@ fn main() {
     // Cache disabled and small morsels: every statement must *execute* (a
     // cache hit never reaches a fault site), and more morsel boundaries
     // mean more fault/cancellation windows.
+    let tables = args.tables();
     let par = Parallelism { threads: args.threads.max(2), morsel_rows: 1024 };
-    let session = Arc::new(Session::with_cache_budget(args.tables(), par, 0));
+    let session = Arc::new(Session::with_cache_budget(tables.clone(), par, 0));
     let server = serve(session.clone(), "127.0.0.1:0").expect("bind");
     let addr = server.addr();
 
@@ -169,13 +170,16 @@ fn main() {
     );
     eprintln!("# reference: {} distinct statements", sqls.len());
 
-    // Phase 1: the faulted workload.
-    let spec = FaultConfig::parse(&args.fault).expect("--fault spec");
+    // Phase 1: the faulted workload. Faults are armed per-session (every
+    // statement adopts them, including frame writes); arming also runs the
+    // multiplicative-semantics guardrail — an `io:P` whose expected fault
+    // count over a full fact scan exceeds ~0.5 draws a `cvr-obs` warning,
+    // since probabilities are per page touch, not per query.
     eprintln!(
         "# arming faults: {} ({} connections x {} statements)",
         args.fault, args.connections, args.statements
     );
-    fault::install(Some(spec));
+    session.set_faults(Some(&args.fault)).expect("--fault spec");
     let wall_start = Instant::now();
     let workers: Vec<_> = (0..args.connections)
         .map(|w| {
@@ -204,23 +208,32 @@ fn main() {
 
     // Phase 2: cancel probes under a deterministic stall — every morsel
     // sleeps, so the query is mid-run when the cancel lands and the
-    // cancel-to-ERROR latency is dominated by the poll interval.
-    fault::install(Some(FaultConfig::parse("stall:1.0:3").expect("stall spec")));
+    // cancel-to-ERROR latency is dominated by the poll interval. The probe
+    // server forces GIANT morsels (far past the 16 k default): without the
+    // morsel-size cap and the in-scan cancellation polls, a single morsel
+    // would run to completion and the cancel latency would be unbounded.
+    const GIANT_MORSEL_ROWS: u32 = 1 << 22;
+    session.set_faults(None).expect("disarm");
+    let probe_par = Parallelism { threads: 2, morsel_rows: GIANT_MORSEL_ROWS };
+    let probe_session = Arc::new(Session::with_cache_budget(tables.clone(), probe_par, 0));
+    probe_session.set_faults(Some("stall:1.0:3")).expect("stall spec");
+    let probe_server = serve(probe_session.clone(), "127.0.0.1:0").expect("bind probe");
+    let probe_addr = probe_server.addr();
     let cancel_sql = {
         let q = all_queries()
             .into_iter()
-            .find(|q| matches!(session.explain(q).choice, PhysicalChoice::Column(_)))
+            .find(|q| matches!(probe_session.explain(q).choice, PhysicalChoice::Column(_)))
             .expect("a column-plan paper query");
         render_sql(&q)
     };
     let mut cancel_lat: Vec<Duration> = Vec::new();
     let mut cancels_missed = 0usize;
-    let mut canceller = Client::connect(addr).expect("connect canceller");
+    let mut canceller = Client::connect(probe_addr).expect("connect canceller");
     for probe in 0..args.cancels {
         let token = 0xCA0 + probe as u64 + 1;
         let sql = cancel_sql.clone();
         let runner = std::thread::spawn(move || {
-            let mut client = Client::connect(addr).expect("connect runner");
+            let mut client = Client::connect(probe_addr).expect("connect runner");
             let resp = client.query_opts(&sql, token, 0).expect("probe answers");
             (resp, Instant::now())
         });
@@ -259,9 +272,10 @@ fn main() {
         }
     }
     canceller.close().expect("close");
+    probe_server.shutdown();
 
     // Phase 3: recovery — faults cleared, every statement byte-identical.
-    fault::install(None);
+    session.set_faults(None).expect("disarm");
     let mut recovered = Client::connect(addr).expect("reconnect");
     for sql in sqls.iter() {
         let resp = recovered.query(sql).expect("recovery query");
@@ -289,7 +303,7 @@ fn main() {
     println!("gave up:          {gave_up}");
     println!("injected retries: {injected_retries}");
     println!(
-        "cancel samples:   {}/{} ({cancels_missed} outran the cancel)",
+        "cancel samples:   {}/{} ({cancels_missed} outran the cancel, {GIANT_MORSEL_ROWS}-row morsels forced)",
         cancel_lat.len(),
         args.cancels
     );
@@ -314,6 +328,7 @@ fn main() {
     let _ = writeln!(json, "  \"gave_up\": {gave_up},");
     let _ = writeln!(json, "  \"injected_retries\": {injected_retries},");
     let _ = writeln!(json, "  \"cancel_probes\": {},", args.cancels);
+    let _ = writeln!(json, "  \"cancel_morsel_rows\": {GIANT_MORSEL_ROWS},");
     let _ = writeln!(json, "  \"cancel_samples\": {},", cancel_lat.len());
     let _ = writeln!(json, "  \"cancel_p50_ms\": {:.4},", cancel_p50.as_secs_f64() * 1e3);
     let _ = writeln!(json, "  \"cancel_p99_ms\": {:.4},", cancel_p99.as_secs_f64() * 1e3);

@@ -1,0 +1,497 @@
+//! Durability harness: crash/torn-write/bit-flip trials against the
+//! `cvr-storage::persist` snapshot protocol, plus a full restart check
+//! through the server session's `CVR_DATA_DIR` auto-load path.
+//!
+//! Every trial starts from a directory holding one *clean* committed
+//! generation, then attacks the next snapshot write with one fault class:
+//!
+//! * **torn** — every durable file write is cut short (the disk acked a
+//!   partial write); the write path reports success, the loader's CRCs
+//!   must refuse the generation and fall back.
+//! * **flip** — one bit of every written image is flipped (silent media
+//!   corruption); same contract.
+//! * **fsync** — fsync reports failure; the write path must abort *before*
+//!   the commit rename, leaving the previous generation intact.
+//! * **crash:LABEL** — a sacrificial child process re-execs this binary and
+//!   `std::process::abort()`s at a precise point in the snapshot protocol
+//!   (`persist:pre-rename`, `persist:mid-segments`, `persist:pre-manifest`,
+//!   `persist:pre-dirsync`, `persist:post-commit`).
+//! * **kill** — a child process writes snapshots in a loop and receives a
+//!   real `SIGKILL` mid-stream.
+//!
+//! After the attack the parent runs recovery (`persist::load_latest`),
+//! builds a session over whatever loaded, and verifies all 13 paper
+//! queries **byte-identical** — outputs and IoStats — against the
+//! pre-crash reference. Gates (exit 1): every injected corruption detected
+//! (typed error or previous-generation fallback), zero silently-wrong
+//! answers, zero recovery failures, and a post-`kill -9` restart through
+//! `CVR_DATA_DIR` auto-load that answers all 13 queries identically from a
+//! *differently seeded* process. A watchdog exits 2 on hang. Writes
+//! `BENCH_crash.json`.
+//!
+//! ```text
+//! cargo run --release -p cvr-bench --bin crash -- --sf 0.005
+//! cargo run --release -p cvr-bench --bin crash -- --sf 0.005 --trials 80
+//! ```
+
+use cvr_bench::HarnessArgs;
+use cvr_core::morsel::Parallelism;
+use cvr_data::gen::{SsbConfig, SsbTables};
+use cvr_data::queries::all_queries;
+use cvr_server::Session;
+use cvr_storage::fault::{self, FaultState};
+use cvr_storage::io::IoStats;
+use cvr_storage::persist::{self, crc64};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+static DONE: AtomicBool = AtomicBool::new(false);
+
+/// Crash-point labels inside the snapshot protocol, in write order.
+const CRASH_LABELS: [&str; 5] = [
+    "persist:pre-rename",
+    "persist:mid-segments",
+    "persist:pre-manifest",
+    "persist:pre-dirsync",
+    "persist:post-commit",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Kind {
+    Torn,
+    Flip,
+    Fsync,
+    Crash(&'static str),
+    Kill,
+}
+
+impl Kind {
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Torn => "torn",
+            Kind::Flip => "flip",
+            Kind::Fsync => "fsync",
+            Kind::Crash(_) => "crash",
+            Kind::Kill => "kill",
+        }
+    }
+}
+
+/// One query's byte-identity reference: output image and I/O accounting.
+struct Reference {
+    id: String,
+    output: Vec<u8>,
+    io: IoStats,
+}
+
+/// What one trial produced.
+struct Outcome {
+    /// The damaged/incomplete generation never served (fallback, typed
+    /// error, or — `post-commit`/`kill` — there was nothing to detect).
+    detected: bool,
+    /// `load_latest` succeeded and all 13 queries matched the reference.
+    recovered: bool,
+    /// Recovery *answered* but diverged — the one unforgivable outcome.
+    silent_wrong: bool,
+    /// Newer generations the loader validated and skipped.
+    fallbacks: u32,
+    /// Faults the in-process fault state actually injected.
+    injected: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Child roles (re-exec targets). The parent spawns `current_exe()` with
+// `CVR_CRASH_ROLE` set; a child never parses harness flags.
+// ---------------------------------------------------------------------------
+
+fn child_env(name: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| panic!("child missing {name}"))
+}
+
+/// `CVR_CRASH_ROLE=snapshot`: write snapshots until done or killed.
+/// `CVR_FAULT=crash:LABEL` (installed from the environment) turns a write
+/// into an abort at that protocol point.
+fn child_snapshot() -> ! {
+    fault::install_from_env();
+    let dir = PathBuf::from(child_env("CVR_CRASH_DIR"));
+    let sf: f64 = child_env("CVR_CRASH_SF").parse().expect("CVR_CRASH_SF");
+    let seed: u64 = child_env("CVR_CRASH_SEED").parse().expect("CVR_CRASH_SEED");
+    let loops: usize =
+        std::env::var("CVR_CRASH_LOOPS").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let tables = SsbConfig { sf, seed }.generate();
+    for _ in 0..loops {
+        if let Err(e) = persist::write_snapshot(&dir, &tables) {
+            eprintln!("child snapshot failed: {e}");
+            std::process::exit(3);
+        }
+    }
+    std::process::exit(0);
+}
+
+/// `CVR_CRASH_ROLE=verify`: a fresh process "restart". The session is built
+/// over *differently seeded* generated tables, so matching answers prove the
+/// `CVR_DATA_DIR` auto-load actually served the durable store.
+fn child_verify() -> ! {
+    let sf: f64 = child_env("CVR_CRASH_SF").parse().expect("CVR_CRASH_SF");
+    let seed: u64 = child_env("CVR_CRASH_SEED").parse().expect("CVR_CRASH_SEED");
+    let tables = Arc::new(SsbConfig { sf, seed: seed ^ 0xDEAD }.generate());
+    let session = Session::with_cache_budget(tables, Parallelism::serial(), 0);
+    println!("STORE_VERSION\t{}", session.store_version());
+    for q in all_queries() {
+        let r = session.run(&q);
+        println!(
+            "{}\t{:016x}\t{:016x}",
+            q.id,
+            crc64(&r.output.to_bytes()),
+            crc64(format!("{:?}", r.io).as_bytes())
+        );
+    }
+    std::process::exit(0);
+}
+
+fn spawn_child(
+    role: &str,
+    dir: &Path,
+    sf: f64,
+    seed: u64,
+    extra: &[(&str, String)],
+) -> std::process::Child {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.env("CVR_CRASH_ROLE", role)
+        .env("CVR_CRASH_DIR", dir)
+        .env("CVR_CRASH_SF", format!("{sf}"))
+        .env("CVR_CRASH_SEED", format!("{seed}"))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    for (k, v) in extra {
+        cmd.env(k, v);
+    }
+    cmd.spawn().expect("spawn child")
+}
+
+// ---------------------------------------------------------------------------
+// Parent harness.
+// ---------------------------------------------------------------------------
+
+/// Run the 13 paper queries over `tables` and compare against `reference`.
+/// Returns the number of divergent queries (output bytes or IoStats).
+fn verify_queries(tables: SsbTables, reference: &[Reference]) -> usize {
+    let session = Session::with_cache_budget(Arc::new(tables), Parallelism::serial(), 0);
+    all_queries()
+        .iter()
+        .zip(reference)
+        .filter(|(q, want)| {
+            let got = session.run(q);
+            got.output.to_bytes() != want.output || got.io != want.io
+        })
+        .count()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_trial(
+    i: usize,
+    kind: Kind,
+    base: &Path,
+    tables: &SsbTables,
+    reference: &[Reference],
+    sf: f64,
+    seed: u64,
+) -> Outcome {
+    let dir = base.join(format!("t{i:03}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let clean = persist::write_snapshot(&dir, tables).expect("clean snapshot");
+    assert_eq!(clean.generation, 1, "trial dirs start fresh");
+
+    let (mut write_err, mut crash_aborted) = (false, false);
+    let injected: u64;
+    match kind {
+        Kind::Torn | Kind::Flip | Kind::Fsync => {
+            let spec = format!("{}:1.0,seed:{}", kind.name(), 7000 + i);
+            let state = FaultState::from_spec(&spec).expect("fault spec");
+            let scope = fault::adopt(state.clone());
+            write_err = persist::write_snapshot(&dir, tables).is_err();
+            drop(scope);
+            injected = state.injected_total();
+        }
+        Kind::Crash(label) => {
+            let extra = [("CVR_FAULT", format!("crash:{label}"))];
+            let status =
+                spawn_child("snapshot", &dir, sf, seed, &extra).wait().expect("wait crash child");
+            crash_aborted = !status.success();
+            injected = u64::from(crash_aborted);
+        }
+        Kind::Kill => {
+            let extra = [("CVR_CRASH_LOOPS", "64".to_string())];
+            let mut child = spawn_child("snapshot", &dir, sf, seed, &extra);
+            std::thread::sleep(Duration::from_millis(2 + (i as u64 * 5) % 29));
+            let _ = child.kill();
+            let _ = child.wait();
+            injected = 1;
+        }
+    }
+
+    let (recovered, silent_wrong, fallbacks, loaded_gen) = match persist::load_latest(&dir) {
+        Ok((loaded, report)) => {
+            let diverged = verify_queries(loaded, reference);
+            (diverged == 0, diverged > 0, report.fallbacks, report.generation)
+        }
+        Err(e) => {
+            // A clean generation 1 exists in every trial dir: failing to
+            // load *anything* is a recovery failure, even though typed.
+            eprintln!("trial {i} ({}): recovery failed: {e}", kind.name());
+            (false, false, 0, 0)
+        }
+    };
+
+    // "Detected" = the damaged or uncommitted generation never served.
+    let detected = match kind {
+        Kind::Torn | Kind::Flip => injected > 0 && loaded_gen == 1,
+        Kind::Fsync => write_err && loaded_gen == 1,
+        Kind::Crash("persist:post-commit") => crash_aborted && loaded_gen == 2 && recovered,
+        // After the manifest rename the commit is visible on a live
+        // filesystem; the pending dir-fsync only decides whether it survives
+        // a real power loss. Either generation is a correct recovery.
+        Kind::Crash("persist:pre-dirsync") => crash_aborted && loaded_gen >= 1 && recovered,
+        Kind::Crash(_) => crash_aborted && loaded_gen == 1,
+        Kind::Kill => recovered && !silent_wrong,
+    };
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Outcome { detected, recovered, silent_wrong, fallbacks, injected }
+}
+
+fn main() {
+    match std::env::var("CVR_CRASH_ROLE").as_deref() {
+        Ok("snapshot") => child_snapshot(),
+        Ok("verify") => child_verify(),
+        Ok(other) => panic!("unknown CVR_CRASH_ROLE {other:?}"),
+        Err(_) => {}
+    }
+
+    let args = HarnessArgs::parse();
+    let watchdog_secs = args.watchdog.max(1);
+    std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(watchdog_secs);
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(250));
+            if DONE.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+        eprintln!("FAIL: watchdog fired after {watchdog_secs}s — the crash run hung");
+        std::process::exit(2);
+    });
+
+    let wall_start = Instant::now();
+    let (user_dir, base) = match &args.data_dir {
+        Some(d) => (true, PathBuf::from(d)),
+        None => (false, std::env::temp_dir().join(format!("cvr-crash-{}", std::process::id()))),
+    };
+    std::fs::create_dir_all(&base).expect("create data dir");
+
+    eprintln!("# generating tables + serial reference (sf {}) ...", args.sf);
+    let tables = SsbConfig { sf: args.sf, seed: args.seed }.generate();
+    let reference: Vec<Reference> = {
+        let session =
+            Session::with_cache_budget(Arc::new(tables.clone()), Parallelism::serial(), 0);
+        all_queries()
+            .iter()
+            .map(|q| {
+                let r = session.run(q);
+                Reference { id: q.id.to_string(), output: r.output.to_bytes(), io: r.io }
+            })
+            .collect()
+    };
+
+    // Trial plan: a repeating mix that keeps torn/flip (the pure-detection
+    // classes) in the majority while cycling every crash label and landing
+    // real SIGKILLs. The --trials floor for acceptance runs is 50.
+    let mut kinds = Vec::with_capacity(args.trials);
+    let mut label = 0usize;
+    while kinds.len() < args.trials {
+        for k in [
+            Kind::Torn,
+            Kind::Flip,
+            Kind::Crash(CRASH_LABELS[label % CRASH_LABELS.len()]),
+            Kind::Torn,
+            Kind::Flip,
+            Kind::Kill,
+            Kind::Fsync,
+        ] {
+            if kinds.len() < args.trials {
+                if matches!(k, Kind::Crash(_)) {
+                    label += 1;
+                }
+                kinds.push(k);
+            }
+        }
+    }
+
+    let (mut detected, mut undetected, mut silent_wrong, mut recovery_failures) = (0, 0, 0, 0);
+    let (mut fallback_loads, mut injected_total) = (0u64, 0u64);
+    let mut per_kind: std::collections::BTreeMap<&str, (usize, usize)> = Default::default();
+    for (i, kind) in kinds.iter().enumerate() {
+        let o = run_trial(i, *kind, &base, &tables, &reference, args.sf, args.seed);
+        let slot = per_kind.entry(kind.name()).or_default();
+        slot.0 += 1;
+        if o.detected {
+            slot.1 += 1;
+            detected += 1;
+        } else {
+            undetected += 1;
+            eprintln!("FAIL: trial {i} ({}) corruption was not detected", kind.name());
+        }
+        silent_wrong += usize::from(o.silent_wrong);
+        recovery_failures += usize::from(!o.recovered);
+        fallback_loads += u64::from(o.fallbacks);
+        injected_total += o.injected;
+        if (i + 1) % 10 == 0 {
+            eprintln!("# {}/{} trials ({detected} detected)", i + 1, kinds.len());
+        }
+    }
+
+    // Generation hygiene: prune keeps the newest K generations loadable.
+    let prune_dir = base.join("prune");
+    let _ = std::fs::remove_dir_all(&prune_dir);
+    for _ in 0..6 {
+        persist::write_snapshot(&prune_dir, &tables).expect("prune snapshot");
+    }
+    persist::prune(&prune_dir, 3).expect("prune");
+    let gens = persist::generations(&prune_dir).expect("generations");
+    let prune_ok = gens == vec![4, 5, 6]
+        && persist::load_latest(&prune_dir).map(|(_, r)| r.generation) == Ok(6);
+    let _ = std::fs::remove_dir_all(&prune_dir);
+
+    // Restart verification: SNAPSHOT through the session entry point, kill a
+    // mid-write child on top, then a *fresh process* recovers via the
+    // `CVR_DATA_DIR` auto-load and must answer all 13 queries identically —
+    // its own generated tables are differently seeded on purpose.
+    eprintln!("# restart verification through CVR_DATA_DIR auto-load ...");
+    let e2e_dir = base.join("restart");
+    let _ = std::fs::remove_dir_all(&e2e_dir);
+    let session = Session::with_cache_budget(Arc::new(tables.clone()), Parallelism::serial(), 0);
+    session.set_data_dir(Some(e2e_dir.clone()));
+    session.query("SNAPSHOT").expect("session snapshot");
+    let mut churn = spawn_child(
+        "snapshot",
+        &e2e_dir,
+        args.sf,
+        args.seed,
+        &[("CVR_CRASH_LOOPS", "64".to_string())],
+    );
+    std::thread::sleep(Duration::from_millis(9));
+    let _ = churn.kill();
+    let _ = churn.wait();
+    let out = spawn_child(
+        "verify",
+        &e2e_dir,
+        args.sf,
+        args.seed,
+        &[("CVR_DATA_DIR", e2e_dir.display().to_string())],
+    )
+    .wait_with_output()
+    .expect("verify child");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut restart_matches = 0usize;
+    let mut restart_version = 0u64;
+    for line in stdout.lines() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.as_slice() {
+            ["STORE_VERSION", v] => restart_version = v.parse().unwrap_or(0),
+            [id, out_crc, io_crc] => {
+                if let Some(want) = reference.iter().find(|r| r.id == *id) {
+                    let out_ok = format!("{:016x}", crc64(&want.output)) == *out_crc;
+                    let io_ok =
+                        format!("{:016x}", crc64(format!("{:?}", want.io).as_bytes())) == *io_crc;
+                    restart_matches += usize::from(out_ok && io_ok);
+                }
+            }
+            _ => {}
+        }
+    }
+    let restart_ok =
+        out.status.success() && restart_matches == reference.len() && restart_version > 0;
+    let _ = std::fs::remove_dir_all(&e2e_dir);
+    if !user_dir {
+        let _ = std::fs::remove_dir_all(&base);
+    }
+    DONE.store(true, Ordering::Relaxed);
+    let wall = wall_start.elapsed();
+
+    println!("\nCrash harness (sf {})", args.sf);
+    println!("========================\n");
+    println!("trials:            {}", kinds.len());
+    for (name, (total, det)) in &per_kind {
+        println!("  {name:<8} {det}/{total} detected/recovered");
+    }
+    println!("faults injected:   {injected_total}");
+    println!("fallback loads:    {fallback_loads}");
+    println!("detected:          {detected}/{}", kinds.len());
+    println!("silently wrong:    {silent_wrong}");
+    println!("recovery failures: {recovery_failures}");
+    println!("prune check:       {}", if prune_ok { "ok" } else { "FAILED" });
+    println!(
+        "restart check:     {} ({restart_matches}/{} queries, store version {restart_version})",
+        if restart_ok { "ok" } else { "FAILED" },
+        reference.len()
+    );
+    println!("wall:              {:.2}s", wall.as_secs_f64());
+
+    let mut json = String::from("{\n  \"bench\": \"crash\",\n");
+    let _ = writeln!(json, "  \"sf\": {},", args.sf);
+    let _ = writeln!(json, "  \"seed\": {},", args.seed);
+    let _ = writeln!(json, "  \"trials\": {},", kinds.len());
+    for (name, (total, det)) in &per_kind {
+        let _ = writeln!(json, "  \"trials_{name}\": {total},");
+        let _ = writeln!(json, "  \"detected_{name}\": {det},");
+    }
+    let _ = writeln!(json, "  \"faults_injected\": {injected_total},");
+    let _ = writeln!(json, "  \"fallback_loads\": {fallback_loads},");
+    let _ = writeln!(json, "  \"detected\": {detected},");
+    let _ = writeln!(json, "  \"undetected\": {undetected},");
+    let _ = writeln!(json, "  \"silently_wrong\": {silent_wrong},");
+    let _ = writeln!(json, "  \"recovery_failures\": {recovery_failures},");
+    let _ = writeln!(json, "  \"prune_ok\": {prune_ok},");
+    let _ = writeln!(json, "  \"restart_ok\": {restart_ok},");
+    let _ = writeln!(json, "  \"restart_queries_matched\": {restart_matches},");
+    let _ = writeln!(json, "  \"restart_store_version\": {restart_version},");
+    let _ = writeln!(json, "  \"wall_seconds\": {:.6}", wall.as_secs_f64());
+    json.push_str("}\n");
+    std::fs::write("BENCH_crash.json", &json).expect("write BENCH_crash.json");
+    eprintln!("\n# wrote BENCH_crash.json");
+
+    let mut failed = false;
+    if undetected > 0 {
+        eprintln!("FAIL: {undetected} injected corruptions went undetected");
+        failed = true;
+    }
+    if silent_wrong > 0 {
+        eprintln!(
+            "FAIL: {silent_wrong} recoveries answered silently wrong — the one forbidden outcome"
+        );
+        failed = true;
+    }
+    if recovery_failures > 0 {
+        eprintln!("FAIL: {recovery_failures} trials failed to recover any generation");
+        failed = true;
+    }
+    if !prune_ok {
+        eprintln!("FAIL: prune left the directory unloadable or kept the wrong generations");
+        failed = true;
+    }
+    if !restart_ok {
+        eprintln!("FAIL: post-kill restart did not recover byte-identically via CVR_DATA_DIR");
+        failed = true;
+    }
+    if kinds.len() < 50 {
+        eprintln!("note: {} trials is below the 50-trial acceptance floor", kinds.len());
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -54,6 +54,13 @@ pub enum QueryError {
         /// Description of the failed operation.
         detail: String,
     },
+    /// On-disk snapshot data failed checksum or codec validation; not
+    /// retryable — the bytes will not get better. Corrupt data is never
+    /// partially decoded.
+    Corrupt {
+        /// What failed to validate.
+        detail: String,
+    },
 }
 
 impl QueryError {
@@ -67,6 +74,8 @@ impl QueryError {
     pub const CODE_SHED: u16 = 103;
     /// Wire code for [`QueryError::Io`].
     pub const CODE_IO: u16 = 104;
+    /// Wire code for [`QueryError::Corrupt`].
+    pub const CODE_CORRUPT: u16 = 105;
 
     /// The stable wire code carried in an ERROR frame.
     pub fn code(&self) -> u16 {
@@ -76,6 +85,7 @@ impl QueryError {
             QueryError::MemoryBudgetExceeded { .. } => Self::CODE_MEMORY,
             QueryError::Shed { .. } => Self::CODE_SHED,
             QueryError::Io { .. } => Self::CODE_IO,
+            QueryError::Corrupt { .. } => Self::CODE_CORRUPT,
         }
     }
 
@@ -102,6 +112,7 @@ impl fmt::Display for QueryError {
             }
             QueryError::Shed { reason } => write!(f, "query shed: {reason}"),
             QueryError::Io { detail } => write!(f, "I/O error: {detail}"),
+            QueryError::Corrupt { detail } => write!(f, "corrupt store: {detail}"),
         }
     }
 }
@@ -230,6 +241,56 @@ impl QueryCtx {
     }
 }
 
+thread_local! {
+    /// Contexts adopted for *intra-scan* cancellation polling on this
+    /// thread. Morsel workers push the query's context here so the scan
+    /// drivers — which take no context parameter — can still observe
+    /// cancellation inside a single oversized morsel. A stack (not a slot)
+    /// so nested executions compose.
+    static SCAN_WATCH: std::cell::RefCell<Vec<QueryCtx>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for a scan-watch adoption; see [`watch_scans`].
+pub struct ScanWatch {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ScanWatch {
+    fn drop(&mut self) {
+        SCAN_WATCH.with(|w| {
+            w.borrow_mut().pop();
+        });
+    }
+}
+
+/// Adopt `ctx` for intra-scan polling on the current thread until the
+/// returned guard drops. While active, scan drivers chunk long ranges and
+/// call [`poll_scan_watch`] between chunks, bounding cancellation latency
+/// even when a single morsel covers millions of rows.
+pub fn watch_scans(ctx: &QueryCtx) -> ScanWatch {
+    SCAN_WATCH.with(|w| w.borrow_mut().push(ctx.clone()));
+    ScanWatch { _not_send: std::marker::PhantomData }
+}
+
+/// Whether a scan watch is active on this thread (scan drivers use this to
+/// skip chunking entirely on unwatched paths).
+pub fn scan_watch_active() -> bool {
+    SCAN_WATCH.with(|w| !w.borrow().is_empty())
+}
+
+/// Poll the innermost watched context. On cancellation or deadline expiry
+/// this panics with the [`QueryError`] as payload — the same transport the
+/// storage fault hooks use — which the morsel boundary (or
+/// [`catch_injected`]) converts back into a typed error. No-op when no
+/// watch is active.
+pub fn poll_scan_watch() {
+    let err = SCAN_WATCH.with(|w| w.borrow().last().and_then(|ctx| ctx.check().err()));
+    if let Some(err) = err {
+        std::panic::panic_any(err);
+    }
+}
+
 /// Run `f`, containing panics that are really transported [`QueryError`]s:
 /// an [`InjectedFault`](cvr_storage::fault::InjectedFault) payload (raised
 /// at the storage choke point, below any `Result` plumbing) becomes
@@ -307,14 +368,33 @@ mod tests {
     }
 
     #[test]
+    fn scan_watch_polls_the_adopted_context() {
+        assert!(!scan_watch_active());
+        poll_scan_watch(); // no-op without a watch
+        let ctx = QueryCtx::unbounded();
+        {
+            let _watch = watch_scans(&ctx);
+            assert!(scan_watch_active());
+            poll_scan_watch(); // healthy context: no panic
+            ctx.cancel();
+            let got = catch_injected(poll_scan_watch);
+            assert_eq!(got, Err(QueryError::Cancelled));
+        }
+        assert!(!scan_watch_active());
+    }
+
+    #[test]
     fn wire_codes_and_retryability_are_stable() {
         assert_eq!(QueryError::Cancelled.code(), 100);
         assert_eq!(QueryError::DeadlineExceeded { elapsed_ms: 1 }.code(), 101);
         assert_eq!(QueryError::Shed { reason: "q".into() }.code(), 103);
         assert_eq!(QueryError::Io { detail: "x".into() }.code(), 104);
+        assert_eq!(QueryError::Corrupt { detail: "c".into() }.code(), 105);
         assert!(QueryError::Shed { reason: "q".into() }.retryable());
         assert!(QueryError::retryable_code(104));
         assert!(!QueryError::retryable_code(100));
+        assert!(!QueryError::retryable_code(105));
         assert!(!QueryError::Cancelled.retryable());
+        assert!(!QueryError::Corrupt { detail: "c".into() }.retryable());
     }
 }

@@ -36,6 +36,25 @@ pub const DEFAULT_MORSEL_ROWS: u32 = 16_384;
 /// Smallest morsel [`run_morsels`] will auto-shrink to.
 const MIN_MORSEL_ROWS: u32 = 256;
 
+/// Default hard ceiling on morsel size in rows (1 Mi positions). Bounds the
+/// worst case work between morsel-boundary cancellation polls; the scan
+/// drivers add intra-morsel polls every [`crate::scan::SCAN_POLL_ROWS`]
+/// rows on top.
+pub const DEFAULT_MORSEL_MAX: u32 = 1 << 20;
+
+/// The process-wide morsel ceiling: `CVR_MORSEL_MAX` (clamped to
+/// `[64, 1<<26]`, rounded up to a whole mask word) or
+/// [`DEFAULT_MORSEL_MAX`]. Cached after the first call.
+pub fn morsel_max() -> u32 {
+    static MAX: OnceLock<u32> = OnceLock::new();
+    *MAX.get_or_init(|| {
+        match std::env::var("CVR_MORSEL_MAX").ok().and_then(|v| v.parse::<u32>().ok()) {
+            Some(n) if n >= 1 => n.clamp(64, 1 << 26).div_ceil(64) * 64,
+            _ => DEFAULT_MORSEL_MAX,
+        }
+    })
+}
+
 /// Degree of parallelism for one query execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Parallelism {
@@ -58,16 +77,25 @@ impl Parallelism {
     }
 
     /// The process default: `CVR_THREADS` when set (and ≥ 1), otherwise the
-    /// machine's available parallelism. Cached after the first call.
+    /// machine's available parallelism; morsel size from `CVR_MORSEL_ROWS`
+    /// when set (the chaos harnesses use it to force oversized morsels),
+    /// otherwise [`DEFAULT_MORSEL_ROWS`]. Cached after the first call.
     pub fn from_env() -> Parallelism {
         static THREADS: OnceLock<usize> = OnceLock::new();
+        static MORSEL_ROWS: OnceLock<u32> = OnceLock::new();
         let threads = *THREADS.get_or_init(|| {
             match std::env::var("CVR_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => n,
                 _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
             }
         });
-        Parallelism::with_threads(threads)
+        let morsel_rows = *MORSEL_ROWS.get_or_init(|| {
+            match std::env::var("CVR_MORSEL_ROWS").ok().and_then(|v| v.parse::<u32>().ok()) {
+                Some(n) if n >= 1 => n.min(1 << 26),
+                _ => DEFAULT_MORSEL_ROWS,
+            }
+        });
+        Parallelism { threads: threads.max(1), morsel_rows }
     }
 
     /// True when this configuration takes the serial path.
@@ -148,10 +176,14 @@ pub fn try_run_morsels<T: Send>(
             *slot = Some(abort);
         }
     };
-    // One morsel, panic-contained. `Err(())` means "stop claiming".
+    // One morsel, panic-contained. `Err(())` means "stop claiming". The
+    // query context is adopted as this thread's scan watch for the duration
+    // of the morsel, so oversized scans poll cancellation *inside* the
+    // morsel too (a QueryError panic payload transports the abort here).
     let run_one = |out: &mut Vec<(usize, T)>, i: usize| -> Result<(), ()> {
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             cvr_storage::fault::before_morsel();
+            let _watch = crate::ctx::watch_scans(ctx);
             task(i, range_of(i))
         }));
         match attempt {
@@ -166,7 +198,10 @@ pub fn try_run_morsels<T: Send>(
             Err(payload) => {
                 fail(match payload.downcast::<cvr_storage::fault::InjectedFault>() {
                     Ok(f) => Abort::Error(QueryError::Io { detail: f.0 }),
-                    Err(payload) => Abort::Panic(payload),
+                    Err(payload) => match payload.downcast::<QueryError>() {
+                        Ok(e) => Abort::Error(*e),
+                        Err(payload) => Abort::Panic(payload),
+                    },
                 });
                 Err(())
             }
@@ -279,7 +314,16 @@ fn observe_fanout(ctx: &QueryCtx, busys: &[Duration], morsels: u64) {
 /// never straddle a morsel edge.
 pub fn grid(n: u32, par: Parallelism) -> (u32, usize) {
     let aim = n.div_ceil((par.threads * 4).max(1) as u32).max(MIN_MORSEL_ROWS);
-    let morsel = par.morsel_rows.min(aim).max(1).div_ceil(64) * 64;
+    // An explicitly enlarged morsel size (CVR_MORSEL_ROWS, or a struct
+    // literal above the default — how the chaos harness forces giant
+    // morsels) is honored as requested; the default auto-shrinks to `aim`
+    // for balance. Both are bounded by the process-wide `morsel_max` cap.
+    let want = if par.morsel_rows > DEFAULT_MORSEL_ROWS {
+        par.morsel_rows
+    } else {
+        par.morsel_rows.min(aim)
+    };
+    let morsel = want.clamp(1, morsel_max()).div_ceil(64) * 64;
     let count = (n.div_ceil(morsel) as usize).max(1);
     (morsel, count)
 }
@@ -496,6 +540,38 @@ mod tests {
         let payload = caught.expect_err("the panic must propagate");
         let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
         assert_eq!(msg, "genuine worker bug");
+    }
+
+    #[test]
+    fn grid_honors_forced_giant_morsels_up_to_the_cap() {
+        // Default-sized configs still auto-shrink for balance.
+        let (m, _) = grid(1_000_000, Parallelism { threads: 4, morsel_rows: DEFAULT_MORSEL_ROWS });
+        assert!(m <= DEFAULT_MORSEL_ROWS);
+        // An explicitly enlarged morsel size is honored (mask-word aligned).
+        let big = 500_000u32;
+        let (m, count) = grid(1_000_000, Parallelism { threads: 4, morsel_rows: big });
+        assert_eq!(m, big.div_ceil(64) * 64);
+        assert_eq!(count, 2);
+        // ... but never beyond the process-wide ceiling.
+        let (m, _) = grid(100_000_000, Parallelism { threads: 1, morsel_rows: u32::MAX });
+        assert!(m <= morsel_max());
+        assert_eq!(m % 64, 0);
+    }
+
+    #[test]
+    fn queryerror_panic_payloads_become_typed_aborts() {
+        // The scan drivers transport intra-morsel cancellation as a
+        // QueryError panic payload; the morsel boundary must type it back.
+        for threads in [1, 4] {
+            let par = Parallelism { threads, morsel_rows: 64 };
+            let got = try_run_morsels(10_000, par, &QueryCtx::unbounded(), |i, r| {
+                if i == 2 {
+                    std::panic::panic_any(QueryError::Cancelled);
+                }
+                Ok(r.len())
+            });
+            assert_eq!(got, Err(QueryError::Cancelled), "threads={threads}");
+        }
     }
 
     #[test]

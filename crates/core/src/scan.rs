@@ -282,11 +282,44 @@ fn code_bounds(reference: i64, max_code: u64, lo: i64, hi: i64) -> Option<(u64, 
     Some((lo as u64, (hi as u128).min(max_code as u128) as u64))
 }
 
+/// Rows scanned between cancellation polls when a
+/// [scan watch](crate::ctx::watch_scans) is active. A multiple of 64 so
+/// chunk boundaries stay mask-word friendly; small enough that even a
+/// tuple-at-a-time scan of one chunk completes in well under a millisecond.
+pub const SCAN_POLL_ROWS: u32 = 1 << 16;
+
 /// The unified integer scan driver: every encoding × interface combination
 /// for positions `[start, end)` of `col`, emitting into `sink`. Block mode
 /// routes through the word-parallel kernels; tuple mode keeps the paper's
 /// one-virtual-call-per-value `get_next` loop.
+///
+/// When the executing thread has adopted a scan watch, oversized ranges are
+/// walked in [`SCAN_POLL_ROWS`] chunks with a cancellation poll between
+/// them — chunked and unchunked scans emit identical positions (range
+/// tiling is exactly the morsel decomposition already tested), so this only
+/// bounds abort latency, never changes results.
 pub fn scan_int_into(
+    col: &IntColumn,
+    start: u32,
+    end: u32,
+    pred: &IntScanPred<'_>,
+    block: bool,
+    sink: &mut impl PosSink,
+) {
+    if end.saturating_sub(start) > SCAN_POLL_ROWS && crate::ctx::scan_watch_active() {
+        let mut s = start;
+        while s < end {
+            crate::ctx::poll_scan_watch();
+            let e = s.saturating_add(SCAN_POLL_ROWS).min(end);
+            scan_int_chunk(col, s, e, pred, block, sink);
+            s = e;
+        }
+        return;
+    }
+    scan_int_chunk(col, start, end, pred, block, sink);
+}
+
+fn scan_int_chunk(
     col: &IntColumn,
     start: u32,
     end: u32,
@@ -419,8 +452,30 @@ impl CodePred {
 /// columns scan their packed codes through the integer kernels; plain
 /// string columns evaluate the predicate per value — the cost difference
 /// Figure 8 exposes ("a predicate on the integer foreign key can be
-/// performed faster than a predicate on a string attribute").
+/// performed faster than a predicate on a string attribute"). Chunks under
+/// an active scan watch exactly like [`scan_int_into`].
 pub fn scan_str_into(
+    col: &StrColumn,
+    start: u32,
+    end: u32,
+    pred: &Pred,
+    block: bool,
+    sink: &mut impl PosSink,
+) {
+    if end.saturating_sub(start) > SCAN_POLL_ROWS && crate::ctx::scan_watch_active() {
+        let mut s = start;
+        while s < end {
+            crate::ctx::poll_scan_watch();
+            let e = s.saturating_add(SCAN_POLL_ROWS).min(end);
+            scan_str_chunk(col, s, e, pred, block, sink);
+            s = e;
+        }
+        return;
+    }
+    scan_str_chunk(col, start, end, pred, block, sink);
+}
+
+fn scan_str_chunk(
     col: &StrColumn,
     start: u32,
     end: u32,
@@ -839,6 +894,42 @@ mod tests {
                 assert_eq!(tiled, full);
             }
         }
+    }
+
+    #[test]
+    fn watched_scans_chunk_identically_and_observe_cancellation() {
+        use crate::ctx::{catch_injected, watch_scans, QueryCtx, QueryError};
+        let n = (SCAN_POLL_ROWS * 3 + 1234) as usize;
+        let ints: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 100).collect();
+        let strs: Vec<String> = (0..n).map(|i| format!("R{}", i % 7)).collect();
+        let io = IoSession::unmetered();
+        let pred = Pred::InSet(vec![Value::str("R2"), Value::str("R5")]);
+        let ctx = QueryCtx::unbounded();
+        for block in [true, false] {
+            for col in [int_col(ints.clone(), false), packed_col(ints.clone())] {
+                let bare = scan_int_where(&col, |v| (10..=20).contains(&v), block, &io).to_vec();
+                let watched = {
+                    let _w = watch_scans(&ctx);
+                    scan_int_where(&col, |v| (10..=20).contains(&v), block, &io).to_vec()
+                };
+                assert_eq!(watched, bare, "chunked int scan must be output-identical");
+            }
+            for col in [str_col(strs.clone(), true), str_col(strs.clone(), false)] {
+                let bare = scan_str_pred(&col, &pred, block, &io).to_vec();
+                let watched = {
+                    let _w = watch_scans(&ctx);
+                    scan_str_pred(&col, &pred, block, &io).to_vec()
+                };
+                assert_eq!(watched, bare, "chunked str scan must be output-identical");
+            }
+        }
+        // A cancelled context aborts the oversized scan at a chunk boundary,
+        // transported as a QueryError panic payload.
+        ctx.cancel();
+        let col = int_col(ints, false);
+        let _w = watch_scans(&ctx);
+        let got = catch_injected(|| scan_int_where(&col, |v| v == 0, true, &io));
+        assert_eq!(got.err(), Some(QueryError::Cancelled));
     }
 
     #[test]

@@ -342,6 +342,15 @@ pub fn latency(name: &str, help: &'static str) -> Arc<Histogram> {
     global().latency(name, help)
 }
 
+/// Emit an operator-facing warning: increments `cvr_warnings_total` in the
+/// [`global`] registry and writes the message to stderr. For conditions an
+/// operator should see but that don't fail a request — e.g. a chaos spec
+/// whose expected fault count would drown every query.
+pub fn warn(msg: &str) {
+    counter("cvr_warnings_total", "Operator-facing warnings emitted").inc();
+    eprintln!("[cvr][warn] {msg}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

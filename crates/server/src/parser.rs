@@ -97,11 +97,27 @@ pub enum Statement {
     /// `EXPLAIN ANALYZE SELECT ...` — execute under tracing, return the
     /// explain tree annotated with measured actuals.
     ExplainAnalyze(SsbQuery),
+    /// `SNAPSHOT` — write the served tables to the data directory as the
+    /// next durable generation.
+    Snapshot,
+    /// `RELOAD` — load the newest valid generation from the data directory
+    /// and swap it in as the served store.
+    Reload,
 }
 
 /// Parse one SQL statement.
 pub fn parse(sql: &str) -> Result<Statement, ParseError> {
     let mut p = Parser { toks: lex(sql)?, at: 0 };
+    // Admin statements: a bare keyword (plus optional `;`).
+    for (kw, stmt) in [("SNAPSHOT", Statement::Snapshot), ("RELOAD", Statement::Reload)] {
+        if p.eat_kw(kw) {
+            p.eat_sym(';');
+            if let Some(t) = p.peek() {
+                return Err(ParseError::Syntax(format!("trailing input at `{t}`")));
+            }
+            return Ok(stmt);
+        }
+    }
     let explain = p.eat_kw("EXPLAIN");
     let analyze = explain && p.eat_kw("ANALYZE");
     let q = p.select()?;
@@ -121,9 +137,7 @@ pub fn parse(sql: &str) -> Result<Statement, ParseError> {
 pub fn parse_query(sql: &str) -> Result<SsbQuery, ParseError> {
     match parse(sql)? {
         Statement::Select(q) => Ok(q),
-        Statement::Explain(_) | Statement::ExplainAnalyze(_) => {
-            Err(ParseError::Unsupported("expected SELECT, got EXPLAIN".into()))
-        }
+        _ => Err(ParseError::Unsupported("expected a plain SELECT statement".into())),
     }
 }
 
@@ -870,6 +884,17 @@ mod tests {
         // ANALYZE alone is not a keyword — a table named `analyze` is not in
         // the schema, so this fails resolution rather than silently tracing.
         assert!(parse("ANALYZE SELECT SUM(lo_revenue) FROM lineorder").is_err());
+    }
+
+    #[test]
+    fn admin_statements_parse_as_bare_keywords() {
+        assert!(matches!(parse("SNAPSHOT").unwrap(), Statement::Snapshot));
+        assert!(matches!(parse("snapshot;").unwrap(), Statement::Snapshot));
+        assert!(matches!(parse("RELOAD").unwrap(), Statement::Reload));
+        assert!(matches!(parse("reload ;").unwrap(), Statement::Reload));
+        // Trailing tokens after an admin statement are rejected.
+        assert!(parse("SNAPSHOT now").is_err());
+        assert_eq!(code_of("SNAPSHOT"), 5); // not a SELECT for parse_query
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! 0x04 CANCEL         0x84 CANCEL_ACK
 //! 0x05 STATS          0x85 STATS
 //!                     0x86 TRACE
+//!                     0x87 SNAPSHOT
 //! ```
 //!
 //! * `QUERY`: `u32` length + UTF-8 SQL.
@@ -46,6 +47,11 @@
 //!   `QUERY_OPTS` request that set [`FLAG_TRACE`] — the response frame
 //!   itself stays byte-identical to an untraced run. Both strings are
 //!   empty when the statement recorded no spans (e.g. a parse error).
+//! * `SNAPSHOT`: answer to a `SNAPSHOT` or `RELOAD` statement — `u64`
+//!   manifest generation, `u64` store version after the statement, `u32`
+//!   segment count, `u64` total bytes. A failed snapshot or reload (no
+//!   data directory, I/O failure, or an unrecoverable corrupt store, code
+//!   105) arrives as an `ERROR` frame like any other statement failure.
 //!
 //! All integers are little-endian. Hand-rolled on purpose: the build
 //! environment has no serde, and the format doubles as documentation of
@@ -54,7 +60,7 @@
 //! [`ParseError::code`]: crate::parser::ParseError::code
 
 use crate::cache::CacheStats;
-use crate::session::{ColumnMeta, QueryResponse, RowsResponse};
+use crate::session::{ColumnMeta, QueryResponse, RowsResponse, SnapshotInfo};
 use cvr_core::SchedStats;
 use cvr_data::queries::QueryId;
 use cvr_data::result::QueryOutput;
@@ -143,6 +149,8 @@ pub enum Response {
         /// Span-tree JSON (`SpanRecord::to_json`); empty likewise.
         json: String,
     },
+    /// Answer to a `SNAPSHOT` or `RELOAD` statement.
+    Snapshot(SnapshotInfo),
 }
 
 /// The counters shipped in a `STATS` response.
@@ -203,6 +211,7 @@ pub fn response_for(answer: &QueryResponse) -> Response {
         QueryResponse::Explain { text, json } => {
             Response::Explain { text: text.clone(), json: json.clone() }
         }
+        QueryResponse::Snapshot(info) => Response::Snapshot(*info),
     }
 }
 
@@ -253,6 +262,7 @@ const TAG_EXPLAIN: u8 = 0x83;
 const TAG_CANCEL_ACK: u8 = 0x84;
 const TAG_STATS: u8 = 0x85;
 const TAG_TRACE: u8 = 0x86;
+const TAG_SNAPSHOT: u8 = 0x87;
 
 fn put_str16(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u16).to_le_bytes());
@@ -409,6 +419,13 @@ impl Response {
                 put_str32(&mut out, text);
                 put_str32(&mut out, json);
             }
+            Response::Snapshot(info) => {
+                out.push(TAG_SNAPSHOT);
+                out.extend_from_slice(&info.generation.to_le_bytes());
+                out.extend_from_slice(&info.store_version.to_le_bytes());
+                out.extend_from_slice(&info.segments.to_le_bytes());
+                out.extend_from_slice(&info.bytes.to_le_bytes());
+            }
         }
         out
     }
@@ -489,6 +506,12 @@ impl Response {
                 Response::Stats(StatsReport { sched, cache, metrics })
             }
             TAG_TRACE => Response::Trace { text: r.str32()?, json: r.str32()? },
+            TAG_SNAPSHOT => Response::Snapshot(SnapshotInfo {
+                generation: r.u64()?,
+                store_version: r.u64()?,
+                segments: r.u32()?,
+                bytes: r.u64()?,
+            }),
             t => return Err(format!("unknown response tag 0x{t:02x}")),
         };
         r.finish()?;
@@ -637,6 +660,12 @@ mod tests {
             Response::Stats(StatsReport { sched, cache: None, metrics: Vec::new() }),
             Response::Trace { text: "column-plan: tICL [rows=7]".into(), json: "{}".into() },
             Response::Trace { text: String::new(), json: String::new() },
+            Response::Snapshot(SnapshotInfo {
+                generation: 3,
+                store_version: 3,
+                segments: 58,
+                bytes: 1 << 20,
+            }),
         ];
         for resp in responses {
             assert_eq!(Response::decode(&resp.encode()), Ok(resp));
@@ -671,7 +700,7 @@ mod tests {
             // Half the rounds: aim the soup at a real tag so the field
             // decoders run, not just the tag dispatch.
             if round % 2 == 0 && !bytes.is_empty() {
-                let tags = [0x01, 0x02, 0x03, 0x04, 0x05, 0x81, 0x82, 0x83, 0x84, 0x85, 0x86];
+                let tags = [0x01, 0x02, 0x03, 0x04, 0x05, 0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87];
                 bytes[0] = tags[(next() % tags.len() as u64) as usize];
             }
             let _ = Request::decode(&bytes);
@@ -691,6 +720,13 @@ mod tests {
             })
             .encode(),
             Response::Trace { text: "t".into(), json: "{}".into() }.encode(),
+            Response::Snapshot(SnapshotInfo {
+                generation: 1,
+                store_version: 1,
+                segments: 58,
+                bytes: 4096,
+            })
+            .encode(),
             sample_result().encode(),
         ];
         for f in &frames {

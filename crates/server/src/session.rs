@@ -28,9 +28,11 @@ use cvr_data::value::DataType;
 use cvr_plan::{key, Catalog, PhysicalChoice, Plan, Planner};
 use cvr_row::designs::{RowDb, RowDesign};
 use cvr_storage::fault::{self, FaultState};
-use cvr_storage::io::{BufferPool, IoSession, IoStats};
+use cvr_storage::io::{pages_for, BufferPool, IoSession, IoStats};
+use cvr_storage::persist::{self, PersistError};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::Instant;
 
 /// A failure answering a query.
@@ -119,6 +121,46 @@ pub enum QueryResponse {
         /// Stable-field JSON (identical to `Plan::to_json`).
         json: String,
     },
+    /// A `SNAPSHOT` or `RELOAD`: what was written or loaded.
+    Snapshot(SnapshotInfo),
+}
+
+/// The versioned store a session serves: tables, the column engine built
+/// over them, and the planner's statistics — pinned together behind one
+/// `Arc` so a reload swaps all three atomically. Queries clone the `Arc`
+/// at entry and run against that snapshot to completion, so a mid-query
+/// swap never mixes generations (the segment-swap seam a future write
+/// path plugs into).
+struct StoreState {
+    engine: ColumnEngine,
+    planner: Planner,
+    tables: Arc<SsbTables>,
+    /// The version every cache and plan-memo key embeds: `0` for an
+    /// in-memory generated store, the manifest generation once a snapshot
+    /// is loaded. Any swap changes it, invalidating all cached entries.
+    version: u64,
+}
+
+impl StoreState {
+    fn build(tables: Arc<SsbTables>, version: u64) -> StoreState {
+        let engine = ColumnEngine::new(tables.clone());
+        let planner = Planner::new(Catalog::build(&engine));
+        StoreState { engine, planner, tables, version }
+    }
+}
+
+/// What a `SNAPSHOT` or `RELOAD` statement reports (and what the wire's
+/// snapshot frame carries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Manifest generation written (snapshot) or loaded (reload).
+    pub generation: u64,
+    /// The session's store version after the statement.
+    pub store_version: u64,
+    /// Segment files in the snapshot.
+    pub segments: u32,
+    /// Total bytes written or read.
+    pub bytes: u64,
 }
 
 /// A session over one generated dataset: statistics, planner, both
@@ -127,9 +169,12 @@ pub enum QueryResponse {
 /// `Session` is `Sync`; one instance serves any number of threads
 /// concurrently (the TCP server shares one behind an `Arc`).
 pub struct Session {
-    engine: ColumnEngine,
-    planner: Planner,
-    tables: Arc<SsbTables>,
+    /// The current store; see [`StoreState`]. Readers clone the `Arc`
+    /// (one brief read-lock); only [`Session::reload`] writes.
+    store: RwLock<Arc<StoreState>>,
+    /// Directory for durable snapshots (`CVR_DATA_DIR` or
+    /// [`Session::set_data_dir`]); `None` disables SNAPSHOT/RELOAD.
+    data_dir: Mutex<Option<PathBuf>>,
     par: Parallelism,
     /// Row-engine physical designs, built lazily the first time a plan
     /// picks one and cached for the session's lifetime.
@@ -146,10 +191,6 @@ pub struct Session {
     /// whole candidate grid; on the cache-hit path this is most of the
     /// remaining work.
     plans: Mutex<HashMap<String, Arc<Plan>>>,
-    /// Version of the store the cache keys embed. The SSB tables are
-    /// immutable for a session's lifetime today; bumping this on any future
-    /// mutation invalidates every cached entry at once.
-    store_version: u64,
     /// Test-only fault injection: `query` panics when the SQL contains
     /// this needle (see `inject_panic_on`).
     fault: Mutex<Option<String>>,
@@ -186,39 +227,146 @@ impl Session {
         par: Parallelism,
         cache_bytes: usize,
     ) -> Session {
-        let engine = ColumnEngine::new(tables.clone());
-        let planner = Planner::new(Catalog::build(&engine));
+        // `CVR_DATA_DIR` names a durable store: load the newest valid
+        // snapshot generation and serve it instead of the generated
+        // tables. An empty directory is a fresh deployment (serve the
+        // generated tables, SNAPSHOT will seed it); a damaged one warns
+        // and falls back to the generated tables rather than refusing to
+        // start.
+        let data_dir = std::env::var_os("CVR_DATA_DIR").map(PathBuf::from);
+        let store = match &data_dir {
+            None => StoreState::build(tables, 0),
+            Some(dir) => match persist::load_latest(dir) {
+                Ok((loaded, report)) => {
+                    if report.fallbacks > 0 {
+                        cvr_obs::warn(&format!(
+                            "data dir {}: newest {} generation(s) corrupt, recovered from generation {}",
+                            dir.display(),
+                            report.fallbacks,
+                            report.generation
+                        ));
+                    }
+                    StoreState::build(Arc::new(loaded), report.generation)
+                }
+                Err(PersistError::NoSnapshot) => StoreState::build(tables, 0),
+                Err(e) => {
+                    cvr_obs::warn(&format!(
+                        "data dir {}: {e}; serving generated tables",
+                        dir.display()
+                    ));
+                    StoreState::build(tables, 0)
+                }
+            },
+        };
         // Sessions share the process-default scheduler: concurrent queries
         // split the machine's workers instead of each spawning a full pool.
         let sched = Scheduler::process_default();
         sched::install(sched.clone());
         Session {
-            engine,
-            planner,
-            tables,
+            store: RwLock::new(Arc::new(store)),
+            data_dir: Mutex::new(data_dir),
             par,
             row_dbs: Mutex::new(HashMap::new()),
             sched,
             cache: (cache_bytes > 0).then(|| QueryCache::new(cache_bytes)),
             plans: Mutex::new(HashMap::new()),
-            store_version: 0,
             fault: Mutex::new(None),
             faults: Mutex::new(None),
         }
     }
 
+    /// The store snapshot a statement executes against: cloned once at
+    /// entry, held to completion. A concurrent reload swaps the slot
+    /// without disturbing in-flight statements.
+    fn store(&self) -> Arc<StoreState> {
+        self.store.read().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Version of the store every cache and plan-memo key embeds; a
+    /// [`Session::reload`] changes it, invalidating all cached entries.
+    pub fn store_version(&self) -> u64 {
+        self.store().version
+    }
+
+    /// The tables the session currently serves.
+    pub fn tables(&self) -> Arc<SsbTables> {
+        self.store().tables.clone()
+    }
+
+    /// Point the session at a durable store directory (the programmatic
+    /// form of `CVR_DATA_DIR`); `None` disables SNAPSHOT/RELOAD.
+    pub fn set_data_dir(&self, dir: Option<PathBuf>) {
+        *self.data_dir.lock().unwrap_or_else(PoisonError::into_inner) = dir;
+    }
+
+    /// The durable store directory, if one is configured.
+    pub fn data_dir(&self) -> Option<PathBuf> {
+        self.data_dir.lock().unwrap_or_else(PoisonError::into_inner).clone()
+    }
+
+    /// Write a durable snapshot of the current tables as the next manifest
+    /// generation (see `cvr_storage::persist` for the commit protocol).
+    /// The served store is unchanged — same bytes, same version — so
+    /// caches stay valid.
+    pub fn snapshot(&self) -> Result<SnapshotInfo, QueryError> {
+        let Some(dir) = self.data_dir() else {
+            return Err(QueryError::Io { detail: "no data directory configured".to_string() });
+        };
+        let store = self.store();
+        let _faults = fault::adopt_opt(self.faults());
+        let report = persist::write_snapshot(&dir, &store.tables).map_err(persist_error)?;
+        Ok(SnapshotInfo {
+            generation: report.generation,
+            store_version: store.version,
+            segments: report.segments as u32,
+            bytes: report.bytes,
+        })
+    }
+
+    /// Reload the newest valid snapshot generation from the data
+    /// directory and swap it in as the served store. The store version
+    /// becomes the loaded generation, so every result-cache entry and
+    /// memoized plan keyed against the old store is unreachable; row
+    /// designs are rebuilt lazily from the new tables.
+    pub fn reload(&self) -> Result<SnapshotInfo, QueryError> {
+        let Some(dir) = self.data_dir() else {
+            return Err(QueryError::Io { detail: "no data directory configured".to_string() });
+        };
+        let _faults = fault::adopt_opt(self.faults());
+        let (tables, report) = persist::load_latest(&dir).map_err(persist_error)?;
+        if report.fallbacks > 0 {
+            cvr_obs::warn(&format!(
+                "reload from {}: newest {} generation(s) corrupt, recovered from generation {}",
+                dir.display(),
+                report.fallbacks,
+                report.generation
+            ));
+        }
+        let next = Arc::new(StoreState::build(Arc::new(tables), report.generation));
+        *self.store.write().unwrap_or_else(PoisonError::into_inner) = next;
+        // Row designs embed the old tables; drop them so the next row-plan
+        // query rebuilds from the loaded generation.
+        self.row_dbs.lock().unwrap_or_else(PoisonError::into_inner).clear();
+        Ok(SnapshotInfo {
+            generation: report.generation,
+            store_version: report.generation,
+            segments: report.segments as u32,
+            bytes: report.bytes,
+        })
+    }
+
     /// Plan `q`, memoized per descriptor. Plans are a few KB each; the
     /// memo is cleared wholesale past a generous entry cap rather than
     /// tracked byte-by-byte.
-    fn plan_cached(&self, q: &SsbQuery) -> Arc<Plan> {
+    fn plan_cached(&self, store: &StoreState, q: &SsbQuery) -> Arc<Plan> {
         const MAX_MEMOIZED_PLANS: usize = 4096;
-        let pkey = key::plan_key(q, self.store_version);
+        let pkey = key::plan_key(q, store.version);
         if let Some(plan) = self.plans.lock().unwrap_or_else(PoisonError::into_inner).get(&pkey) {
             return plan.clone();
         }
         // Plan outside the lock — enumeration is pure, so two threads
         // racing the same key just insert the same plan twice.
-        let plan = Arc::new(self.planner.plan(q));
+        let plan = Arc::new(store.planner.plan(q));
         let mut plans = self.plans.lock().unwrap_or_else(PoisonError::into_inner);
         if plans.len() >= MAX_MEMOIZED_PLANS {
             plans.clear();
@@ -245,21 +393,40 @@ impl Session {
         *slot = Some(needle.to_string());
     }
 
-    /// The planner (statistics + cost model) this session plans with.
-    pub fn planner(&self) -> &Planner {
-        &self.planner
-    }
-
     /// Arm per-session storage fault injection from a `CVR_FAULT`-style
     /// spec (`"io:0.01,stall:0.05:10,seed:42"`); `None` disarms. Every
     /// statement this session runs adopts the state for its duration —
     /// including its morsel workers — so concurrent sessions (and tests)
     /// inject faults independently, without a process-global install.
+    ///
+    /// Fault probabilities are **per page touch**, so they multiply with
+    /// scale: a spec whose expected fault count over one full fact scan
+    /// exceeds ~0.5 draws a warning — at that rate most paper queries
+    /// abort and the spec is probably a units mistake (`io:0.01` means 1%
+    /// *of pages*, not 1% of queries).
     pub fn set_faults(&self, spec: Option<&str>) -> Result<(), String> {
         let state = match spec {
             Some(s) => Some(FaultState::from_spec(s)?),
             None => None,
         };
+        if let Some(state) = &state {
+            let cfg = state.config();
+            if cfg.io > 0.0 {
+                // Page touches of the heaviest paper query ≈ one full
+                // compressed fact scan (tICL touches every fact column).
+                let store = self.store();
+                let pages =
+                    pages_for(store.engine.db(cvr_core::EngineConfig::FULL).fact_bytes()) as f64;
+                let expected = cfg.io * pages;
+                if expected > 0.5 {
+                    cvr_obs::warn(&format!(
+                        "fault spec io:{} × ~{pages:.0} fact pages ≈ {expected:.1} expected faults \
+                         per full scan; most queries will abort (probabilities are per page touch)",
+                        cfg.io
+                    ));
+                }
+            }
+        }
         *self.faults.lock().unwrap_or_else(PoisonError::into_inner) = state;
         Ok(())
     }
@@ -288,21 +455,24 @@ impl Session {
         match parser::parse(sql)? {
             Statement::Select(q) => Ok(QueryResponse::Rows(self.run_ctx(&q, ctx)?)),
             Statement::Explain(q) => {
-                let plan = self.explain(&q);
-                let (text, json) = self.render_explain(&q, &plan);
+                let store = self.store();
+                let plan = self.plan_cached(&store, &q);
+                let (text, json) = self.render_explain(&store, &q, &plan);
                 Ok(QueryResponse::Explain { text, json })
             }
             Statement::ExplainAnalyze(q) => {
                 let (text, json) = self.explain_analyze(&q, ctx)?;
                 Ok(QueryResponse::Explain { text, json })
             }
+            Statement::Snapshot => Ok(QueryResponse::Snapshot(self.snapshot()?)),
+            Statement::Reload => Ok(QueryResponse::Snapshot(self.reload()?)),
         }
     }
 
     /// `EXPLAIN` rendering: the plan tree plus the cache's view of this
     /// query — whether a result or filter intermediate is resident right
     /// now (a pure peek; counters and LRU order are untouched).
-    fn render_explain(&self, q: &SsbQuery, plan: &Plan) -> (String, String) {
+    fn render_explain(&self, store: &StoreState, q: &SsbQuery, plan: &Plan) -> (String, String) {
         let mut text = plan.render();
         let mut json = plan.to_json();
         match &self.cache {
@@ -312,8 +482,8 @@ impl Session {
             }
             Some(cache) => {
                 let label = plan.choice.label();
-                let rkey = key::descriptor_key(q, &label, &plan.fact_order, self.store_version);
-                let fkey = key::filter_key(q, &label, &plan.fact_order, self.store_version);
+                let rkey = key::descriptor_key(q, &label, &plan.fact_order, store.version);
+                let fkey = key::filter_key(q, &label, &plan.fact_order, store.version);
                 let (result, filter) = cache.peek(&rkey, &fkey);
                 let s = cache.stats();
                 let hit = |b: bool| if b { "hit" } else { "miss" };
@@ -342,7 +512,7 @@ impl Session {
     /// Plan `q` without executing it — the `EXPLAIN` path, also entered
     /// with a descriptor.
     pub fn explain(&self, q: &SsbQuery) -> Plan {
-        (*self.plan_cached(q)).clone()
+        (*self.plan_cached(&self.store(), q)).clone()
     }
 
     /// `EXPLAIN ANALYZE`: execute `q` under a tracer, then zip the
@@ -360,7 +530,7 @@ impl Session {
     ) -> Result<(String, String), QueryError> {
         ctx.attach_tracer(Tracer::new());
         let tracer = ctx.tracer().expect("tracer attached above").clone();
-        let plan = self.plan_cached(q);
+        let plan = self.plan_cached(&self.store(), q);
         self.run_inner(q, ctx, true, false)?;
         let root = tracer.take_root();
         Ok(crate::analyze::render(&plan, root.as_ref()))
@@ -412,7 +582,10 @@ impl Session {
         // thread: adopt for the duration (morsel workers re-adopt inside
         // the fan-out).
         let _faults = fault::adopt_opt(self.faults());
-        let plan = self.plan_cached(q);
+        // Pin the store for the whole statement: a concurrent reload swaps
+        // the session's slot but never this execution's view.
+        let store = self.store();
+        let plan = self.plan_cached(&store, q);
         let label = plan.choice.label();
         ctx.check()?;
 
@@ -423,7 +596,7 @@ impl Session {
         let result_key = self
             .cache
             .as_ref()
-            .map(|_| key::descriptor_key(q, &label, &plan.fact_order, self.store_version));
+            .map(|_| key::descriptor_key(q, &label, &plan.fact_order, store.version));
         if read_result_cache {
             if let (Some(cache), Some(rkey)) = (&self.cache, &result_key) {
                 if let Some(mut hit) = cache.get_result(rkey) {
@@ -454,12 +627,16 @@ impl Session {
         // when no tracer is attached.
         let mut root_span = ctx.span(plan.explain.op, &label, &io);
         let output = match plan.choice {
-            PhysicalChoice::Column(cfg) => self.run_column(q, cfg, &plan, &label, &io, ctx)?,
+            PhysicalChoice::Column(cfg) => {
+                self.run_column(&store, q, cfg, &plan, &label, &io, ctx)?
+            }
             PhysicalChoice::Row(design) => {
                 ctx.check()?;
                 // The row engines have no morsel boundaries to poll, but
                 // injected storage faults still surface as typed errors.
-                catch_injected(|| self.row_db(design).execute_planned(q, &plan.fact_order, &io))?
+                catch_injected(|| {
+                    self.row_db(&store, design).execute_planned(q, &plan.fact_order, &io)
+                })?
             }
         };
         root_span.rows(output.rows.len() as u64);
@@ -485,8 +662,10 @@ impl Session {
     /// [`cvr_core::FilterCapture`] for this filter + plan replays the
     /// filter phases' charges and runs only phase 3; a miss executes cold
     /// while capturing the filter for the next query that shares it.
+    #[allow(clippy::too_many_arguments)]
     fn run_column(
         &self,
+        store: &StoreState,
         q: &SsbQuery,
         cfg: cvr_core::EngineConfig,
         plan: &Plan,
@@ -494,12 +673,13 @@ impl Session {
         io: &IoSession,
         ctx: &QueryCtx,
     ) -> Result<QueryOutput, QueryError> {
+        let engine = &store.engine;
         let Some(cache) = &self.cache else {
-            return self.engine.try_execute_planned(q, cfg, &plan.fact_order, self.par, io, ctx);
+            return engine.try_execute_planned(q, cfg, &plan.fact_order, self.par, io, ctx);
         };
-        let fkey = key::filter_key(q, label, &plan.fact_order, self.store_version);
+        let fkey = key::filter_key(q, label, &plan.fact_order, store.version);
         if let Some(capture) = cache.get_filter(&fkey) {
-            if let Some(out) = self.engine.try_execute_planned_warm(
+            if let Some(out) = engine.try_execute_planned_warm(
                 q,
                 cfg,
                 &plan.fact_order,
@@ -513,24 +693,36 @@ impl Session {
             // Shape mismatch (cannot happen with a fixed per-session
             // parallelism, but the contract is "fall back cold, never
             // fail"): `execute_planned_warm` bails before charging.
-            return self.engine.try_execute_planned(q, cfg, &plan.fact_order, self.par, io, ctx);
+            return engine.try_execute_planned(q, cfg, &plan.fact_order, self.par, io, ctx);
         }
         let (out, capture) =
-            self.engine.try_execute_planned_capture(q, cfg, &plan.fact_order, self.par, io, ctx)?;
+            engine.try_execute_planned_capture(q, cfg, &plan.fact_order, self.par, io, ctx)?;
         if let Some(capture) = capture {
             cache.put_filter(fkey, Arc::new(capture));
         }
         Ok(out)
     }
 
-    fn row_db(&self, design: RowDesign) -> Arc<RowDb> {
+    fn row_db(&self, store: &StoreState, design: RowDesign) -> Arc<RowDb> {
         // Recover from poison: the map holds only fully-built databases
         // (no invariant spans a panic), so a panic elsewhere while holding
         // the lock must not take down every later row-plan query.
         let mut dbs = self.row_dbs.lock().unwrap_or_else(PoisonError::into_inner);
         dbs.entry(design)
-            .or_insert_with(|| Arc::new(RowDb::build(self.tables.clone(), design)))
+            .or_insert_with(|| Arc::new(RowDb::build(store.tables.clone(), design)))
             .clone()
+    }
+}
+
+/// Map a storage persistence failure onto the query error taxonomy:
+/// corruption stays typed (wire code 105), everything else is I/O.
+fn persist_error(e: PersistError) -> QueryError {
+    match e {
+        PersistError::Corrupt { detail } => QueryError::Corrupt { detail },
+        PersistError::NoSnapshot => {
+            QueryError::Io { detail: "no snapshot in data directory".to_string() }
+        }
+        PersistError::Io(detail) => QueryError::Io { detail },
     }
 }
 
@@ -588,8 +780,9 @@ mod tests {
         assert!(poisoner.is_err(), "the poisoning thread must panic");
         assert!(session.row_dbs.lock().is_err(), "mutex must actually be poisoned");
         // Both the build path (first use) and the cached path still work.
-        let a = session.row_db(RowDesign::Traditional);
-        let b = session.row_db(RowDesign::Traditional);
+        let store = session.store();
+        let a = session.row_db(&store, RowDesign::Traditional);
+        let b = session.row_db(&store, RowDesign::Traditional);
         assert!(Arc::ptr_eq(&a, &b), "the design is built once and cached");
     }
 

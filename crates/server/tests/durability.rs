@@ -1,0 +1,210 @@
+//! End-to-end durability: SNAPSHOT/RELOAD through the session and over
+//! the wire, store-version cache invalidation, and corruption fallback.
+//!
+//! The load-bearing assertion for the serving layer: a reload **must**
+//! invalidate the result cache and plan memo. Both are keyed by
+//! `store_version`; if a reload failed to change the version, a warmed
+//! cache would keep serving results computed against the old store with
+//! `cached: true` — silently wrong the moment the store differs.
+
+use cvr_data::gen::SsbConfig;
+use cvr_data::queries::all_queries;
+use cvr_server::protocol::Response;
+use cvr_server::session::{QueryResponse, SessionError};
+use cvr_server::{parser, serve, Client, Session};
+use cvr_storage::persist;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "cvr-durability-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn session_over(sf: f64, seed: u64, cache_bytes: usize) -> Session {
+    let tables = Arc::new(SsbConfig { sf, seed }.generate());
+    Session::with_cache_budget(tables, cvr_core::morsel::Parallelism::serial(), cache_bytes)
+}
+
+/// Reload swaps the store version, so every cached result and memoized
+/// plan keyed against the old store becomes unreachable: the first run
+/// after a reload must execute cold (`cached: false`), not serve a stale
+/// hit — and must still be byte-identical, since the snapshot is lossless.
+#[test]
+fn reload_invalidates_result_cache_and_plan_memo() {
+    let dir = temp_dir("invalidate");
+    let session = session_over(0.0005, 11, 16 << 20);
+    session.set_data_dir(Some(dir.clone()));
+    assert_eq!(session.store_version(), 0, "generated store is version 0");
+
+    let q = cvr_data::queries::query(2, 1);
+    let cold = session.run(&q);
+    assert!(!cold.cached);
+    let warm = session.run(&q);
+    assert!(warm.cached, "second run must hit the result cache");
+
+    let snap = session.snapshot().expect("snapshot");
+    assert_eq!(snap.generation, 1);
+    assert_eq!(snap.store_version, 0, "SNAPSHOT must not bump the version");
+    assert!(session.run(&q).cached, "snapshot must not disturb the cache");
+
+    let info = session.reload().expect("reload");
+    assert_eq!(info.generation, 1);
+    assert_eq!(info.store_version, 1);
+    assert_eq!(session.store_version(), 1);
+
+    // The differential bite: a stale-keyed cache would answer this with
+    // `cached: true` — the latent silent-wrongness this test pins down.
+    let after = session.run(&q);
+    assert!(!after.cached, "reload must invalidate the result cache");
+    assert_eq!(after.output.to_bytes(), cold.output.to_bytes(), "lossless reload");
+    assert_eq!(after.io, cold.io, "IoStats identical across reload");
+    assert!(session.run(&q).cached, "the new version warms its own entries");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A snapshot written by one session restores byte-identically into a
+/// session built over *different* tables: all 13 paper queries match the
+/// origin session's outputs AND IoStats after the reload.
+#[test]
+fn reload_restores_all_paper_queries_byte_identically() {
+    let dir = temp_dir("restore");
+    let origin = session_over(0.0005, 21, 0);
+    origin.set_data_dir(Some(dir.clone()));
+    origin.snapshot().expect("snapshot");
+    let reference: Vec<_> = all_queries().iter().map(|q| origin.run(q)).collect();
+
+    // Different scale AND seed: every byte of this store differs.
+    let other = session_over(0.001, 99, 0);
+    other.set_data_dir(Some(dir.clone()));
+    let q0 = &all_queries()[0];
+    let foreign = other.run(q0);
+    assert_ne!(
+        foreign.output.to_bytes(),
+        reference[0].output.to_bytes(),
+        "precondition: the second session starts on different data"
+    );
+
+    let info = other.reload().expect("reload");
+    assert_eq!(info.generation, 1);
+    for (q, want) in all_queries().iter().zip(&reference) {
+        let got = other.run(q);
+        assert_eq!(got.output.to_bytes(), want.output.to_bytes(), "{}: output", q.id);
+        assert_eq!(got.io, want.io, "{}: IoStats", q.id);
+        assert_eq!(got.plan, want.plan, "{}: plan", q.id);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A damaged newest generation falls back to its predecessor; when every
+/// generation is damaged, RELOAD fails typed with the corrupt-store code.
+#[test]
+fn corrupt_generations_fall_back_then_fail_typed() {
+    let dir = temp_dir("corrupt");
+    let session = session_over(0.0005, 31, 0);
+    session.set_data_dir(Some(dir.clone()));
+    session.snapshot().expect("gen 1");
+    session.snapshot().expect("gen 2");
+
+    // Flip one payload byte in every generation-2 segment file.
+    let mut damaged = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.ends_with(".g2.seg") && damaged == 0 {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            std::fs::write(&path, bytes).unwrap();
+            damaged += 1;
+        }
+    }
+    assert_eq!(damaged, 1, "one generation-2 segment was damaged");
+
+    let info = session.reload().expect("fallback reload");
+    assert_eq!(info.generation, 1, "damaged gen 2 falls back to gen 1");
+    assert_eq!(session.store_version(), 1);
+
+    // Damage generation 1's manifest too: nothing valid remains.
+    let manifest = dir.join(persist::manifest_name(1));
+    let mut bytes = std::fs::read(&manifest).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&manifest, bytes).unwrap();
+
+    let err = match session.query("RELOAD") {
+        Err(SessionError::Query(e)) => e,
+        other => panic!("expected a typed query error, got {other:?}"),
+    };
+    assert_eq!(err.code(), cvr_core::QueryError::CODE_CORRUPT, "wire code 105");
+    assert_eq!(session.store_version(), 1, "a failed reload leaves the store untouched");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SNAPSHOT and RELOAD over TCP: the snapshot frame round-trips, and a
+/// session with no data directory answers with a typed I/O error.
+#[test]
+fn snapshot_and_reload_over_the_wire() {
+    let dir = temp_dir("wire");
+    let session = Arc::new(session_over(0.0005, 41, 16 << 20));
+    session.set_data_dir(Some(dir.clone()));
+    let server = serve(session.clone(), "127.0.0.1:0").expect("bind");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let Response::Snapshot(snap) = client.query("SNAPSHOT").expect("snapshot") else {
+        panic!("expected a snapshot frame")
+    };
+    assert_eq!(snap.generation, 1);
+    assert_eq!(snap.store_version, 0);
+    assert!(snap.segments > 0 && snap.bytes > 0);
+
+    let Response::Snapshot(rel) = client.query("RELOAD;").expect("reload") else {
+        panic!("expected a snapshot frame")
+    };
+    assert_eq!(rel.generation, 1);
+    assert_eq!(rel.store_version, 1);
+
+    // Queries still answer on the reloaded store, over the same connection.
+    let sql = parser::render_sql(&all_queries()[0]);
+    assert!(matches!(client.query(&sql), Ok(Response::Result(_))));
+    client.close().expect("close");
+
+    // No data directory: a typed error frame, not a hang-up.
+    let bare = Arc::new(session_over(0.0005, 41, 0));
+    let server2 = serve(bare, "127.0.0.1:0").expect("bind");
+    let mut client2 = Client::connect(server2.addr()).expect("connect");
+    let Response::Error { code, message } = client2.query("SNAPSHOT").expect("frame") else {
+        panic!("expected an error frame")
+    };
+    assert_eq!(code, cvr_core::QueryError::CODE_IO);
+    assert!(message.contains("no data directory"), "{message}");
+    client2.close().expect("close");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// In-process `query()` surfaces the snapshot response variant too.
+#[test]
+fn session_query_returns_snapshot_response() {
+    let dir = temp_dir("variant");
+    let session = session_over(0.0005, 51, 0);
+    session.set_data_dir(Some(dir.clone()));
+    match session.query("SNAPSHOT").expect("snapshot") {
+        QueryResponse::Snapshot(info) => {
+            assert_eq!(info.generation, 1);
+            assert_eq!(session.data_dir().as_deref(), Some(dir.as_path()));
+        }
+        other => panic!("expected snapshot response, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -45,7 +45,7 @@ pub struct Run {
 pub const RLE_RUN_BYTES: u64 = 12;
 
 /// An encoded integer column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum IntColumn {
     /// Uncompressed values; `width` is the minimized on-disk byte width.
     Plain {
@@ -299,7 +299,7 @@ pub fn byte_width(values: &[i64]) -> u8 {
 }
 
 /// An encoded string column.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum StrColumn {
     /// Uncompressed, length-prefixed varchars.
     Plain {
@@ -439,7 +439,7 @@ pub fn bits_for(n: u64) -> u8 {
 }
 
 /// An encoded column of either type.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     /// Integer column.
     Int(IntColumn),

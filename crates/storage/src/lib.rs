@@ -19,10 +19,14 @@
 //!   the real word image behind the packed encodings and the input format of
 //!   `cvr-core`'s word-parallel scan kernels.
 //! * [`fault`] — deterministic fault injection: injected page-read
-//!   failures, morsel panics/stalls, and frame truncation, for the chaos
-//!   harness. Armed per handle ([`fault::FaultState`], adopted
-//!   thread-locally for a statement) or process-globally (`CVR_FAULT`).
-//!   Off by default, one atomic load.
+//!   failures, morsel panics/stalls, frame truncation, and durability
+//!   faults (torn writes, bit flips, fsync failures, crash points) for the
+//!   chaos and crash harnesses. Armed per handle ([`fault::FaultState`],
+//!   adopted thread-locally for a statement) or process-globally
+//!   (`CVR_FAULT`). Off by default, one atomic load.
+//! * [`persist`] — durable snapshots: per-segment files with CRC64
+//!   checksums, committed by an atomic manifest rename; recovery walks
+//!   generations newest-first and falls back past damaged ones.
 //!
 //! The crate is engine-agnostic: `cvr-row` and `cvr-core` build their
 //! physical designs out of these parts.
@@ -35,6 +39,7 @@ pub mod fault;
 pub mod heap;
 pub mod io;
 pub mod packed;
+pub mod persist;
 pub mod rowcodec;
 
 pub use column::{ColumnStore, EncodingChoice, StoredColumn};
@@ -42,3 +47,4 @@ pub use encode::{Column, IntColumn, Run, StrColumn};
 pub use heap::{HeapFile, PartitionedHeap};
 pub use io::{BufferPool, DiskModel, FileId, IoSession, IoStats, PageId, PAGE_SIZE};
 pub use packed::PackedInts;
+pub use persist::{LoadReport, PersistError, SegmentPayload, SnapshotReport};

@@ -67,6 +67,50 @@ impl PackedInts {
         PackedInts { words, len, value_bits }
     }
 
+    /// Reassemble a `PackedInts` from a persisted word image, validating
+    /// every structural invariant the kernels rely on: `value_bits` in
+    /// range, the word count matching `len` exactly, every delimiter bit
+    /// zero, and the unused tail lanes of the last word zero. A corrupted
+    /// image that happens to pass the file checksum must still never reach
+    /// a kernel, so this is the decode-side gate.
+    pub fn from_raw_parts(words: Vec<u64>, len: u32, value_bits: u8) -> Result<PackedInts, String> {
+        if !(1..=MAX_VALUE_BITS).contains(&value_bits) {
+            return Err(format!("packed value_bits {value_bits} out of 1..={MAX_VALUE_BITS}"));
+        }
+        let lane_bits = value_bits as u32 + 1;
+        let lanes = 64 / lane_bits;
+        let expect_words = (len as usize).div_ceil(lanes as usize);
+        if words.len() != expect_words {
+            return Err(format!(
+                "packed image has {} words, {len} codes at {value_bits} bits need {expect_words}",
+                words.len()
+            ));
+        }
+        // Every lane's delimiter bit must be zero (kernels write comparison
+        // outcomes there), including the unused tail lanes.
+        let mut delim_mask = 0u64;
+        for lane in 0..lanes {
+            delim_mask |= 1u64 << (lane * lane_bits + value_bits as u32);
+        }
+        // ... as must the leftover bits above the last lane (64 mod lane
+        // bits), which pack() never writes.
+        if lanes * lane_bits < 64 {
+            delim_mask |= u64::MAX << (lanes * lane_bits);
+        }
+        for (i, w) in words.iter().enumerate() {
+            if w & delim_mask != 0 {
+                return Err(format!("packed word {i} has a set delimiter or padding bit"));
+            }
+        }
+        if let Some(&last) = words.last() {
+            let used = len % lanes;
+            if used != 0 && last >> (used * lane_bits) != 0 {
+                return Err("packed tail lanes past len are not zero".to_string());
+            }
+        }
+        Ok(PackedInts { words, len, value_bits })
+    }
+
     /// Number of codes.
     pub fn len(&self) -> u32 {
         self.len
@@ -253,6 +297,29 @@ mod tests {
             let want: Vec<u64> = (start..end).map(|i| p.get(i)).collect();
             assert_eq!(got, want, "[{start}, {end})");
         }
+    }
+
+    #[test]
+    fn from_raw_parts_validates_geometry_and_bits() {
+        let p = PackedInts::pack(6, (0..100u64).map(|i| i % 50));
+        let rebuilt =
+            PackedInts::from_raw_parts(p.words().to_vec(), p.len(), p.value_bits()).unwrap();
+        assert_eq!(rebuilt, p);
+        // Wrong word count.
+        let mut short = p.words().to_vec();
+        short.pop();
+        assert!(PackedInts::from_raw_parts(short, p.len(), p.value_bits()).is_err());
+        // A set delimiter bit.
+        let mut delim = p.words().to_vec();
+        delim[0] |= 1u64 << 6;
+        assert!(PackedInts::from_raw_parts(delim, p.len(), p.value_bits()).is_err());
+        // Dirty tail lanes.
+        let mut tail = p.words().to_vec();
+        *tail.last_mut().unwrap() |= 1u64 << 63;
+        assert!(PackedInts::from_raw_parts(tail, p.len(), p.value_bits()).is_err());
+        // Out-of-range width.
+        assert!(PackedInts::from_raw_parts(vec![], 0, 0).is_err());
+        assert!(PackedInts::from_raw_parts(vec![], 0, 32).is_err());
     }
 
     #[test]

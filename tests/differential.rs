@@ -383,7 +383,7 @@ fn concurrent_sessions_are_byte_identical_to_serial() {
                         let sql = parser::render_sql(q);
                         match session.query(&sql).expect("parse") {
                             QueryResponse::Rows(r) => (q.id, r.output.to_bytes(), r.io),
-                            QueryResponse::Explain { .. } => unreachable!(),
+                            _ => unreachable!(),
                         }
                     })
                     .collect::<Vec<_>>()
@@ -455,7 +455,7 @@ fn cache_grid_is_byte_identical_to_serial_cold() {
                         let sql = parser::render_sql(q);
                         match session.query(&sql).expect("parse") {
                             QueryResponse::Rows(r) => (q.id, r.output.to_bytes(), r.io),
-                            QueryResponse::Explain { .. } => unreachable!(),
+                            _ => unreachable!(),
                         }
                     })
                     .collect::<Vec<_>>()
